@@ -1,0 +1,58 @@
+// Shared helpers for the table/figure harness binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "core/factories.h"
+#include "phy/timing.h"
+#include "sim/runner.h"
+
+namespace anc::bench {
+
+struct HarnessOptions {
+  std::size_t runs = 10;
+  std::uint64_t seed = 1;
+  bool full = false;  // paper-scale sweep
+};
+
+inline HarnessOptions ParseHarness(const CliArgs& args,
+                                   std::size_t default_runs = 10) {
+  HarnessOptions o;
+  o.full = args.GetBool("full");
+  o.runs = static_cast<std::size_t>(
+      args.GetInt("runs", o.full ? 100 : static_cast<std::int64_t>(default_runs)));
+  o.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  return o;
+}
+
+inline sim::AggregateResult Run(const sim::ProtocolFactory& factory,
+                                std::size_t n_tags,
+                                const HarnessOptions& opts) {
+  sim::ExperimentOptions eo;
+  eo.n_tags = n_tags;
+  eo.runs = opts.runs;
+  eo.base_seed = opts.seed;
+  return sim::RunExperiment(factory, eo);
+}
+
+inline core::FcatOptions FcatFor(unsigned lambda,
+                                 phy::TimingModel timing = {}) {
+  core::FcatOptions o;
+  o.lambda = lambda;
+  o.timing = timing;
+  return o;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref,
+                        const HarnessOptions& opts) {
+  std::printf("== %s ==\n", title);
+  std::printf("(reproduces %s; %zu runs per point, seed %llu%s)\n\n",
+              paper_ref, opts.runs,
+              static_cast<unsigned long long>(opts.seed),
+              opts.full ? ", full sweep" : "");
+}
+
+}  // namespace anc::bench

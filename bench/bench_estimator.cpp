@@ -1,0 +1,73 @@
+// Ablation (Section V-C + appendix): the embedded estimator's per-frame
+// statistics, and the value of averaging across frames / windowing.
+//
+// Paper reference: per-frame V(N_hat/N) quoted as 0.0342 / 0.0287 /
+// 0.0265 (Eq. 25, the varying-omega inversion); the implemented Eq. 12
+// estimator's correct delta-method variance is lower (~0.0117 at
+// omega=1.414) — this harness prints all three so the discrepancy is
+// visible, plus the effect of window size on protocol throughput.
+#include "bench_common.h"
+
+#include "analysis/estimator_model.h"
+#include "analysis/omega.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/estimator.h"
+
+int main(int argc, char** argv) {
+  using namespace anc;
+  const CliArgs args(argc, argv);
+  const auto opts = bench::ParseHarness(args, 8);
+  const auto n = static_cast<std::uint64_t>(args.GetInt("tags", 10000));
+  const auto frames = static_cast<std::size_t>(
+      args.GetInt("frames", opts.full ? 30000 : 6000));
+  bench::PrintHeader("Ablation: embedded estimator statistics",
+                     "ICDCS'10 Section V-C / appendix", opts);
+
+  anc::Pcg32 rng(opts.seed);
+  TextTable stats_table({"omega", "emp bias", "Eq.16 bias", "emp var",
+                         "Eq.12 delta var", "Eq.25 var (paper)"});
+  for (double omega : {1.414, 1.817, 2.213}) {
+    const double p = omega / static_cast<double>(n);
+    RunningStats ratios;
+    for (std::size_t i = 0; i < frames; ++i) {
+      core::EmbeddedEstimator est(30, omega, 30.0);
+      std::uint64_t nc = 0;
+      for (int s = 0; s < 30; ++s) {
+        if (rng.Binomial(n, p) >= 2) ++nc;
+      }
+      est.Update(nc, p, 0);
+      ratios.Add(est.EstimatedTotal() / static_cast<double>(n));
+    }
+    stats_table.AddRow(
+        {TextTable::Num(omega, 3), TextTable::Num(ratios.mean() - 1.0, 4),
+         TextTable::Num(analysis::EstimatorRelativeBias(n, omega, 30), 4),
+         TextTable::Num(ratios.variance(), 4),
+         TextTable::Num(analysis::EstimatorRelativeVarianceEq12(omega, 30),
+                        4),
+         TextTable::Num(analysis::EstimatorRelativeVariance(omega, 30),
+                        4)});
+  }
+  std::printf("%s\n", stats_table.Render().c_str());
+
+  std::printf("Window-size ablation (FCAT-2, cold start, N = %llu):\n\n",
+              static_cast<unsigned long long>(n));
+  TextTable window_table({"window", "tags/sec", "slots"});
+  const phy::TimingModel timing = phy::TimingModel::ICode();
+  for (std::size_t window : {0ul, 8ul, 16ul, 48ul, 128ul}) {
+    auto o = bench::FcatFor(2, timing);
+    o.estimator_window = window;
+    const auto result = bench::Run(core::MakeFcatFactory(o),
+                                   static_cast<std::size_t>(n), opts);
+    window_table.AddRow({window == 0 ? "all" : TextTable::Int(
+                                                   static_cast<long long>(window)),
+                         TextTable::Num(result.throughput.mean(), 1),
+                         TextTable::Num(result.total_slots.mean(), 0)});
+  }
+  std::printf("%s\n", window_table.Render().c_str());
+  std::printf(
+      "Averaging across frames shrinks the per-frame scatter (paper: by\n"
+      "1/sqrt(i)); a moderate window additionally tracks the shrinking\n"
+      "backlog near the end of the read.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 3: relative bias of the embedded estimator N_hat versus the number
+// of tags, for omega = 1.414 / 1.817 / 2.213 (f = 30).
+//
+// Paper reference: flat curves at |bias| ~ 0.0082 / 0.011 / 0.014.
+// This harness prints the paper's analytic curve (Eq. 16) alongside the
+// empirically measured per-frame bias of the implemented Eq. 12 estimator
+// (see EXPERIMENTS.md for why the implemented estimator's bias has the
+// opposite sign but comparable magnitude).
+#include "bench_common.h"
+
+#include "analysis/estimator_model.h"
+#include "analysis/omega.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/estimator.h"
+
+namespace {
+
+double EmpiricalBias(std::uint64_t n, double omega, std::uint64_t f,
+                     std::size_t frames, anc::Pcg32& rng) {
+  const double p = omega / static_cast<double>(n);
+  anc::RunningStats ratios;
+  for (std::size_t i = 0; i < frames; ++i) {
+    anc::core::EmbeddedEstimator est(f, omega, static_cast<double>(f));
+    std::uint64_t nc = 0;
+    for (std::uint64_t s = 0; s < f; ++s) {
+      if (rng.Binomial(n, p) >= 2) ++nc;
+    }
+    est.Update(nc, p, 0);
+    ratios.Add(est.EstimatedTotal() / static_cast<double>(n));
+  }
+  return ratios.mean() - 1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace anc;
+  const CliArgs args(argc, argv);
+  const auto opts = bench::ParseHarness(args, 10);
+  const auto frames =
+      static_cast<std::size_t>(args.GetInt("frames", opts.full ? 20000 : 4000));
+  bench::PrintHeader("Fig. 3: estimator bias vs number of tags",
+                     "ICDCS'10 Fig. 3", opts);
+
+  anc::Pcg32 rng(opts.seed);
+  TextTable table({"N", "|Eq.16| w=1.414", "emp w=1.414", "|Eq.16| w=1.817",
+                   "emp w=1.817", "|Eq.16| w=2.213", "emp w=2.213"});
+  for (std::uint64_t n = 5000; n <= 40000; n += 5000) {
+    std::vector<std::string> row{TextTable::Int(static_cast<long long>(n))};
+    for (double omega : {1.414, 1.817, 2.213}) {
+      row.push_back(TextTable::Num(
+          std::abs(analysis::EstimatorRelativeBias(n, omega, 30)), 4));
+      row.push_back(
+          TextTable::Num(std::abs(EmpiricalBias(n, omega, 30, frames, rng)),
+                         4));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Shape check: both columns per omega are flat in N and stay in the\n"
+      "~0.008-0.025 band; larger omega gives larger bias, as in Fig. 3.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 4: expected numbers of empty (n0), singleton (n1) and collision
+// (nc) slots in a frame of f = 30 at p = 1.414/N, versus N.
+//
+// Paper reference: E(n0) decreasing toward 30*e^-1.414 ~ 7.3, E(n1)
+// peaking then flattening ~10.4, E(nc) rising toward ~12.4; E(n1) is
+// non-monotone in N, which is why n1 cannot drive the estimator.
+#include "bench_common.h"
+
+#include "analysis/slot_model.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace anc;
+  const CliArgs args(argc, argv);
+  const auto opts = bench::ParseHarness(args, 10);
+  const auto frames = static_cast<std::size_t>(
+      args.GetInt("frames", opts.full ? 40000 : 8000));
+  bench::PrintHeader("Fig. 4: expected slot composition vs N",
+                     "ICDCS'10 Fig. 4", opts);
+
+  anc::Pcg32 rng(opts.seed);
+  TextTable table({"N", "E(n0)", "emp n0", "E(n1)", "emp n1", "E(nc)",
+                   "emp nc"});
+
+  std::vector<std::uint64_t> ns{5,    20,   100,  1000, 5000,
+                                10000, 20000, 30000, 40000};
+  double prev_n1 = -1.0;
+  bool n1_nonmonotone = false;
+  for (std::uint64_t n : ns) {
+    const double p = 1.414 / static_cast<double>(std::max<std::uint64_t>(n, 1));
+    const auto expected = analysis::ExpectedSlotComposition(n, p, 30);
+    RunningStats n0, n1, nc;
+    for (std::size_t i = 0; i < frames / 30; ++i) {
+      std::uint64_t e = 0, s = 0, c = 0;
+      for (int slot = 0; slot < 30; ++slot) {
+        const std::uint64_t k = rng.Binomial(n, p);
+        (k == 0 ? e : k == 1 ? s : c) += 1;
+      }
+      n0.Add(static_cast<double>(e));
+      n1.Add(static_cast<double>(s));
+      nc.Add(static_cast<double>(c));
+    }
+    if (prev_n1 >= 0.0 && expected.expected_singleton < prev_n1 - 1e-9) {
+      n1_nonmonotone = true;
+    }
+    prev_n1 = expected.expected_singleton;
+    table.AddRow({TextTable::Int(static_cast<long long>(n)),
+                  TextTable::Num(expected.expected_empty, 2),
+                  TextTable::Num(n0.mean(), 2),
+                  TextTable::Num(expected.expected_singleton, 2),
+                  TextTable::Num(n1.mean(), 2),
+                  TextTable::Num(expected.expected_collision, 2),
+                  TextTable::Num(nc.mean(), 2)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "E(n1) non-monotone in N: %s (the paper's reason for estimating\n"
+      "from nc rather than n1).\n",
+      n1_nonmonotone ? "yes" : "NO — check the model!");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 6: FCAT reading throughput versus frame size f, N = 10000.
+//
+// Paper reference: throughput stabilizes once f >= 10 and stays flat out
+// to f = 200 for all three lambda values.
+#include "bench_common.h"
+
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace anc;
+  const CliArgs args(argc, argv);
+  const auto opts = bench::ParseHarness(args, 6);
+  const auto n = static_cast<std::size_t>(args.GetInt("tags", 10000));
+  bench::PrintHeader("Fig. 6: throughput vs frame size",
+                     "ICDCS'10 Fig. 6", opts);
+
+  std::vector<std::uint64_t> frame_sizes{2, 4, 6, 10, 20, 30, 60, 100, 200};
+  if (opts.full) {
+    frame_sizes = {2, 4, 6, 8, 10, 15, 20, 30, 40, 60, 80, 100, 140, 200};
+  }
+
+  const phy::TimingModel timing = phy::TimingModel::ICode();
+  TextTable table({"f", "FCAT-2", "FCAT-3", "FCAT-4"});
+  double at_f10[3] = {0, 0, 0};
+  double at_f200[3] = {0, 0, 0};
+  for (std::uint64_t f : frame_sizes) {
+    std::vector<std::string> row{TextTable::Int(static_cast<long long>(f))};
+    int idx = 0;
+    for (unsigned lambda : {2u, 3u, 4u}) {
+      auto o = bench::FcatFor(lambda, timing);
+      o.frame_size = f;
+      o.initial_estimate = static_cast<double>(n);
+      const double tp =
+          bench::Run(core::MakeFcatFactory(o), n, opts).throughput.mean();
+      row.push_back(TextTable::Num(tp, 1));
+      if (f == 10) at_f10[idx] = tp;
+      if (f == 200) at_f200[idx] = tp;
+      ++idx;
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Stability check (f=10 vs f=200): FCAT-2 %.1f vs %.1f, FCAT-3 %.1f "
+      "vs %.1f, FCAT-4 %.1f vs %.1f\n",
+      at_f10[0], at_f200[0], at_f10[1], at_f200[1], at_f10[2], at_f200[2]);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation (Section VI-A): throughput versus the ANC decoder capability
+// lambda, quantifying the "quickly shrinking margin of improvement".
+//
+// Paper reference at N = 10000: FCAT-2 201.3, FCAT-3 241.8, FCAT-4 265.1,
+// FCAT-5 270.9 — the lambda 4 -> 5 step is already marginal.
+#include "bench_common.h"
+
+#include "analysis/omega.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace anc;
+  const CliArgs args(argc, argv);
+  const auto opts = bench::ParseHarness(args, 8);
+  const auto n = static_cast<std::size_t>(args.GetInt("tags", 10000));
+  bench::PrintHeader("Ablation: diminishing returns in lambda",
+                     "ICDCS'10 Section VI-A", opts);
+
+  const phy::TimingModel timing = phy::TimingModel::ICode();
+  TextTable table({"lambda", "omega*", "useful-slot prob", "tags/sec",
+                   "gain vs lambda-1"});
+  double prev = 0.0;
+  for (unsigned lambda = 2; lambda <= 6; ++lambda) {
+    auto o = bench::FcatFor(lambda, timing);
+    o.initial_estimate = static_cast<double>(n);
+    const double tp =
+        bench::Run(core::MakeFcatFactory(o), n, opts).throughput.mean();
+    const double w = analysis::OptimalOmega(lambda);
+    table.AddRow({TextTable::Int(lambda), TextTable::Num(w, 3),
+                  TextTable::Num(analysis::UsefulSlotProbability(w, lambda), 3),
+                  TextTable::Num(tp, 1),
+                  prev > 0.0 ? TextTable::Num(tp - prev, 1) : "-"});
+    prev = tp;
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Expected shape: each extra lambda buys less; beyond lambda=4 the\n"
+      "gain is a few tags/sec — 'a large value of lambda is practically\n"
+      "unnecessary'.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Ablation (Section IV-E): robustness to unresolvable collision slots.
+//
+// Part 1 (abstract): FCAT-2 throughput as the per-record resolution
+// success probability drops from 1.0 to 0.0. The paper's claim: "as long
+// as most 2-collision slots can be resolved, the proposed protocol still
+// achieves much higher reading throughput", degrading toward
+// contention-only performance, never below it catastrophically.
+//
+// Part 2 (waveform): resolution success of real ANC subtraction versus
+// reader SNR, grounding the abstract success probability in signal
+// processing.
+#include "bench_common.h"
+
+#include "common/table.h"
+#include "core/fcat.h"
+#include "signal/anc_resolver.h"
+#include "signal/channel.h"
+#include "signal/mixer.h"
+#include "signal/waveform_codec.h"
+
+namespace {
+
+using namespace anc;
+
+double MeasureResolveRate(double snr_db, int trials, anc::Pcg32& rng,
+                          signal::SubtractionMode mode) {
+  const signal::WaveformCodec codec(8, 8);
+  const signal::AncResolver resolver(mode, 8);
+  const double noise = signal::NoisePowerForSnrDb(1.0, snr_db);
+  int ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    TagId a = TagId::FromPayload(static_cast<std::uint16_t>(rng() & 0xFFFF),
+                                 (std::uint64_t(rng()) << 32) | rng());
+    TagId b = TagId::FromPayload(static_cast<std::uint16_t>(rng() & 0xFFFF),
+                                 (std::uint64_t(rng()) << 32) | rng());
+    const auto ch_a = signal::RandomChannel(rng, 0.6, 1.4);
+    const auto ch_b = signal::RandomChannel(rng, 0.6, 1.4);
+    const auto clean_a = signal::ApplyChannel(codec.Encode(a), ch_a);
+    const auto clean_b = signal::ApplyChannel(codec.Encode(b), ch_b);
+    const signal::Buffer constituents[] = {clean_a, clean_b};
+    signal::Buffer mixed = signal::MixSignals(constituents);
+    signal::AddAwgn(mixed, noise, rng);
+    signal::Buffer ref = clean_a;
+    signal::AddAwgn(ref, noise, rng);
+
+    const signal::Buffer refs[] = {ref};
+    const auto result = resolver.ResolveLast(mixed, refs, codec.frame_bits());
+    if (!result.demodulated) continue;
+    const auto id = codec.DecodeBits(result.bits);
+    if (id && *id == b) ++ok;
+  }
+  return static_cast<double>(ok) / trials;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto opts = bench::ParseHarness(args, 8);
+  const auto n = static_cast<std::size_t>(args.GetInt("tags", 5000));
+  bench::PrintHeader("Ablation: unresolvable collision slots",
+                     "ICDCS'10 Section IV-E", opts);
+
+  const phy::TimingModel timing = phy::TimingModel::ICode();
+
+  std::printf("Part 1 — throughput vs resolution success probability "
+              "(FCAT-2, N = %zu):\n\n", n);
+  TextTable part1({"P(resolve)", "tags/sec", "IDs from collisions",
+                   "slots"});
+  for (double prob : {1.0, 0.9, 0.7, 0.5, 0.3, 0.0}) {
+    auto o = bench::FcatFor(2, timing);
+    o.resolution_success_prob = prob;
+    o.initial_estimate = static_cast<double>(n);
+    const auto result = bench::Run(core::MakeFcatFactory(o), n, opts);
+    part1.AddRow({TextTable::Num(prob, 1),
+                  TextTable::Num(result.throughput.mean(), 1),
+                  TextTable::Num(result.ids_from_collisions.mean(), 0),
+                  TextTable::Num(result.total_slots.mean(), 0)});
+  }
+  std::printf("%s\n", part1.Render().c_str());
+
+  std::printf("Part 2 — measured ANC resolution success vs SNR "
+              "(2-collisions, real waveforms):\n\n");
+  const int trials = opts.full ? 400 : 120;
+  anc::Pcg32 rng(opts.seed);
+  TextTable part2({"SNR (dB)", "direct subtraction", "least squares"});
+  for (double snr : {0.0, 5.0, 10.0, 15.0, 20.0, 30.0}) {
+    part2.AddRow({TextTable::Num(snr, 0),
+                  TextTable::Num(MeasureResolveRate(
+                                     snr, trials, rng,
+                                     signal::SubtractionMode::kDirect),
+                                 2),
+                  TextTable::Num(MeasureResolveRate(
+                                     snr, trials, rng,
+                                     signal::SubtractionMode::kLeastSquares),
+                                 2)});
+  }
+  std::printf("%s\n", part2.Render().c_str());
+  std::printf(
+      "Reading Part 2 into Part 1: above ~15 dB nearly all 2-collision\n"
+      "records resolve, so FCAT operates at its P(resolve)=1 throughput;\n"
+      "at P(resolve)=0 it degrades to contention-only reading.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation (Sections IV vs V): SCAT against FCAT across population sizes.
+// Both mine collision slots identically; the throughput gap is entirely
+// the framing overhead FCAT removes (per-slot advertisements and 96-bit
+// ID acknowledgements) plus the removed estimation pre-step.
+#include "bench_common.h"
+
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace anc;
+  const CliArgs args(argc, argv);
+  const auto opts = bench::ParseHarness(args, 8);
+  bench::PrintHeader("Ablation: SCAT vs FCAT", "ICDCS'10 Sections IV-V",
+                     opts);
+
+  const phy::TimingModel timing = phy::TimingModel::ICode();
+  TextTable table({"N", "SCAT-2 (oracle N)", "SCAT-2 (+pre-step)",
+                   "FCAT-2", "SCAT slots", "FCAT slots", "FCAT advantage"});
+  std::vector<std::size_t> populations{1000, 5000, 10000};
+  if (opts.full) populations = {1000, 2000, 5000, 10000, 20000};
+
+  for (std::size_t n : populations) {
+    core::ScatOptions scat;
+    scat.timing = timing;
+    core::ScatOptions scat_paid = scat;
+    scat_paid.estimation_prestep = true;
+    auto fcat = bench::FcatFor(2, timing);
+    fcat.initial_estimate = static_cast<double>(n);
+    const auto s = bench::Run(core::MakeScatFactory(scat), n, opts);
+    const auto sp = bench::Run(core::MakeScatFactory(scat_paid), n, opts);
+    const auto f = bench::Run(core::MakeFcatFactory(fcat), n, opts);
+    table.AddRow(
+        {TextTable::Int(static_cast<long long>(n)),
+         TextTable::Num(s.throughput.mean(), 1),
+         TextTable::Num(sp.throughput.mean(), 1),
+         TextTable::Num(f.throughput.mean(), 1),
+         TextTable::Num(s.total_slots.mean(), 0),
+         TextTable::Num(f.total_slots.mean(), 0),
+         TextTable::Num(
+             100.0 * (f.throughput.mean() / sp.throughput.mean() - 1.0),
+             1) +
+             "%"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Slot counts match (same collision-aware core); the wall-clock gap\n"
+      "is the Section V-A overhead accounting plus the estimation\n"
+      "pre-step FCAT's embedded estimator removes.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Microbenchmarks of the signal-processing substrate (google-benchmark):
+// the per-slot costs a reader implementation would pay — MSK modulation,
+// demodulation, mixing, amplitude estimation, and full ANC resolution.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/tag_id.h"
+#include "core/factories.h"
+#include "signal/anc_resolver.h"
+#include "signal/channel.h"
+#include "signal/energy_estimator.h"
+#include "signal/mixer.h"
+#include "signal/waveform_codec.h"
+#include "sim/population.h"
+
+namespace {
+
+using namespace anc;
+
+TagId RandomId(Pcg32& rng) {
+  return TagId::FromPayload(static_cast<std::uint16_t>(rng() & 0xFFFF),
+                            (std::uint64_t(rng()) << 32) | rng());
+}
+
+void BM_MskModulate(benchmark::State& state) {
+  Pcg32 rng(1);
+  const signal::WaveformCodec codec(static_cast<int>(state.range(0)), 8);
+  const TagId id = RandomId(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Encode(id));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MskModulate)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_MskDemodulateDecode(benchmark::State& state) {
+  Pcg32 rng(2);
+  const signal::WaveformCodec codec(8, 8);
+  const TagId id = RandomId(rng);
+  auto wave = signal::ApplyChannel(codec.Encode(id),
+                                   signal::RandomChannel(rng));
+  signal::AddAwgn(wave, signal::NoisePowerForSnrDb(1.0, 20.0), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Decode(wave));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MskDemodulateDecode);
+
+void BM_MixKSignals(benchmark::State& state) {
+  Pcg32 rng(3);
+  const signal::WaveformCodec codec(8, 8);
+  std::vector<signal::Buffer> waves;
+  for (int i = 0; i < state.range(0); ++i) {
+    waves.push_back(signal::ApplyChannel(codec.Encode(RandomId(rng)),
+                                         signal::RandomChannel(rng)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::MixSignals(waves));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MixKSignals)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_EnergyAmplitudeEstimate(benchmark::State& state) {
+  Pcg32 rng(4);
+  const signal::WaveformCodec codec(8, 8);
+  const signal::Buffer waves[] = {
+      signal::ApplyChannel(codec.Encode(RandomId(rng)),
+                           signal::RandomChannel(rng)),
+      signal::ApplyChannel(codec.Encode(RandomId(rng)),
+                           signal::RandomChannel(rng))};
+  const signal::Buffer mixed = signal::MixSignals(waves);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::EstimateTwoAmplitudes(mixed));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnergyAmplitudeEstimate);
+
+void BM_AncResolve(benchmark::State& state) {
+  Pcg32 rng(5);
+  const signal::WaveformCodec codec(8, 8);
+  const auto mode = static_cast<signal::SubtractionMode>(state.range(0));
+  const signal::AncResolver resolver(mode, 8);
+  const signal::Buffer waves[] = {
+      signal::ApplyChannel(codec.Encode(RandomId(rng)),
+                           signal::RandomChannel(rng)),
+      signal::ApplyChannel(codec.Encode(RandomId(rng)),
+                           signal::RandomChannel(rng))};
+  signal::Buffer mixed = signal::MixSignals(waves);
+  signal::AddAwgn(mixed, signal::NoisePowerForSnrDb(1.0, 25.0), rng);
+  signal::Buffer ref = waves[0];
+  signal::AddAwgn(ref, signal::NoisePowerForSnrDb(1.0, 25.0), rng);
+  const signal::Buffer refs[] = {ref};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resolver.ResolveLast(mixed, refs, codec.frame_bits()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AncResolve)
+    ->Arg(static_cast<int>(signal::SubtractionMode::kDirect))
+    ->Arg(static_cast<int>(signal::SubtractionMode::kLeastSquares))
+    ->Arg(static_cast<int>(signal::SubtractionMode::kEnergy));
+
+// Simulator-side costs: a full reading process per iteration. These are
+// what make the paper-scale sweeps (100 runs x 20 populations) cheap.
+void BM_FcatFullRead(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Pcg32 pop_rng(42);
+  const auto population = anc::sim::MakePopulation(n, pop_rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    anc::core::FcatOptions options;
+    options.initial_estimate = static_cast<double>(n);
+    anc::core::Fcat fcat(population, Pcg32(++seed), options);
+    while (!fcat.Finished()) fcat.Step();
+    benchmark::DoNotOptimize(fcat.metrics().tags_read);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FcatFullRead)->Arg(1000)->Arg(10000);
+
+void BM_DfsaFullRead(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Pcg32 pop_rng(42);
+  const auto population = anc::sim::MakePopulation(n, pop_rng);
+  std::uint64_t seed = 0;
+  const auto factory = anc::core::MakeDfsaFactory();
+  for (auto _ : state) {
+    auto protocol = factory(population, Pcg32(++seed));
+    while (!protocol->Finished()) protocol->Step();
+    benchmark::DoNotOptimize(protocol->metrics().tags_read);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DfsaFullRead)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Ablation (Section II-B): "it is very difficult to synchronize
+// transmissions between wireless nodes ... whereas transmissions in a
+// RFID system can be synchronized by the reader's signal."
+//
+// This harness quantifies that claim on the waveform phy: FCAT-2's
+// collision-record yield as residual timing jitter (samples of relative
+// misalignment between collided constituents) and per-tag carrier
+// frequency offset grow. With perfect sync ANC resolves nearly all
+// 2-collisions; desynchronization pushes FCAT back toward contention-only
+// reading — gracefully, per Section IV-E.
+#include "bench_common.h"
+
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace anc;
+  const CliArgs args(argc, argv);
+  const auto opts = bench::ParseHarness(args, 4);
+  const auto n = static_cast<std::size_t>(args.GetInt("tags", 150));
+  bench::PrintHeader("Ablation: synchronization sensitivity of ANC",
+                     "ICDCS'10 Section II-B", opts);
+
+  auto run_with = [&](unsigned jitter, double cfo,
+                      signal::SubtractionMode mode) {
+    core::FcatSignalOptions o;
+    o.signal.snr_db = 25.0;
+    o.signal.max_timing_jitter_samples = jitter;
+    o.signal.max_cfo_per_sample = cfo;
+    o.signal.subtraction = mode;
+    sim::ExperimentOptions eo;
+    eo.n_tags = n;
+    eo.runs = opts.runs;
+    eo.base_seed = opts.seed;
+    eo.max_slots_per_tag = 600;
+    return sim::RunExperiment(core::MakeFcatSignalFactory(o), eo);
+  };
+
+  std::printf("Timing jitter (samples @ 8 samples/bit), N = %zu:\n\n", n);
+  TextTable jitter_table(
+      {"jitter", "tags/sec", "IDs from collisions", "slots/tag"});
+  for (unsigned jitter : {0u, 1u, 2u, 4u, 8u, 16u}) {
+    const auto agg =
+        run_with(jitter, 0.0, signal::SubtractionMode::kDirect);
+    jitter_table.AddRow(
+        {TextTable::Int(jitter), TextTable::Num(agg.throughput.mean(), 1),
+         TextTable::Num(agg.ids_from_collisions.mean(), 0),
+         TextTable::Num(agg.total_slots.mean() / static_cast<double>(n),
+                        2)});
+  }
+  std::printf("%s\n", jitter_table.Render().c_str());
+
+  std::printf(
+      "Carrier frequency offset (rad/sample; the reference's phase drifts\n"
+      "between its capture slot and the record's slot). Least-squares\n"
+      "subtraction re-fits a complex scale and so tolerates what pure\n"
+      "subtraction cannot:\n\n");
+  TextTable cfo_table({"max CFO", "direct: IDs from coll",
+                       "least-squares: IDs from coll"});
+  for (double cfo : {0.0, 0.0005, 0.002, 0.008, 0.03}) {
+    const auto direct =
+        run_with(0, cfo, signal::SubtractionMode::kDirect);
+    const auto ls =
+        run_with(0, cfo, signal::SubtractionMode::kLeastSquares);
+    cfo_table.AddRow({TextTable::Num(cfo, 4),
+                      TextTable::Num(direct.ids_from_collisions.mean(), 0),
+                      TextTable::Num(ls.ids_from_collisions.mean(), 0)});
+  }
+  std::printf("%s\n", cfo_table.Render().c_str());
+  std::printf(
+      "Expected shape: collision yield collapses as misalignment grows\n"
+      "(subtraction residue swamps the remaining constituent), while\n"
+      "every tag is still eventually read through singleton slots.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Walks through the paper's Fig. 1 mechanic on real MSK waveforms:
+//
+//   slot 0: tags t1 and t4 collide           -> reader stores mixed signal
+//   slot 1: t2 and t3 collide                -> reader stores mixed signal
+//   slot 2: t1 transmits alone               -> reader learns t1, subtracts
+//                                               its waveform from slot 0's
+//                                               record and recovers t4
+//   slot 3: t3 transmits alone               -> reader learns t3, recovers
+//                                               t2 from slot 1's record
+//
+// Four IDs in four slots — the contention-only alternative (Fig. 1a)
+// needed eleven. Every step below runs actual modulation, channel models,
+// AWGN, signal subtraction and CRC checks.
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "signal/anc_resolver.h"
+#include "signal/channel.h"
+#include "signal/energy_estimator.h"
+#include "signal/mixer.h"
+#include "signal/waveform_codec.h"
+
+using namespace anc;
+
+namespace {
+
+TagId MakeTag(Pcg32& rng) {
+  return TagId::FromPayload(static_cast<std::uint16_t>(rng() & 0xFFFF),
+                            (std::uint64_t(rng()) << 32) | rng());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const double snr_db = args.GetDouble("snr", 25.0);
+  Pcg32 rng(static_cast<std::uint64_t>(args.GetInt("seed", 7)));
+
+  const signal::WaveformCodec codec(8, 8);
+  const signal::AncResolver resolver(signal::SubtractionMode::kLeastSquares,
+                                     8);
+  const double noise = signal::NoisePowerForSnrDb(1.0, snr_db);
+
+  // Four static tags, each with its own channel to the reader.
+  TagId t[5];
+  signal::ChannelParams ch[5];
+  for (int i = 1; i <= 4; ++i) {
+    t[i] = MakeTag(rng);
+    ch[i] = signal::RandomChannel(rng, 0.6, 1.4);
+    std::printf("t%d = %s   (channel gain %.2f, phase %.2f rad)\n", i,
+                t[i].ToHex().c_str(), ch[i].gain, ch[i].phase);
+  }
+  auto transmit = [&](int i) {
+    return signal::ApplyChannel(codec.Encode(t[i]), ch[i]);
+  };
+
+  // Slot 0: t1 + t4 collide.
+  const signal::Buffer slot0_constituents[] = {transmit(1), transmit(4)};
+  signal::Buffer record0 = signal::MixSignals(slot0_constituents);
+  signal::AddAwgn(record0, noise, rng);
+  const auto est0 = signal::EstimateTwoAmplitudes(record0);
+  std::printf(
+      "\nslot 0: COLLISION (t1+t4). CRC fails; mixed signal stored.\n"
+      "        energy statistics: mu=%.3f sigma=%.3f -> constituent "
+      "amplitudes ~%.2f and ~%.2f\n",
+      est0.mu, est0.sigma, est0.stronger, est0.weaker);
+
+  // Slot 1: t2 + t3 collide.
+  const signal::Buffer slot1_constituents[] = {transmit(2), transmit(3)};
+  signal::Buffer record1 = signal::MixSignals(slot1_constituents);
+  signal::AddAwgn(record1, noise, rng);
+  std::printf("slot 1: COLLISION (t2+t3). Mixed signal stored.\n");
+
+  // Slot 2: singleton t1.
+  signal::Buffer rx1 = transmit(1);
+  signal::AddAwgn(rx1, noise, rng);
+  const auto id1 = codec.Decode(rx1);
+  std::printf("slot 2: SINGLETON -> decoded %s (%s)\n",
+              id1 ? id1->ToHex().c_str() : "?",
+              id1 && *id1 == t[1] ? "t1, CRC ok" : "UNEXPECTED");
+
+  // Resolve record 0 with t1's received waveform.
+  const signal::Buffer refs0[] = {rx1};
+  const auto res0 = resolver.ResolveLast(record0, refs0, codec.frame_bits());
+  const auto id4 = codec.DecodeBits(res0.bits);
+  std::printf(
+      "        subtracting t1 from slot-0 record: residual power %.3f -> "
+      "decoded %s (%s)\n",
+      res0.residual_power, id4 ? id4->ToHex().c_str() : "?",
+      id4 && *id4 == t[4] ? "t4 recovered by ANC!" : "resolution failed");
+
+  // Slot 3: singleton t3.
+  signal::Buffer rx3 = transmit(3);
+  signal::AddAwgn(rx3, noise, rng);
+  const auto id3 = codec.Decode(rx3);
+  std::printf("slot 3: SINGLETON -> decoded %s (%s)\n",
+              id3 ? id3->ToHex().c_str() : "?",
+              id3 && *id3 == t[3] ? "t3, CRC ok" : "UNEXPECTED");
+
+  const signal::Buffer refs1[] = {rx3};
+  const auto res1 = resolver.ResolveLast(record1, refs1, codec.frame_bits());
+  const auto id2 = codec.DecodeBits(res1.bits);
+  std::printf(
+      "        subtracting t3 from slot-1 record: residual power %.3f -> "
+      "decoded %s (%s)\n",
+      res1.residual_power, id2 ? id2->ToHex().c_str() : "?",
+      id2 && *id2 == t[2] ? "t2 recovered by ANC!" : "resolution failed");
+
+  const int recovered = (id1 && *id1 == t[1]) + (id2 && *id2 == t[2]) +
+                        (id3 && *id3 == t[3]) + (id4 && *id4 == t[4]);
+  std::printf(
+      "\n%d/4 IDs collected in 4 slots at %.0f dB SNR. A contention-only\n"
+      "protocol discards both collision slots and needs ~e slots per tag.\n",
+      recovered, snr_db);
+  return recovered == 4 ? 0 : 1;
+}

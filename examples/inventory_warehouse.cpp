@@ -1,0 +1,73 @@
+// The paper's motivating scenario (Section I): periodic inventory of a
+// large warehouse with battery-powered active tags, to guard against
+// administration error, vendor fraud and employee theft.
+//
+// The reader's range does not cover the whole warehouse, so the inventory
+// reads at several positions and de-duplicates IDs covered by more than
+// one reading (Section II-A) — the anc::multi library module. This
+// example compares the end-to-end inventory time of an ANC-based reader
+// (FCAT-2) against a DFSA reader over the same coverage plan.
+//
+//   ./inventory_warehouse [--tags=12000] [--positions=4] [--overlap=0.15]
+#include <cstdio>
+
+#include "common/cli.h"
+#include "core/factories.h"
+#include "multi/inventory.h"
+#include "sim/population.h"
+
+using namespace anc;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto n_tags = static_cast<std::size_t>(args.GetInt("tags", 12000));
+  const multi::CoverageModel model{
+      static_cast<std::size_t>(args.GetInt("positions", 4)),
+      args.GetDouble("overlap", 0.15)};
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+
+  anc::Pcg32 pop_rng(seed);
+  const auto warehouse = sim::MakePopulation(n_tags, pop_rng);
+  const phy::TimingModel timing = phy::TimingModel::ICode();
+
+  std::printf(
+      "Warehouse inventory: %zu tags, %zu reader positions, %.0f%% "
+      "coverage overlap\n\n",
+      n_tags, model.positions, model.overlap_fraction * 100.0);
+
+  core::FcatOptions fcat;
+  fcat.lambda = 2;
+  fcat.timing = timing;
+  const auto fcat_result = multi::RunInventory(
+      warehouse, model, core::MakeFcatFactory(fcat), seed);
+  const auto dfsa_result = multi::RunInventory(
+      warehouse, model, core::MakeDfsaFactory(timing), seed);
+
+  auto report = [&](const char* name, const multi::InventoryResult& r) {
+    std::printf(
+        "%-6s  %zu/%zu unique IDs, %zu duplicate reads removed, total air "
+        "time %.1f s\n",
+        name, r.unique_ids, n_tags, r.duplicate_reads, r.total_seconds);
+    for (std::size_t pos = 0; pos < r.per_position.size(); ++pos) {
+      const auto& m = r.per_position[pos];
+      std::printf(
+          "        position %zu: %llu tags in %llu slots (%llu recovered "
+          "from collisions)\n",
+          pos, static_cast<unsigned long long>(m.tags_read),
+          static_cast<unsigned long long>(m.TotalSlots()),
+          static_cast<unsigned long long>(m.ids_from_collisions));
+    }
+  };
+  report("FCAT-2", fcat_result);
+  report("DFSA", dfsa_result);
+
+  if (!fcat_result.complete || !dfsa_result.complete) {
+    std::printf("\nERROR: inventory incomplete\n");
+    return 1;
+  }
+  std::printf(
+      "\nANC-based reading finishes the same inventory %.0f%% faster —\n"
+      "the collision slots DFSA discards carried ~40%% of the IDs.\n",
+      100.0 * (dfsa_result.total_seconds / fcat_result.total_seconds - 1.0));
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Compares every protocol in the library on one population: the paper's
+// Table I as a single-command demo, plus the analytic bounds each family
+// is governed by.
+//
+//   ./protocol_shootout [--tags=5000] [--runs=5] [--seed=1]
+#include <cstdio>
+
+#include "analysis/bounds.h"
+#include "analysis/omega.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/factories.h"
+#include "sim/runner.h"
+
+using namespace anc;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto n_tags = static_cast<std::size_t>(args.GetInt("tags", 5000));
+  sim::ExperimentOptions opts;
+  opts.n_tags = n_tags;
+  opts.runs = static_cast<std::size_t>(args.GetInt("runs", 5));
+  opts.base_seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+
+  const phy::TimingModel timing = phy::TimingModel::ICode();
+  std::printf("Protocol shootout: %zu tags, %zu runs, %.2f ms slots\n\n",
+              n_tags, opts.runs, timing.SlotSeconds() * 1e3);
+
+  struct Entry {
+    std::string name;
+    sim::ProtocolFactory factory;
+    const char* family;
+  };
+  std::vector<Entry> entries;
+  for (unsigned lambda : {2u, 3u, 4u}) {
+    core::FcatOptions o;
+    o.lambda = lambda;
+    o.timing = timing;
+    o.initial_estimate = static_cast<double>(n_tags);
+    entries.push_back({"FCAT-" + std::to_string(lambda),
+                       core::MakeFcatFactory(o), "collision-aware (ANC)"});
+  }
+  {
+    core::ScatOptions o;
+    o.timing = timing;
+    entries.push_back(
+        {"SCAT-2", core::MakeScatFactory(o), "collision-aware (ANC)"});
+  }
+  entries.push_back({"DFSA", core::MakeDfsaFactory(timing), "ALOHA"});
+  entries.push_back({"EDFSA", core::MakeEdfsaFactory(timing), "ALOHA"});
+  entries.push_back({"ALOHA", core::MakeAlohaFactory(timing), "ALOHA"});
+  entries.push_back({"ABS", core::MakeAbsFactory(timing), "tree"});
+  entries.push_back({"AQS", core::MakeAqsFactory(timing), "tree"});
+
+  TextTable table({"protocol", "family", "tags/sec", "ci95", "slots/tag",
+                   "IDs from collisions"});
+  for (const auto& entry : entries) {
+    const auto agg = sim::RunExperiment(entry.factory, opts);
+    table.AddRow(
+        {entry.name, entry.family,
+         TextTable::Num(agg.throughput.mean(), 1),
+         "+-" + TextTable::Num(agg.throughput.ci95_halfwidth(), 1),
+         TextTable::Num(agg.total_slots.mean() / static_cast<double>(n_tags),
+                        2),
+         TextTable::Num(agg.ids_from_collisions.mean(), 0)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  const double t = timing.SlotSeconds();
+  std::printf("Family limits at this slot length:\n");
+  std::printf("  ALOHA bound 1/(eT)        = %6.1f tags/s\n",
+              analysis::AlohaBoundThroughput(t));
+  std::printf("  tree bound  1/(2.88T)     = %6.1f tags/s\n",
+              analysis::TreeBoundThroughput(t));
+  for (unsigned lambda : {2u, 4u}) {
+    std::printf("  FCAT-%u zero-overhead cap  = %6.1f tags/s\n", lambda,
+                analysis::FcatPredictedThroughput(
+                    analysis::OptimalOmega(lambda), lambda, t, 30, 0.0, 0.0,
+                    0.0));
+  }
+  return 0;
+}

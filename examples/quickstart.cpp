@@ -1,0 +1,62 @@
+// Quickstart: read a population of tags with FCAT-2 and compare against
+// the classic DFSA baseline.
+//
+//   ./quickstart [--tags=5000] [--lambda=2] [--seed=1]
+//
+// This is the minimal end-to-end use of the library: build a population,
+// pick a protocol factory, run it, inspect the metrics.
+#include <cstdio>
+
+#include "analysis/bounds.h"
+#include "common/cli.h"
+#include "core/factories.h"
+#include "sim/runner.h"
+
+int main(int argc, char** argv) {
+  const anc::CliArgs args(argc, argv);
+  const auto n_tags = static_cast<std::size_t>(args.GetInt("tags", 5000));
+  const auto lambda = static_cast<unsigned>(args.GetInt("lambda", 2));
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+
+  const anc::phy::TimingModel timing = anc::phy::TimingModel::ICode();
+
+  anc::core::FcatOptions fcat;
+  fcat.lambda = lambda;
+  fcat.timing = timing;
+
+  const anc::sim::RunMetrics fcat_run = anc::sim::RunOnce(
+      anc::core::MakeFcatFactory(fcat), n_tags, seed);
+  const anc::sim::RunMetrics dfsa_run = anc::sim::RunOnce(
+      anc::core::MakeDfsaFactory(timing), n_tags, seed);
+
+  std::printf("Reading %zu tags over a %.2f ms slot channel\n\n", n_tags,
+              timing.SlotSeconds() * 1e3);
+
+  auto report = [](const char* name, const anc::sim::RunMetrics& m) {
+    std::printf("%-8s  read %llu tags in %.2f s  ->  %.1f tags/s\n", name,
+                static_cast<unsigned long long>(m.tags_read),
+                m.elapsed_seconds, m.Throughput());
+    std::printf(
+        "          slots: %llu total (%llu empty, %llu singleton, %llu "
+        "collision), %llu IDs recovered from collision slots\n",
+        static_cast<unsigned long long>(m.TotalSlots()),
+        static_cast<unsigned long long>(m.empty_slots),
+        static_cast<unsigned long long>(m.singleton_slots),
+        static_cast<unsigned long long>(m.collision_slots),
+        static_cast<unsigned long long>(m.ids_from_collisions));
+  };
+
+  char fcat_name[32];
+  std::snprintf(fcat_name, sizeof(fcat_name), "FCAT-%u", lambda);
+  report(fcat_name, fcat_run);
+  report("DFSA", dfsa_run);
+
+  const double aloha_limit =
+      anc::analysis::AlohaBoundThroughput(timing.SlotSeconds());
+  std::printf(
+      "\nALOHA-family ceiling 1/(eT) = %.1f tags/s; FCAT-%u gets %.1f%% "
+      "above it by mining collision slots.\n",
+      aloha_limit, lambda,
+      100.0 * (fcat_run.Throughput() / aloha_limit - 1.0));
+  return 0;
+}

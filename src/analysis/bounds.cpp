@@ -1,0 +1,44 @@
+#include "analysis/bounds.h"
+
+#include <cmath>
+
+#include "analysis/omega.h"
+#include "analysis/poisson.h"
+
+namespace anc::analysis {
+
+double AlohaBoundThroughput(double slot_seconds) {
+  return 1.0 / (M_E * slot_seconds);
+}
+
+double TreeBoundThroughput(double slot_seconds) {
+  return 1.0 / (2.88 * slot_seconds);
+}
+
+double FcatPredictedThroughput(double omega, unsigned lambda,
+                               double slot_seconds, std::uint64_t frame_size,
+                               double frame_overhead_seconds,
+                               double resolve_overhead_seconds,
+                               double resolved_fraction) {
+  const double s = UsefulSlotProbability(omega, lambda);
+  if (s <= 0.0) return 0.0;
+  // Seconds per identified tag: 1/s slots, amortized frame advert, and the
+  // extended acknowledgement for IDs recovered from collision records.
+  const double per_tag =
+      slot_seconds / s +
+      frame_overhead_seconds / (s * static_cast<double>(frame_size)) +
+      resolve_overhead_seconds * resolved_fraction;
+  return 1.0 / per_tag;
+}
+
+double CollisionRecoveredFraction(double omega, unsigned lambda) {
+  const double useful = UsefulSlotProbability(omega, lambda);
+  if (useful <= 0.0) return 0.0;
+  double collision_useful = 0.0;
+  for (unsigned k = 2; k <= lambda; ++k) {
+    collision_useful += PoissonPmf(omega, k);
+  }
+  return collision_useful / useful;
+}
+
+}  // namespace anc::analysis

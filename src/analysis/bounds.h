@@ -1,0 +1,39 @@
+// Throughput limits of the protocol families discussed in Sections I, II
+// and VII, plus a first-order predictor for FCAT used to sanity-check the
+// simulator:
+//   * ALOHA family:  1 / (e T)      — at the optimal load, 36.8% of slots
+//                                      are singletons (Roberts).
+//   * Tree family:   1 / (2.88 T)   — binary-tree splitting (Capetanakis).
+//   * FCAT:          s(omega, lambda) / T_eff, where s is the useful-slot
+//                      probability and T_eff folds in the framing overheads.
+#pragma once
+
+#include <cstdint>
+
+namespace anc::analysis {
+
+// Tags per second for an optimally loaded ALOHA protocol, slot length
+// `slot_seconds`.
+double AlohaBoundThroughput(double slot_seconds);
+
+// Tags per second for a binary-tree splitting protocol.
+double TreeBoundThroughput(double slot_seconds);
+
+// First-order FCAT prediction: each slot is useful with probability
+// s(omega, lambda), so reading N tags takes ~ N / s slots. Overheads are
+// passed explicitly to keep this module independent of the phy layer:
+//   frame_overhead_seconds    per `frame_size` slots (pre-frame advert)
+//   resolve_overhead_seconds  per ID recovered from a collision record
+//   resolved_fraction         fraction of IDs expected from collision slots
+double FcatPredictedThroughput(double omega, unsigned lambda,
+                               double slot_seconds, std::uint64_t frame_size,
+                               double frame_overhead_seconds,
+                               double resolve_overhead_seconds,
+                               double resolved_fraction);
+
+// Fraction of useful slots that are k-collisions (k in [2, lambda]) at load
+// omega: these are the IDs FCAT recovers *from collision records* (Table
+// III reports their absolute counts).
+double CollisionRecoveredFraction(double omega, unsigned lambda);
+
+}  // namespace anc::analysis

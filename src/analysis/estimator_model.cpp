@@ -1,0 +1,39 @@
+#include "analysis/estimator_model.h"
+
+#include <cmath>
+
+namespace anc::analysis {
+
+double EstimatorRelativeBias(std::uint64_t n_tags, double omega,
+                             std::uint64_t f) {
+  const auto n = static_cast<double>(n_tags);
+  const double p = omega / n;
+  const double numerator = 1.0 + omega - std::exp(omega);
+  const double denominator = 2.0 * static_cast<double>(f) * n *
+                             std::log1p(-p) * (1.0 + omega);
+  return numerator / denominator;
+}
+
+double EstimatorVariance(std::uint64_t n_tags, double omega,
+                         std::uint64_t f) {
+  const auto n = static_cast<double>(n_tags);
+  const double p = omega / n;
+  const double np = omega;
+  const double numerator =
+      (1.0 + np) * std::exp(np) - (1.0 + 2.0 * np + np * np);
+  return numerator / (static_cast<double>(f) * n * n * p * p * p * p);
+}
+
+double EstimatorRelativeVarianceEq12(double omega, std::uint64_t f) {
+  const double occupied = 1.0 - (1.0 + omega) * std::exp(-omega);
+  return occupied * std::exp(omega) /
+         (omega * omega * static_cast<double>(f) * (1.0 + omega));
+}
+
+double EstimatorRelativeVariance(double omega, std::uint64_t f) {
+  const double numerator =
+      (1.0 + omega) * std::exp(omega) - (1.0 + 2.0 * omega + omega * omega);
+  return numerator / (static_cast<double>(f) * omega * omega * omega * omega);
+}
+
+}  // namespace anc::analysis

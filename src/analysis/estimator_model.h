@@ -1,0 +1,39 @@
+// Analytic bias and variance of the embedded estimator (Section V-C and the
+// paper's appendix). These formulas generate Fig. 3 and the appendix
+// variance constants, and the unit tests compare them against Monte-Carlo
+// runs of the actual EmbeddedEstimator.
+#pragma once
+
+#include <cstdint>
+
+namespace anc::analysis {
+
+// Bias(N_hat / N) from Eq. 16:
+//   (1 + omega - e^omega) / (2 f N ln(1 - p) (1 + omega))
+// with p = omega / N. Negative of the relative over/under-shoot; Fig. 3
+// plots the absolute value.
+double EstimatorRelativeBias(std::uint64_t n_tags, double omega,
+                             std::uint64_t f);
+
+// V(N_hat) from Eq. 24:
+//   ((1+Np) e^{Np} - (1 + 2Np + N^2 p^2)) / (f N^2 p^4).
+double EstimatorVariance(std::uint64_t n_tags, double omega, std::uint64_t f);
+
+// V(N_hat / N) from Eq. 25 in the large-N limit where Np -> omega; the
+// appendix evaluates this to ~0.0342 / 0.0287 / 0.0265 for
+// omega = 1.414 / 1.817 / 2.213 at f = 30.
+//
+// Reproduction note: Eq. 25's delta-method derivation inverts Eq. 10 with
+// omega varying as N_hat * p. The protocol's actual estimator (Eq. 12)
+// holds omega at the design constant inside ln(1 - p + omega), which is
+// *less* sensitive to nc; its correct delta-method variance is
+// EstimatorRelativeVarianceEq12 below (~0.0117 at omega = 1.414, f = 30),
+// and Monte-Carlo runs of the estimator match that, not Eq. 25.
+double EstimatorRelativeVariance(double omega, std::uint64_t f);
+
+// Delta-method variance of the Eq. 12 estimator as implemented (constant
+// omega in the inversion):
+//   V(N_hat/N) = (1 - (1+w)e^-w) e^w / (w^2 f (1+w)).
+double EstimatorRelativeVarianceEq12(double omega, std::uint64_t f);
+
+}  // namespace anc::analysis

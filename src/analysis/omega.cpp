@@ -1,0 +1,72 @@
+#include "analysis/omega.h"
+
+#include <cmath>
+
+#include "analysis/poisson.h"
+
+namespace anc::analysis {
+namespace {
+
+constexpr double kGolden = 0.6180339887498949;
+
+// Golden-section maximization of f over [lo, hi].
+template <typename F>
+double GoldenMax(F f, double lo, double hi, int iters = 200) {
+  double a = lo, b = hi;
+  double x1 = b - kGolden * (b - a);
+  double x2 = a + kGolden * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  for (int i = 0; i < iters; ++i) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kGolden * (b - a);
+      f2 = f(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kGolden * (b - a);
+      f1 = f(x1);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace
+
+double UsefulSlotProbability(double omega, unsigned lambda) {
+  double sum = 0.0;
+  for (unsigned k = 1; k <= lambda; ++k) sum += PoissonPmf(omega, k);
+  return sum;
+}
+
+double OptimalOmega(unsigned lambda) {
+  if (lambda == 0) return 0.0;
+  // (lambda!)^{1/lambda} computed in log space.
+  const double log_fact = LogGamma(static_cast<double>(lambda) + 1.0);
+  return std::exp(log_fact / static_cast<double>(lambda));
+}
+
+double OptimalOmegaNumeric(unsigned lambda) {
+  return GoldenMax(
+      [lambda](double w) { return UsefulSlotProbability(w, lambda); }, 1e-6,
+      static_cast<double>(lambda) + 2.0);
+}
+
+double OptimalOmegaBinomial(std::uint64_t n, unsigned lambda) {
+  auto objective = [n, lambda](double p) {
+    double sum = 0.0;
+    for (unsigned k = 1; k <= lambda && k <= n; ++k) {
+      sum += BinomialPmf(n, p, k);
+    }
+    return sum;
+  };
+  const double hi = std::min(1.0, (static_cast<double>(lambda) + 2.0) /
+                                      static_cast<double>(n));
+  const double p_star = GoldenMax(objective, 1e-12, hi);
+  return p_star * static_cast<double>(n);
+}
+
+}  // namespace anc::analysis

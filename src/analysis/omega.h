@@ -1,0 +1,34 @@
+// Optimal report-probability analysis (Section IV-C of the paper).
+//
+// With N_i unidentified tags each transmitting with probability p_i, the
+// transmitter count is Binomial(N_i, p_i) ~= Poisson(omega), omega = N_i p_i.
+// A slot is *useful* when 1..lambda tags transmit (a singleton yields an ID
+// now; a k-collision with k <= lambda yields one ID later via ANC). The
+// paper maximizes P{1 <= X <= lambda} over omega; differentiating the
+// Poisson form gives e^{-omega} (1 - omega^lambda / lambda!) = 0, i.e.
+//
+//     omega* = (lambda!)^{1/lambda}
+//
+// which evaluates to 1.414 / 1.817 / 2.213 for lambda = 2 / 3 / 4 — exactly
+// the constants the paper reports.
+#pragma once
+
+#include <cstdint>
+
+namespace anc::analysis {
+
+// P{1 <= Poisson(omega) <= lambda}: the probability that a slot is useful.
+double UsefulSlotProbability(double omega, unsigned lambda);
+
+// Closed-form optimum: (lambda!)^{1/lambda}.
+double OptimalOmega(unsigned lambda);
+
+// Numeric maximization of UsefulSlotProbability via golden-section search;
+// used by tests to validate the closed form.
+double OptimalOmegaNumeric(unsigned lambda);
+
+// Exact finite-N optimum: maximizes P{1 <= Binomial(n, p) <= lambda} over p
+// and returns the maximizing n*p. Converges to OptimalOmega as n grows.
+double OptimalOmegaBinomial(std::uint64_t n, unsigned lambda);
+
+}  // namespace anc::analysis

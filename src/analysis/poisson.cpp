@@ -1,0 +1,36 @@
+#include "analysis/poisson.h"
+
+#include <cmath>
+
+namespace anc::analysis {
+
+double LogGamma(double x) { return std::lgamma(x); }
+
+double PoissonPmf(double omega, unsigned k) {
+  if (omega < 0.0) return 0.0;
+  if (omega == 0.0) return k == 0 ? 1.0 : 0.0;
+  const double log_p =
+      -omega + static_cast<double>(k) * std::log(omega) - LogGamma(k + 1.0);
+  return std::exp(log_p);
+}
+
+double PoissonCdf(double omega, unsigned k) {
+  double sum = 0.0;
+  for (unsigned i = 0; i <= k; ++i) sum += PoissonPmf(omega, i);
+  return sum > 1.0 ? 1.0 : sum;
+}
+
+double BinomialPmf(std::uint64_t n, double p, std::uint64_t k) {
+  if (k > n) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  const auto dn = static_cast<double>(n);
+  const auto dk = static_cast<double>(k);
+  const double log_choose =
+      LogGamma(dn + 1.0) - LogGamma(dk + 1.0) - LogGamma(dn - dk + 1.0);
+  const double log_p =
+      log_choose + dk * std::log(p) + (dn - dk) * std::log1p(-p);
+  return std::exp(log_p);
+}
+
+}  // namespace anc::analysis

@@ -1,0 +1,26 @@
+// Poisson and binomial probability helpers used throughout the analytic
+// models. The paper's derivations (Section IV-C) approximate the binomial
+// transmitter count Binomial(N_i, p_i) by Poisson(omega) with
+// omega = N_i * p_i; we provide both forms so tests can check the
+// approximation error directly.
+#pragma once
+
+#include <cstdint>
+
+namespace anc::analysis {
+
+// P{Poisson(omega) = k}.
+double PoissonPmf(double omega, unsigned k);
+
+// P{Poisson(omega) <= k}.
+double PoissonCdf(double omega, unsigned k);
+
+// P{Binomial(n, p) = k}, computed in log space for numerical stability at
+// large n.
+double BinomialPmf(std::uint64_t n, double p, std::uint64_t k);
+
+// ln Gamma(x), wrapper over std::lgamma kept here so the analytic modules
+// do not depend on <cmath> conventions individually.
+double LogGamma(double x);
+
+}  // namespace anc::analysis

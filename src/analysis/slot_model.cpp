@@ -1,0 +1,52 @@
+#include "analysis/slot_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/poisson.h"
+
+namespace anc::analysis {
+
+SlotComposition ExpectedSlotComposition(std::uint64_t n_tags, double p,
+                                        std::uint64_t f) {
+  SlotComposition out;
+  const auto df = static_cast<double>(f);
+  const auto dn = static_cast<double>(n_tags);
+  if (n_tags == 0 || p <= 0.0) {
+    out.expected_empty = df;
+    return out;
+  }
+  const double log_q = std::log1p(-std::min(p, 1.0 - 1e-15));
+  const double q_pow_n = std::exp(dn * log_q);            // (1-p)^N
+  const double q_pow_n1 = std::exp((dn - 1.0) * log_q);   // (1-p)^{N-1}
+  out.expected_empty = df * q_pow_n;
+  out.expected_singleton = df * dn * p * q_pow_n1;
+  out.expected_collision =
+      df - out.expected_empty - out.expected_singleton;
+  return out;
+}
+
+double SlotOccupancyPmf(std::uint64_t n_tags, double p, std::uint64_t k) {
+  return BinomialPmf(n_tags, p, k);
+}
+
+double EstimateTagsFromCollisions(double nc, std::uint64_t f, double p,
+                                  double omega) {
+  const auto df = static_cast<double>(f);
+  const double clamped_nc = std::clamp(nc, 0.0, df - 0.5);
+  // Eq. 12: N = (ln(1 - nc/f) - ln(1 - p + omega)) / ln(1 - p) + 1.
+  const double numerator =
+      std::log1p(-clamped_nc / df) - std::log(1.0 - p + omega);
+  const double denominator = std::log1p(-p);
+  const double estimate = numerator / denominator + 1.0;
+  return std::max(estimate, 0.0);
+}
+
+double CollisionCountVariance(std::uint64_t n_tags, double p,
+                              std::uint64_t f) {
+  const double np = static_cast<double>(n_tags) * p;
+  const double one_slot = (1.0 + np) * std::exp(-np);
+  return static_cast<double>(f) * one_slot * (1.0 - one_slot);
+}
+
+}  // namespace anc::analysis

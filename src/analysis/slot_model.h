@@ -1,0 +1,43 @@
+// Expected slot-type composition of a frame (Section V-C, Eqs. 6-12).
+//
+// In a frame of f slots where each of N unidentified tags transmits with
+// probability p in every slot:
+//   E(n0) = f (1-p)^N                                (Eq. 7, empty)
+//   E(n1) = f N p (1-p)^{N-1}                        (Eq. 9, singleton)
+//   E(nc) = f (1 - (1-p)^{N-1} (1 - p + omega))      (Eq. 10, collision)
+// and inverting Eq. 10 with the measured collision count nc yields the
+// embedded tag-count estimator of Eq. 12.
+#pragma once
+
+#include <cstdint>
+
+namespace anc::analysis {
+
+struct SlotComposition {
+  double expected_empty = 0.0;      // E(n0)
+  double expected_singleton = 0.0;  // E(n1)
+  double expected_collision = 0.0;  // E(nc)
+};
+
+// Exact binomial-model expectations for a frame of `f` slots.
+SlotComposition ExpectedSlotComposition(std::uint64_t n_tags, double p,
+                                        std::uint64_t f);
+
+// Per-slot probability that exactly k of n tags transmit.
+double SlotOccupancyPmf(std::uint64_t n_tags, double p, std::uint64_t k);
+
+// The embedded estimator of Eq. 12: given the collision count nc observed
+// in a frame of f slots run at report probability p (with omega = N p the
+// *intended* load), returns the estimate of the number of participating
+// tags. `omega` enters through the ln(1 - p + omega) term exactly as in the
+// paper. Saturated inputs (nc >= f) are clamped to f - 0.5 so the logarithm
+// stays finite; callers that want to discard saturated frames should check
+// `nc >= f` themselves.
+double EstimateTagsFromCollisions(double nc, std::uint64_t f, double p,
+                                  double omega);
+
+// Variance of the collision count nc (appendix Eq. 19):
+//   V(nc) = f (1+Np) e^{-Np} (1 - (1+Np) e^{-Np}).
+double CollisionCountVariance(std::uint64_t n_tags, double p, std::uint64_t f);
+
+}  // namespace anc::analysis

@@ -1,0 +1,59 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+
+namespace anc {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      // Bare flag = boolean. (No "--name value" form: it would make
+      // "--full positional" ambiguous.)
+      flags_[arg] = "";
+    }
+  }
+}
+
+bool CliArgs::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::int64_t CliArgs::GetInt(const std::string& name, std::int64_t def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::GetDouble(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string CliArgs::GetString(const std::string& name,
+                               const std::string& def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second;
+}
+
+bool CliArgs::GetBool(const std::string& name, bool def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  if (it->second.empty() || it->second == "1" || it->second == "true" ||
+      it->second == "yes") {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace anc

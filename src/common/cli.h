@@ -1,0 +1,30 @@
+// Minimal command-line flag parsing shared by the bench binaries and
+// examples. Supports `--name=value` and boolean `--name`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace anc {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::int64_t GetInt(const std::string& name, std::int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+  bool GetBool(const std::string& name, bool def = false) const;
+
+  // Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace anc

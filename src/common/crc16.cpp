@@ -1,0 +1,65 @@
+#include "common/crc16.h"
+
+#include <array>
+
+namespace anc {
+namespace {
+
+constexpr std::uint16_t kPoly = 0x1021;
+
+constexpr std::array<std::uint16_t, 256> MakeTable() {
+  std::array<std::uint16_t, 256> table{};
+  for (int i = 0; i < 256; ++i) {
+    std::uint16_t crc = static_cast<std::uint16_t>(i << 8);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x8000) ? static_cast<std::uint16_t>((crc << 1) ^ kPoly)
+                           : static_cast<std::uint16_t>(crc << 1);
+    }
+    table[static_cast<std::size_t>(i)] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint16_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+std::uint16_t Crc16(std::span<const std::uint8_t> data, std::uint16_t init) {
+  std::uint16_t crc = init;
+  for (std::uint8_t byte : data) {
+    crc = static_cast<std::uint16_t>((crc << 8) ^
+                                     kTable[((crc >> 8) ^ byte) & 0xFF]);
+  }
+  return crc;
+}
+
+std::uint16_t Crc16Bits(std::span<const std::uint8_t> bits,
+                        std::uint16_t init) {
+  std::uint16_t crc = init;
+  for (std::uint8_t bit : bits) {
+    const bool msb = (crc & 0x8000) != 0;
+    crc = static_cast<std::uint16_t>(crc << 1);
+    if (msb != (bit != 0)) crc ^= kPoly;
+  }
+  return crc;
+}
+
+bool Crc16BitsValid(std::span<const std::uint8_t> bits) {
+  if (bits.size() < 16) return false;
+  const std::size_t payload_len = bits.size() - 16;
+  const std::uint16_t expected = Crc16Bits(bits.first(payload_len));
+  std::uint16_t got = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    got = static_cast<std::uint16_t>((got << 1) | (bits[payload_len + i] & 1));
+  }
+  return expected == got;
+}
+
+void AppendCrc16Bits(std::vector<std::uint8_t>& payload_bits) {
+  const std::uint16_t crc = Crc16Bits(payload_bits);
+  for (int i = 15; i >= 0; --i) {
+    payload_bits.push_back(static_cast<std::uint8_t>((crc >> i) & 1));
+  }
+}
+
+}  // namespace anc

@@ -1,0 +1,25 @@
+#include "common/fixed_point.h"
+
+#include <cmath>
+
+namespace anc {
+
+QuantizedProbability::QuantizedProbability(double p, int l_bits)
+    : l_bits_(l_bits) {
+  const auto one = static_cast<std::uint64_t>(1) << l_bits_;
+  if (p <= 0.0) {
+    raw_ = 0;
+  } else if (p >= 1.0) {
+    raw_ = one;
+  } else {
+    raw_ = static_cast<std::uint64_t>(std::floor(p * static_cast<double>(one)));
+    if (raw_ > one) raw_ = one;
+  }
+}
+
+double QuantizedProbability::effective() const {
+  const auto one = static_cast<std::uint64_t>(1) << l_bits_;
+  return static_cast<double>(raw_) / static_cast<double>(one);
+}
+
+}  // namespace anc

@@ -1,0 +1,40 @@
+// Quantized report probabilities.
+//
+// The reader cannot broadcast a real number: it advertises the l-bit integer
+// floor(p * 2^l) (Section IV-A). Tags compare H(ID|i) against that integer,
+// so the probability tags actually act on is the quantized value — a real
+// protocol effect this module makes explicit. All SCAT/FCAT components route
+// probabilities through QuantizedProbability so the simulated behaviour and
+// the advertised wire value can never diverge.
+#pragma once
+
+#include <cstdint>
+
+namespace anc {
+
+class QuantizedProbability {
+ public:
+  // l_bits in [1, 62]. Larger l gives finer probability resolution at the
+  // cost of a longer advertisement field; the paper leaves l open, we
+  // default to 24 (see FcatConfig).
+  QuantizedProbability(double p, int l_bits);
+
+  // The advertised integer floor(p * 2^l), clamped to [0, 2^l].
+  std::uint64_t raw() const { return raw_; }
+  int l_bits() const { return l_bits_; }
+
+  // The effective probability raw / 2^l that tags realize.
+  double effective() const;
+
+  // Tag-side decision: transmit iff hash_value < raw. (The paper writes
+  // "<= floor(p_i 2^l)"; strict comparison makes the realized probability
+  // exactly raw / 2^l — the same rule up to one hash value — so the
+  // sampled and hash simulation modes agree bit-for-bit in distribution.)
+  bool Admits(std::uint64_t hash_value) const { return hash_value < raw_; }
+
+ private:
+  std::uint64_t raw_;
+  int l_bits_;
+};
+
+}  // namespace anc

@@ -1,0 +1,34 @@
+// Hashing for the report decision rule of SCAT/FCAT.
+//
+// Section IV-A of the paper: the reader advertises an l-bit integer
+// floor(p_i * 2^l); a tag computes H(ID|i) with range [0, 2^l) and transmits
+// iff H(ID|i) <= floor(p_i * 2^l). Because the reader can replay the same
+// hash for any learned ID, it can decide retroactively which collision
+// records that tag participated in (Section IV-B).
+//
+// We implement H with SplitMix64, a well-distributed 64-bit finalizer, and
+// truncate to l bits.
+#pragma once
+
+#include <cstdint>
+
+namespace anc {
+
+// Stateless 64-bit mixing function (Steele et al., "Fast splittable
+// pseudorandom number generators").
+constexpr std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// H(ID|slot) truncated to `l_bits` bits; result is uniform on [0, 2^l).
+// `id_digest` is TagId::Digest().
+constexpr std::uint64_t ReportHash(std::uint64_t id_digest,
+                                   std::uint64_t slot_index, int l_bits) {
+  const std::uint64_t h = SplitMix64(id_digest ^ SplitMix64(slot_index));
+  return (l_bits >= 64) ? h : (h >> (64 - l_bits));
+}
+
+}  // namespace anc

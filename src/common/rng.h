@@ -1,0 +1,52 @@
+// Deterministic random number generation for the simulator.
+//
+// PCG32 (O'Neill 2014): small state, excellent statistical quality, and —
+// unlike std::mt19937 + std::*_distribution — fully reproducible across
+// standard-library implementations, which matters because every experiment
+// in EXPERIMENTS.md is keyed by a seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace anc {
+
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed = 0x853C49E6748FEA9BULL,
+                 std::uint64_t stream = 0xDA3E39CB94B95BDBULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  // Uniform integer in [0, bound) without modulo bias (Lemire rejection).
+  std::uint32_t UniformBelow(std::uint32_t bound);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Standard normal via Box-Muller (cached second value).
+  double Normal();
+
+  // Binomial(n, p) sample. Uses direct inversion for small n*p and a
+  // normal approximation with continuity correction plus clamping for large
+  // n*p; both paths are exercised by tests against analytic moments.
+  std::uint64_t Binomial(std::uint64_t n, double p);
+
+  // Fork a statistically independent generator (distinct stream).
+  Pcg32 Split();
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace anc

@@ -1,0 +1,35 @@
+// Streaming statistics for multi-run experiment aggregation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace anc {
+
+// Welford's online algorithm: numerically stable running mean / variance.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator).
+  double variance() const;
+  double stddev() const;
+  // Half-width of the ~95% normal-approximation confidence interval.
+  double ci95_halfwidth() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  // Pools another accumulator into this one (parallel Welford merge).
+  void Merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace anc

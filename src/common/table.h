@@ -1,0 +1,29 @@
+// Plain-text table rendering for the benchmark harnesses. Every bench binary
+// prints the same rows/columns the paper's tables and figures report; this
+// keeps the formatting in one place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace anc {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with per-column width alignment and a header separator.
+  std::string Render() const;
+
+  // Helpers for numeric cells.
+  static std::string Num(double value, int precision = 1);
+  static std::string Int(long long value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace anc

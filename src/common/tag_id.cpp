@@ -1,0 +1,71 @@
+#include "common/tag_id.h"
+
+#include <cstdio>
+
+#include "common/crc16.h"
+#include "common/hash.h"
+
+namespace anc {
+namespace {
+
+void AppendBitsMsbFirst(std::vector<std::uint8_t>& bits, std::uint64_t value,
+                        int width) {
+  for (int i = width - 1; i >= 0; --i) {
+    bits.push_back(static_cast<std::uint8_t>((value >> i) & 1));
+  }
+}
+
+std::uint64_t ReadBitsMsbFirst(const std::vector<std::uint8_t>& bits,
+                               std::size_t offset, int width) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    value = (value << 1) | (bits[offset + static_cast<std::size_t>(i)] & 1);
+  }
+  return value;
+}
+
+}  // namespace
+
+TagId TagId::FromPayload(std::uint16_t payload_hi, std::uint64_t payload_lo) {
+  TagId id;
+  id.payload_hi_ = payload_hi;
+  id.payload_lo_ = payload_lo;
+  std::vector<std::uint8_t> payload_bits;
+  payload_bits.reserve(kPayloadBits);
+  AppendBitsMsbFirst(payload_bits, payload_hi, 16);
+  AppendBitsMsbFirst(payload_bits, payload_lo, 64);
+  id.crc_ = Crc16Bits(payload_bits);
+  return id;
+}
+
+bool TagId::FromBits(const std::vector<std::uint8_t>& bits, TagId* out) {
+  if (bits.size() != static_cast<std::size_t>(kTotalBits)) return false;
+  if (!Crc16BitsValid(bits)) return false;
+  const auto hi = static_cast<std::uint16_t>(ReadBitsMsbFirst(bits, 0, 16));
+  const std::uint64_t lo = ReadBitsMsbFirst(bits, 16, 64);
+  *out = FromPayload(hi, lo);
+  return true;
+}
+
+std::vector<std::uint8_t> TagId::ToBits() const {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(kTotalBits);
+  AppendBitsMsbFirst(bits, payload_hi_, 16);
+  AppendBitsMsbFirst(bits, payload_lo_, 64);
+  AppendBitsMsbFirst(bits, crc_, 16);
+  return bits;
+}
+
+std::uint64_t TagId::Digest() const {
+  return SplitMix64(payload_lo_ ^ (static_cast<std::uint64_t>(payload_hi_) << 48) ^
+                    crc_);
+}
+
+std::string TagId::ToHex() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04x%016llx.%04x", payload_hi_,
+                static_cast<unsigned long long>(payload_lo_), crc_);
+  return buf;
+}
+
+}  // namespace anc

@@ -1,0 +1,72 @@
+// Configuration shared by the SCAT and FCAT engines.
+#pragma once
+
+#include <cstdint>
+
+#include "phy/timing.h"
+
+namespace anc::core {
+
+struct CollisionAwareConfig {
+  // ANC decoder capability: k-collision records with k <= lambda are
+  // resolvable (Section III-C; today's ANC gives lambda = 2).
+  unsigned lambda = 2;
+
+  // Slots per frame (Section V-B; Fig. 6 shows stabilization for f >= 10).
+  // frame_size = 1 with per_slot_advert = true degenerates to SCAT.
+  std::uint64_t frame_size = 30;
+
+  // Report-probability load target; 0 selects the analytic optimum
+  // (lambda!)^{1/lambda} from Section IV-C.
+  double omega = 0.0;
+
+  // Width of the advertised probability field (floor(p 2^l)).
+  int l_bits = 24;
+
+  // SCAT advertises <slot index, p_i> every slot; FCAT once per frame.
+  bool per_slot_advert = false;
+
+  // FCAT acknowledges IDs resolved from collision records by 23-bit slot
+  // index; SCAT broadcasts the full 96-bit ID (Section V-A).
+  bool ack_with_slot_index = true;
+
+  // SCAT assumes N was estimated "to arbitrary accuracy" in a pre-step
+  // (Section IV-C); FCAT estimates N online instead.
+  bool knows_true_n = false;
+
+  // With knows_true_n: the value the pre-step produced (0 = the exact
+  // population, i.e. a perfect pre-step). An imperfect estimate shifts
+  // the operating load; the collision-streak boost recovers gross
+  // underestimates.
+  double assumed_total = 0.0;
+
+  // Initial population guess for the embedded estimator's bootstrap ramp;
+  // 0 defaults to frame_size.
+  double initial_estimate = 0.0;
+
+  // Informative-frame window for the embedded estimator's running average
+  // (0 = all frames, the paper's description; see EmbeddedEstimator).
+  std::size_t estimator_window = 48;
+
+  // Evaluate the real hash rule H(ID|i) for every active tag each slot
+  // (O(N) per slot) instead of the statistically identical binomial
+  // sampling (O(k) per slot). Tests assert the two modes agree.
+  bool hash_mode = false;
+
+  // Termination (Section IV-A): after this many consecutive empty slots
+  // the reader probes once with p = 1; an empty probe ends the protocol.
+  int empty_probe_threshold = 8;
+
+  // Test/analysis hook: stop as soon as every tag is read, skipping the
+  // termination probing (not protocol-faithful; default off).
+  bool oracle_termination = false;
+
+  // Channel error on the reader -> tag acknowledgement (Section IV-E): a
+  // tag that misses its ack keeps transmitting until positively
+  // confirmed; the reader discards the duplicate receptions and re-acks.
+  double ack_loss_prob = 0.0;
+
+  phy::TimingModel timing{};
+};
+
+}  // namespace anc::core

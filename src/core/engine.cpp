@@ -1,0 +1,278 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "analysis/omega.h"
+#include "common/hash.h"
+
+namespace anc::core {
+namespace {
+constexpr std::uint32_t kNotActive = ~std::uint32_t{0};
+}  // namespace
+
+CollisionAwareEngine::CollisionAwareEngine(std::string name,
+                                           std::span<const TagId> population,
+                                           phy::PhyInterface& phy,
+                                           CollisionAwareConfig config,
+                                           anc::Pcg32 rng)
+    : name_(std::move(name)),
+      population_(population),
+      phy_(phy),
+      config_(config),
+      rng_(rng),
+      omega_(config.omega > 0.0 ? config.omega
+                                : analysis::OptimalOmega(config.lambda)),
+      tracker_(population.size()),
+      estimator_(config.frame_size, omega_,
+                 config.initial_estimate > 0.0
+                     ? config.initial_estimate
+                     : static_cast<double>(config.frame_size),
+                 config.estimator_window) {
+  digest_to_index_.reserve(population.size() * 2);
+  active_.resize(population.size());
+  pos_in_active_.resize(population.size());
+  read_.assign(population.size(), false);
+  for (std::uint32_t i = 0; i < population.size(); ++i) {
+    active_[i] = i;
+    pos_in_active_[i] = i;
+    digest_to_index_.emplace(population[i].Digest(), i);
+  }
+}
+
+double CollisionAwareEngine::EstimatedTotal() const {
+  if (config_.knows_true_n) {
+    return config_.assumed_total > 0.0
+               ? config_.assumed_total
+               : static_cast<double>(population_.size());
+  }
+  return estimator_.EstimatedTotal();
+}
+
+void CollisionAwareEngine::Deactivate(std::uint32_t tag) {
+  const std::uint32_t pos = pos_in_active_[tag];
+  if (pos == kNotActive) return;
+  const std::uint32_t last = active_.back();
+  active_[pos] = last;
+  pos_in_active_[last] = pos;
+  active_.pop_back();
+  pos_in_active_[tag] = kNotActive;
+}
+
+void CollisionAwareEngine::LearnId(const TagId& id, bool from_collision) {
+  const auto it = digest_to_index_.find(id.Digest());
+  if (it == digest_to_index_.end()) return;  // CRC-forged decode; discard
+  const std::uint32_t tag = it->second;
+  if (read_[tag]) {
+    if (from_collision) {
+      ++metrics_.redundant_resolutions;
+      return;
+    }
+    // A tag whose acknowledgement was lost re-transmitted its ID: the
+    // reader discards the duplicate and acknowledges again (Section
+    // IV-E).
+    ++metrics_.duplicate_receptions;
+    if (rng_.UniformDouble() >= config_.ack_loss_prob) Deactivate(tag);
+    return;
+  }
+  read_[tag] = true;
+  ++metrics_.tags_read;
+  if (from_collision) {
+    ++metrics_.ids_from_collisions;
+  } else {
+    ++metrics_.ids_from_singletons;
+  }
+  // The acknowledgement (positive ack for a singleton, slot-index
+  // broadcast for a resolved record) reaches the tag unless the channel
+  // corrupts it; until it does, the tag keeps contending.
+  if (rng_.UniformDouble() >= config_.ack_loss_prob) Deactivate(tag);
+  cascade_queue_.push_back(tag);
+}
+
+void CollisionAwareEngine::RegisterRecord(phy::RecordHandle handle) {
+  tracker_.Register(handle, participants_);
+  if (config_.ack_loss_prob <= 0.0) return;
+  // Already-identified tags can appear in fresh records while they wait
+  // for a re-acknowledgement; the reader spots them by replaying the hash
+  // rule over its known IDs and feeds their signals in immediately.
+  for (std::uint32_t tag : participants_) {
+    if (!read_[tag]) continue;
+    if (auto res = tracker_.AddKnownParticipant(handle, tag, phy_)) {
+      ++resolved_this_slot_;
+      LearnId(res->id, true);
+    }
+  }
+}
+
+void CollisionAwareEngine::SelectTransmitters(
+    const QuantizedProbability& prob) {
+  participants_.clear();
+  if (config_.hash_mode) {
+    // Faithful rule: every unidentified tag evaluates H(ID|i) against the
+    // advertised threshold.
+    for (std::uint32_t tag : active_) {
+      const std::uint64_t h = ReportHash(population_[tag].Digest(),
+                                         slot_index_, prob.l_bits());
+      if (prob.Admits(h)) participants_.push_back(tag);
+    }
+    return;
+  }
+  // Sampled mode: the transmitter count is Binomial(|active|, p) and the
+  // transmitters a uniform subset — the same distribution the hash rule
+  // induces, at O(k) instead of O(N) per slot.
+  const auto n = static_cast<std::uint32_t>(active_.size());
+  const std::uint64_t k64 = rng_.Binomial(n, prob.effective());
+  const auto k = static_cast<std::uint32_t>(std::min<std::uint64_t>(k64, n));
+  for (std::uint32_t j = 0; j < k; ++j) {
+    const std::uint32_t i = j + rng_.UniformBelow(n - j);
+    const std::uint32_t a = active_[j];
+    const std::uint32_t b = active_[i];
+    active_[j] = b;
+    active_[i] = a;
+    pos_in_active_[b] = j;
+    pos_in_active_[a] = i;
+    participants_.push_back(b);
+  }
+}
+
+void CollisionAwareEngine::Step() {
+  if (finished_) return;
+
+  if (slot_in_frame_ == 0) {
+    // Frame (or, for SCAT, slot) advertisement: index + probability.
+    ++metrics_.frames;
+    metrics_.elapsed_seconds += config_.timing.AdvertSeconds();
+    frame_nc_ = 0;
+    frame_acked_at_start_ = metrics_.tags_read;
+    frame_had_probe_ = false;
+    double backlog =
+        config_.knows_true_n
+            ? std::max<double>(
+                  EstimatedTotal() -
+                      static_cast<double>(metrics_.tags_read),
+                  1.0)
+            : estimator_.EstimatedBacklog(metrics_.tags_read);
+    backlog = std::max(backlog, collision_boost_);
+    frame_backlog_used_ = backlog;
+    frame_p_effective_ =
+        QuantizedProbability(std::min(1.0, omega_ / backlog), config_.l_bits)
+            .effective();
+  } else if (config_.per_slot_advert) {
+    metrics_.elapsed_seconds += config_.timing.AdvertSeconds();
+  }
+
+  const bool probe = probe_pending_;
+  probe_pending_ = false;
+  if (probe) frame_had_probe_ = true;
+  const QuantizedProbability prob(probe ? 1.0 : frame_p_effective_,
+                                  config_.l_bits);
+
+  SelectTransmitters(prob);
+  metrics_.tag_transmissions += participants_.size();
+  const phy::SlotObservation obs =
+      phy_.ObserveSlot(slot_index_, participants_);
+
+  bool reader_sees_collision = false;
+  resolved_this_slot_ = 0;
+
+  switch (obs.type) {
+    case phy::SlotType::kEmpty:
+      ++metrics_.empty_slots;
+      ++consecutive_empties_;
+      break;
+    case phy::SlotType::kSingleton:
+      ++metrics_.singleton_slots;
+      consecutive_empties_ = 0;
+      if (obs.singleton_id) {
+        LearnId(*obs.singleton_id, false);
+      } else if (obs.record != phy::kInvalidRecord) {
+        // CRC failed: to the reader this is indistinguishable from a
+        // collision; the stored record is garbage but harmless.
+        RegisterRecord(obs.record);
+        reader_sees_collision = true;
+      }
+      break;
+    case phy::SlotType::kCollision:
+      ++metrics_.collision_slots;
+      consecutive_empties_ = 0;
+      RegisterRecord(obs.record);
+      if (obs.singleton_id) {
+        // Capture effect: the dominant constituent decoded straight out
+        // of the mixture (SignalPhy with enable_capture). Registered
+        // first so the cascade credits this record with the new known.
+        LearnId(*obs.singleton_id, false);
+      }
+      reader_sees_collision = true;
+      break;
+  }
+
+  // Cascade resolution: every newly learned ID may unlock records, whose
+  // resolved IDs may unlock further records (Fig. 1).
+  while (!cascade_queue_.empty()) {
+    const std::uint32_t tag = cascade_queue_.front();
+    cascade_queue_.pop_front();
+    for (const auto& res : tracker_.OnIdKnown(tag, phy_)) {
+      ++resolved_this_slot_;
+      LearnId(res.id, true);
+    }
+  }
+
+  if (reader_sees_collision) {
+    ++frame_nc_;
+    if (++consecutive_collisions_ >= 12) {
+      collision_boost_ = std::min(
+          collision_boost_ * 2.0,
+          static_cast<double>(std::max<std::size_t>(population_.size(), 2)));
+      consecutive_collisions_ = 0;
+    }
+  } else {
+    consecutive_collisions_ = 0;
+    collision_boost_ = std::max(1.0, collision_boost_ / 2.0);
+  }
+  metrics_.elapsed_seconds +=
+      config_.timing.SlotSeconds() +
+      config_.timing.ResolvedAckSeconds(resolved_this_slot_,
+                                        config_.ack_with_slot_index);
+
+  ++slot_index_;
+  ++slot_in_frame_;
+  if (slot_in_frame_ >= config_.frame_size) {
+    if (!config_.knows_true_n && !frame_had_probe_) {
+      estimator_.Update(frame_nc_, frame_p_effective_,
+                        frame_acked_at_start_);
+      // A frame in which every slot collided says the backlog is far above
+      // what the advertised probability assumed. Double the working floor
+      // so the load ramps back toward omega instead of freezing — the
+      // escape hatch for the estimator's small negative bias near the end
+      // of the reading process (and for the initial bootstrap).
+      if (frame_nc_ >= config_.frame_size && config_.frame_size > 1) {
+        estimator_.RaiseBacklogFloor(metrics_.tags_read,
+                                     std::max(2.0, 2.0 * frame_backlog_used_));
+      }
+    }
+    slot_in_frame_ = 0;
+  }
+
+  // Termination (Section IV-A): consecutive empties trigger a p = 1 probe;
+  // an empty probe proves every tag has been acknowledged.
+  if (probe) {
+    if (obs.type == phy::SlotType::kEmpty) {
+      finished_ = true;
+      metrics_.unresolved_records = phy_.OpenRecords();
+      return;
+    }
+    if (reader_sees_collision) {
+      estimator_.RaiseBacklogFloor(metrics_.tags_read, 2.0);
+    }
+  }
+  if (consecutive_empties_ >= config_.empty_probe_threshold) {
+    probe_pending_ = true;
+    consecutive_empties_ = 0;
+  }
+  if (config_.oracle_termination &&
+      metrics_.tags_read == population_.size()) {
+    finished_ = true;
+    metrics_.unresolved_records = phy_.OpenRecords();
+  }
+}
+
+}  // namespace anc::core

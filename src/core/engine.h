@@ -1,0 +1,99 @@
+// The collision-aware tag identification engine — the paper's core
+// contribution, shared by SCAT (Section IV) and FCAT (Section V).
+//
+// Per slot: the reader advertises (or has advertised, per frame) a report
+// probability p_i = omega / N_i; each unidentified tag transmits its ID
+// with that probability. Singletons are identified immediately; collision
+// slots are stored as records. Every newly learned ID is fed into the
+// records it participated in, and any record reduced to one unknown
+// constituent (with mixture order <= lambda) is resolved by ANC — possibly
+// cascading into further resolutions (Fig. 1's walkthrough). Tags stop
+// once acknowledged, directly or via the resolved record's slot index.
+//
+// The engine is generic over the phy, so the identical protocol logic runs
+// against the paper's abstract channel (IdealPhy) and against full MSK
+// waveform simulation (SignalPhy).
+#pragma once
+
+#include <deque>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fixed_point.h"
+#include "common/rng.h"
+#include "core/config.h"
+#include "core/estimator.h"
+#include "core/record_tracker.h"
+#include "phy/phy.h"
+#include "sim/protocol.h"
+
+namespace anc::core {
+
+class CollisionAwareEngine : public sim::Protocol {
+ public:
+  // `phy` must outlive the engine.
+  CollisionAwareEngine(std::string name, std::span<const TagId> population,
+                       phy::PhyInterface& phy, CollisionAwareConfig config,
+                       anc::Pcg32 rng);
+
+  void Step() override;
+  bool Finished() const override { return finished_; }
+  std::string_view name() const override { return name_; }
+  const sim::RunMetrics& metrics() const override { return metrics_; }
+
+  // Introspection for tests and the estimator benches.
+  double EstimatedTotal() const;
+  std::uint64_t ActiveTags() const { return active_.size(); }
+  const EmbeddedEstimator& estimator() const { return estimator_; }
+  double omega() const { return omega_; }
+
+ private:
+  void SelectTransmitters(const QuantizedProbability& prob);
+  void LearnId(const TagId& id, bool from_collision);
+  void Deactivate(std::uint32_t tag);
+  void RegisterRecord(phy::RecordHandle handle);
+
+  std::string name_;
+  std::span<const TagId> population_;
+  phy::PhyInterface& phy_;
+  CollisionAwareConfig config_;
+  anc::Pcg32 rng_;
+  double omega_;
+
+  std::unordered_map<std::uint64_t, std::uint32_t> digest_to_index_;
+  std::vector<std::uint32_t> active_;          // indices of unread tags
+  std::vector<std::uint32_t> pos_in_active_;   // inverse permutation
+  std::vector<bool> read_;
+
+  RecordTracker tracker_;
+  EmbeddedEstimator estimator_;
+  std::deque<std::uint32_t> cascade_queue_;
+
+  std::vector<std::uint32_t> participants_;    // reused per slot
+
+  std::uint64_t slot_index_ = 0;
+  std::uint64_t slot_in_frame_ = 0;
+  std::uint64_t frame_nc_ = 0;
+  std::uint64_t frame_acked_at_start_ = 0;
+  double frame_p_effective_ = 0.0;
+  double frame_backlog_used_ = 1.0;
+  bool frame_had_probe_ = false;
+
+  int consecutive_empties_ = 0;
+  int consecutive_collisions_ = 0;
+  // Multiplicative backlog floor driven by collision streaks: the
+  // reader's only signal that more tags contend than its accounting says
+  // (e.g. identified tags re-transmitting because their acknowledgement
+  // was lost). Doubles after a long all-collision streak, halves on any
+  // non-collision slot.
+  double collision_boost_ = 1.0;
+  bool probe_pending_ = false;
+  bool finished_ = false;
+  std::uint64_t resolved_this_slot_ = 0;
+
+  sim::RunMetrics metrics_;
+};
+
+}  // namespace anc::core

@@ -1,0 +1,82 @@
+#include "core/factories.h"
+
+namespace anc::core {
+
+sim::ProtocolFactory MakeFcatFactory(FcatOptions options) {
+  return [options](std::span<const TagId> population, anc::Pcg32 rng) {
+    return std::make_unique<Fcat>(population, rng, options);
+  };
+}
+
+sim::ProtocolFactory MakeScatFactory(ScatOptions options) {
+  return [options](std::span<const TagId> population, anc::Pcg32 rng) {
+    return std::make_unique<Scat>(population, rng, options);
+  };
+}
+
+sim::ProtocolFactory MakeFcatSignalFactory(FcatSignalOptions options) {
+  return [options](std::span<const TagId> population, anc::Pcg32 rng) {
+    return std::make_unique<FcatOnSignal>(population, rng, options);
+  };
+}
+
+sim::ProtocolFactory MakeDfsaFactory(phy::TimingModel timing,
+                                     protocols::DfsaConfig config) {
+  return [timing, config](std::span<const TagId> population,
+                          anc::Pcg32 rng) {
+    return std::make_unique<protocols::Dfsa>(population, rng, timing,
+                                             config);
+  };
+}
+
+sim::ProtocolFactory MakeEdfsaFactory(phy::TimingModel timing,
+                                      protocols::EdfsaConfig config) {
+  return [timing, config](std::span<const TagId> population,
+                          anc::Pcg32 rng) {
+    return std::make_unique<protocols::Edfsa>(population, rng, timing,
+                                              config);
+  };
+}
+
+sim::ProtocolFactory MakeAbsFactory(phy::TimingModel timing,
+                                    protocols::AbsConfig config) {
+  return [timing, config](std::span<const TagId> population,
+                          anc::Pcg32 rng) {
+    return std::make_unique<protocols::Abs>(population, rng, timing, config);
+  };
+}
+
+sim::ProtocolFactory MakeAqsFactory(phy::TimingModel timing,
+                                    protocols::AqsConfig config) {
+  return [timing, config](std::span<const TagId> population,
+                          anc::Pcg32 rng) {
+    return std::make_unique<protocols::Aqs>(population, rng, timing, config);
+  };
+}
+
+sim::ProtocolFactory MakeAlohaFactory(phy::TimingModel timing) {
+  return [timing](std::span<const TagId> population, anc::Pcg32 rng) {
+    return std::make_unique<protocols::SlottedAloha>(population, rng,
+                                                     timing);
+  };
+}
+
+sim::ProtocolFactory MakeCrdsaFactory(phy::TimingModel timing,
+                                      protocols::CrdsaConfig config) {
+  return [timing, config](std::span<const TagId> population,
+                          anc::Pcg32 rng) {
+    return std::make_unique<protocols::Crdsa>(population, rng, timing,
+                                              config);
+  };
+}
+
+sim::ProtocolFactory MakeFsaFactory(phy::TimingModel timing,
+                                    protocols::FsaConfig config) {
+  return [timing, config](std::span<const TagId> population,
+                          anc::Pcg32 rng) {
+    return std::make_unique<protocols::FramedSlottedAloha>(population, rng,
+                                                           timing, config);
+  };
+}
+
+}  // namespace anc::core

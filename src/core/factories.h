@@ -1,0 +1,35 @@
+// Convenience factories wiring each protocol into the experiment runner.
+// These are what the bench binaries, examples and integration tests use.
+#pragma once
+
+#include "core/fcat.h"
+#include "protocols/abs.h"
+#include "protocols/aloha.h"
+#include "protocols/aqs.h"
+#include "protocols/crdsa.h"
+#include "protocols/dfsa.h"
+#include "protocols/edfsa.h"
+#include "protocols/fsa.h"
+#include "sim/runner.h"
+
+namespace anc::core {
+
+sim::ProtocolFactory MakeFcatFactory(FcatOptions options);
+sim::ProtocolFactory MakeScatFactory(ScatOptions options);
+sim::ProtocolFactory MakeFcatSignalFactory(FcatSignalOptions options);
+
+sim::ProtocolFactory MakeDfsaFactory(phy::TimingModel timing = {},
+                                     protocols::DfsaConfig config = {});
+sim::ProtocolFactory MakeEdfsaFactory(phy::TimingModel timing = {},
+                                      protocols::EdfsaConfig config = {});
+sim::ProtocolFactory MakeAbsFactory(phy::TimingModel timing = {},
+                                    protocols::AbsConfig config = {});
+sim::ProtocolFactory MakeAqsFactory(phy::TimingModel timing = {},
+                                    protocols::AqsConfig config = {});
+sim::ProtocolFactory MakeAlohaFactory(phy::TimingModel timing = {});
+sim::ProtocolFactory MakeCrdsaFactory(phy::TimingModel timing = {},
+                                      protocols::CrdsaConfig config = {});
+sim::ProtocolFactory MakeFsaFactory(phy::TimingModel timing = {},
+                                    protocols::FsaConfig config = {});
+
+}  // namespace anc::core

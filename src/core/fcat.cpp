@@ -1,0 +1,135 @@
+#include "core/fcat.h"
+
+#include "estimate/zero_estimator.h"
+
+namespace anc::core {
+namespace {
+
+CollisionAwareConfig EngineConfig(const FcatOptions& o) {
+  CollisionAwareConfig c;
+  c.lambda = o.lambda;
+  c.frame_size = o.frame_size;
+  c.omega = o.omega;
+  c.l_bits = o.l_bits;
+  c.per_slot_advert = false;
+  c.ack_with_slot_index = true;
+  c.knows_true_n = false;
+  c.initial_estimate = o.initial_estimate;
+  c.estimator_window = o.estimator_window;
+  c.hash_mode = o.hash_mode;
+  c.empty_probe_threshold = o.empty_probe_threshold;
+  c.oracle_termination = o.oracle_termination;
+  c.ack_loss_prob = o.ack_loss_prob;
+  c.timing = o.timing;
+  return c;
+}
+
+CollisionAwareConfig EngineConfig(const ScatOptions& o) {
+  CollisionAwareConfig c;
+  c.lambda = o.lambda;
+  c.frame_size = 1;
+  c.omega = o.omega;
+  c.l_bits = o.l_bits;
+  c.per_slot_advert = true;
+  c.ack_with_slot_index = false;  // SCAT acknowledges with full IDs
+  c.knows_true_n = true;          // Section IV-C's pre-step estimate
+  c.hash_mode = o.hash_mode;
+  c.empty_probe_threshold = o.empty_probe_threshold;
+  c.oracle_termination = o.oracle_termination;
+  c.ack_loss_prob = o.ack_loss_prob;
+  c.timing = o.timing;
+  return c;
+}
+
+CollisionAwareConfig EngineConfig(const FcatSignalOptions& o) {
+  CollisionAwareConfig c;
+  c.lambda = o.lambda;
+  c.frame_size = o.frame_size;
+  c.omega = o.omega;
+  c.l_bits = o.l_bits;
+  c.per_slot_advert = false;
+  c.ack_with_slot_index = true;
+  c.knows_true_n = false;
+  c.hash_mode = false;
+  c.empty_probe_threshold = o.empty_probe_threshold;
+  c.oracle_termination = o.oracle_termination;
+  c.timing = o.timing;
+  return c;
+}
+
+std::string FcatName(unsigned lambda) {
+  return "FCAT-" + std::to_string(lambda);
+}
+
+}  // namespace
+
+Fcat::Fcat(std::span<const TagId> population, anc::Pcg32 rng,
+           const FcatOptions& options)
+    : phy_(population,
+           phy::IdealPhyConfig{options.lambda,
+                               options.resolution_success_prob,
+                               options.singleton_corrupt_prob},
+           rng.Split()),
+      engine_(FcatName(options.lambda), population, phy_,
+              EngineConfig(options), rng) {}
+
+CollisionAwareConfig Scat::BuildConfig(std::span<const TagId> population,
+                                       anc::Pcg32& rng,
+                                       const ScatOptions& options,
+                                       sim::RunMetrics* prestep_metrics,
+                                       double* assumed_total) {
+  CollisionAwareConfig config = EngineConfig(options);
+  if (!options.estimation_prestep) return config;
+
+  estimate::ZeroEstimatorConfig est;
+  est.rounds = options.prestep_rounds;
+  anc::Pcg32 est_rng = rng.Split();
+  const auto run =
+      estimate::RunZeroEstimator(population.size(), est, est_rng);
+  config.assumed_total = std::max(run.estimate, 1.0);
+  *assumed_total = config.assumed_total;
+
+  prestep_metrics->empty_slots = run.empty_slots;
+  prestep_metrics->singleton_slots = run.singleton_slots;
+  prestep_metrics->collision_slots = run.collision_slots;
+  // Estimation slots only need an empty/non-empty decision, but we charge
+  // full report-segment air time: tags transmit their IDs as usual.
+  prestep_metrics->elapsed_seconds =
+      static_cast<double>(run.TotalSlots()) * options.timing.SlotSeconds();
+  return config;
+}
+
+Scat::Scat(std::span<const TagId> population, anc::Pcg32 rng,
+           const ScatOptions& options)
+    : phy_(population,
+           phy::IdealPhyConfig{options.lambda,
+                               options.resolution_success_prob,
+                               options.singleton_corrupt_prob},
+           rng.Split()),
+      engine_("SCAT-" + std::to_string(options.lambda), population, phy_,
+              BuildConfig(population, rng, options, &prestep_metrics_,
+                          &assumed_total_),
+              rng) {}
+
+const sim::RunMetrics& Scat::metrics() const {
+  merged_metrics_ = engine_.metrics();
+  merged_metrics_.empty_slots += prestep_metrics_.empty_slots;
+  merged_metrics_.singleton_slots += prestep_metrics_.singleton_slots;
+  merged_metrics_.collision_slots += prestep_metrics_.collision_slots;
+  merged_metrics_.elapsed_seconds += prestep_metrics_.elapsed_seconds;
+  return merged_metrics_;
+}
+
+FcatOnSignal::FcatOnSignal(std::span<const TagId> population, anc::Pcg32 rng,
+                           const FcatSignalOptions& options)
+    : phy_(population,
+           [&] {
+             phy::SignalPhyConfig cfg = options.signal;
+             if (cfg.max_mixture == 0) cfg.max_mixture = options.lambda;
+             return cfg;
+           }(),
+           rng.Split()),
+      engine_(FcatName(options.lambda) + "-signal", population, phy_,
+              EngineConfig(options), rng) {}
+
+}  // namespace anc::core

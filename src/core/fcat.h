@@ -1,0 +1,131 @@
+// FCAT — Framed Collision-Aware Tag identification (Section V), the
+// paper's main protocol — and SCAT (Section IV), its per-slot-advertised
+// precursor. Both bundle the shared engine with a phy:
+//
+//   Fcat / Scat        — run over IdealPhy (the paper's simulation model).
+//   FcatOnSignal       — the identical protocol logic over full MSK
+//                        waveform simulation (SignalPhy).
+//
+// FCAT-lambda in the paper's tables is Fcat with options.lambda = lambda.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/config.h"
+#include "core/engine.h"
+#include "phy/ideal_phy.h"
+#include "phy/signal_phy.h"
+
+namespace anc::core {
+
+struct FcatOptions {
+  unsigned lambda = 2;
+  std::uint64_t frame_size = 30;
+  double omega = 0.0;  // 0 => (lambda!)^{1/lambda}
+  int l_bits = 24;
+  bool hash_mode = false;
+  bool oracle_termination = false;
+  int empty_probe_threshold = 8;
+  double initial_estimate = 0.0;
+  std::size_t estimator_window = 48;  // 0 = all-frame average
+  // Channel imperfections (Section IV-E ablations).
+  double resolution_success_prob = 1.0;
+  double singleton_corrupt_prob = 0.0;
+  double ack_loss_prob = 0.0;
+  phy::TimingModel timing{};
+};
+
+class Fcat final : public sim::Protocol {
+ public:
+  Fcat(std::span<const TagId> population, anc::Pcg32 rng,
+       const FcatOptions& options);
+
+  void Step() override { engine_.Step(); }
+  bool Finished() const override { return engine_.Finished(); }
+  std::string_view name() const override { return engine_.name(); }
+  const sim::RunMetrics& metrics() const override {
+    return engine_.metrics();
+  }
+  const CollisionAwareEngine& engine() const { return engine_; }
+
+ private:
+  phy::IdealPhy phy_;
+  CollisionAwareEngine engine_;
+};
+
+struct ScatOptions {
+  unsigned lambda = 2;
+  double omega = 0.0;
+  int l_bits = 24;
+  bool hash_mode = false;
+  bool oracle_termination = false;
+  int empty_probe_threshold = 8;
+  double resolution_success_prob = 1.0;
+  double singleton_corrupt_prob = 0.0;
+  double ack_loss_prob = 0.0;
+  // Run the Section IV-C estimation pre-step explicitly (Kodialam-style
+  // zero estimator) instead of assuming a free, perfect estimate of N.
+  // Its air time and slot counts are merged into the protocol metrics.
+  bool estimation_prestep = false;
+  int prestep_rounds = 16;
+  phy::TimingModel timing{};
+};
+
+class Scat final : public sim::Protocol {
+ public:
+  Scat(std::span<const TagId> population, anc::Pcg32 rng,
+       const ScatOptions& options);
+
+  void Step() override { engine_.Step(); }
+  bool Finished() const override { return engine_.Finished(); }
+  std::string_view name() const override { return engine_.name(); }
+  const sim::RunMetrics& metrics() const override;
+  const CollisionAwareEngine& engine() const { return engine_; }
+  // The pre-step's estimate of N (population size when disabled).
+  double assumed_total() const { return assumed_total_; }
+
+ private:
+  static CollisionAwareConfig BuildConfig(std::span<const TagId> population,
+                                          anc::Pcg32& rng,
+                                          const ScatOptions& options,
+                                          sim::RunMetrics* prestep_metrics,
+                                          double* assumed_total);
+
+  sim::RunMetrics prestep_metrics_;
+  double assumed_total_ = 0.0;
+  phy::IdealPhy phy_;
+  CollisionAwareEngine engine_;
+  mutable sim::RunMetrics merged_metrics_;
+};
+
+struct FcatSignalOptions {
+  unsigned lambda = 2;  // planning parameter (omega) and decoder cap
+  std::uint64_t frame_size = 30;
+  double omega = 0.0;
+  int l_bits = 24;
+  bool oracle_termination = false;
+  int empty_probe_threshold = 8;
+  phy::SignalPhyConfig signal{};
+  phy::TimingModel timing{};
+};
+
+class FcatOnSignal final : public sim::Protocol {
+ public:
+  FcatOnSignal(std::span<const TagId> population, anc::Pcg32 rng,
+               const FcatSignalOptions& options);
+
+  void Step() override { engine_.Step(); }
+  bool Finished() const override { return engine_.Finished(); }
+  std::string_view name() const override { return engine_.name(); }
+  const sim::RunMetrics& metrics() const override {
+    return engine_.metrics();
+  }
+  const phy::SignalPhy& signal_phy() const { return phy_; }
+
+ private:
+  phy::SignalPhy phy_;
+  CollisionAwareEngine engine_;
+};
+
+}  // namespace anc::core

@@ -1,0 +1,56 @@
+#include "core/record_tracker.h"
+
+namespace anc::core {
+
+RecordTracker::RecordTracker(std::size_t n_tags) : tag_records_(n_tags) {}
+
+void RecordTracker::EnsureSlot(phy::RecordHandle handle) {
+  if (handle >= records_.size()) {
+    records_.resize(handle + 1);
+  }
+}
+
+void RecordTracker::Register(phy::RecordHandle handle,
+                             std::span<const std::uint32_t> participants) {
+  EnsureSlot(handle);
+  RecordState& state = records_[handle];
+  state.open = true;
+  ++open_records_;
+  for (std::uint32_t tag : participants) {
+    tag_records_[tag].push_back(handle);
+  }
+}
+
+std::optional<RecordTracker::Resolution> RecordTracker::AddKnownParticipant(
+    phy::RecordHandle handle, std::uint32_t tag, phy::PhyInterface& phy) {
+  if (handle >= records_.size()) return std::nullopt;
+  RecordState& state = records_[handle];
+  if (!state.open) return std::nullopt;
+  state.knowns.push_back(tag);
+  if (auto id = phy.TryResolve(handle, state.knowns)) {
+    state.open = false;
+    --open_records_;
+    phy.ReleaseRecord(handle);
+    return Resolution{*id, handle};
+  }
+  return std::nullopt;
+}
+
+std::vector<RecordTracker::Resolution> RecordTracker::OnIdKnown(
+    std::uint32_t tag, phy::PhyInterface& phy) {
+  std::vector<Resolution> resolved;
+  for (phy::RecordHandle handle : tag_records_[tag]) {
+    RecordState& state = records_[handle];
+    if (!state.open) continue;
+    state.knowns.push_back(tag);
+    if (auto id = phy.TryResolve(handle, state.knowns)) {
+      state.open = false;
+      --open_records_;
+      phy.ReleaseRecord(handle);
+      resolved.push_back({*id, handle});
+    }
+  }
+  return resolved;
+}
+
+}  // namespace anc::core

@@ -1,0 +1,65 @@
+// Reader-side collision-record bookkeeping (Section IV-B).
+//
+// For every learned ID the reader determines which outstanding collision
+// records that tag transmitted in — in the real protocol by replaying the
+// hash rule H(ID|j) <= floor(p_j 2^l) against each stored record, here by
+// consulting the per-tag transmission log the simulator recorded at
+// observation time (the hash rule is deterministic, so both views contain
+// identical information; the log is just O(1) per lookup). The tag's
+// signal is added to each record's known set and a resolution is
+// attempted; successes are returned so the engine can cascade.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/tag_id.h"
+#include "phy/phy.h"
+
+namespace anc::core {
+
+class RecordTracker {
+ public:
+  explicit RecordTracker(std::size_t n_tags);
+
+  // A new collision record was observed with the given transmitters.
+  void Register(phy::RecordHandle handle,
+                std::span<const std::uint32_t> participants);
+
+  struct Resolution {
+    TagId id;
+    phy::RecordHandle record;
+  };
+
+  // `tag`'s ID has just become known to the reader. Feeds it into every
+  // open record the tag participated in, attempting resolution through
+  // `phy`. Resolved records are closed and released.
+  std::vector<Resolution> OnIdKnown(std::uint32_t tag,
+                                    phy::PhyInterface& phy);
+
+  // A tag whose ID the reader *already* holds transmitted in a freshly
+  // registered record (it re-contends because its acknowledgement was
+  // lost, Section IV-E). Adds it to that record's knowns and attempts
+  // resolution. Returns the recovered ID, if any.
+  std::optional<Resolution> AddKnownParticipant(phy::RecordHandle handle,
+                                                std::uint32_t tag,
+                                                phy::PhyInterface& phy);
+
+  std::size_t open_records() const { return open_records_; }
+
+ private:
+  struct RecordState {
+    std::vector<std::uint32_t> knowns;
+    bool open = false;
+  };
+
+  void EnsureSlot(phy::RecordHandle handle);
+
+  std::vector<RecordState> records_;
+  std::vector<std::vector<phy::RecordHandle>> tag_records_;
+  std::size_t open_records_ = 0;
+};
+
+}  // namespace anc::core

@@ -1,0 +1,97 @@
+#include "estimate/zero_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace anc::estimate {
+namespace {
+
+struct FrameOutcome {
+  std::uint64_t empty = 0;
+  std::uint64_t singleton = 0;
+  std::uint64_t collision = 0;
+};
+
+// One estimation frame: each of `n` tags joins with probability p and
+// picks a uniform slot.
+FrameOutcome SimulateFrame(std::uint64_t n, std::uint64_t frame_size,
+                           double persistence, anc::Pcg32& rng) {
+  const std::uint64_t participants = rng.Binomial(n, persistence);
+  std::vector<std::uint16_t> counts(frame_size, 0);
+  for (std::uint64_t i = 0; i < participants; ++i) {
+    ++counts[rng.UniformBelow(static_cast<std::uint32_t>(frame_size))];
+  }
+  FrameOutcome out;
+  for (std::uint16_t c : counts) {
+    if (c == 0) {
+      ++out.empty;
+    } else if (c == 1) {
+      ++out.singleton;
+    } else {
+      ++out.collision;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double EstimateFromEmpties(std::uint64_t n0, std::uint64_t frame_size,
+                           double persistence) {
+  const auto l = static_cast<double>(frame_size);
+  // Clamp a fully-empty or fully-occupied frame into the invertible range.
+  const double clamped =
+      std::clamp(static_cast<double>(n0), 0.5, l - 0.5);
+  return -std::log(clamped / l) * l / persistence;
+}
+
+EstimationRun RunZeroEstimator(std::uint64_t true_n,
+                               const ZeroEstimatorConfig& config,
+                               anc::Pcg32& rng) {
+  EstimationRun run;
+  double persistence = 1.0;
+
+  // Auto-ranging: a frame without empty slots only lower-bounds n; halve
+  // p until the zero count becomes informative.
+  double coarse = 0.0;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const FrameOutcome frame =
+        SimulateFrame(true_n, config.frame_size, persistence, rng);
+    run.empty_slots += frame.empty;
+    run.singleton_slots += frame.singleton;
+    run.collision_slots += frame.collision;
+    if (frame.empty == 0) {
+      persistence /= 2.0;
+      continue;
+    }
+    coarse = EstimateFromEmpties(frame.empty, config.frame_size, persistence);
+    break;
+  }
+  if (coarse <= 0.0) coarse = 1.0;
+
+  // Refinement rounds at the variance-optimal load, averaging inverse
+  // estimates.
+  double sum = 0.0;
+  int used = 0;
+  for (int round = 0; round < config.rounds; ++round) {
+    const double p = std::min(
+        1.0, config.target_load * static_cast<double>(config.frame_size) /
+                 std::max(coarse, 1.0));
+    const FrameOutcome frame =
+        SimulateFrame(true_n, config.frame_size, p, rng);
+    run.empty_slots += frame.empty;
+    run.singleton_slots += frame.singleton;
+    run.collision_slots += frame.collision;
+    if (frame.empty == 0) continue;  // out of range; skip the sample
+    const double estimate =
+        EstimateFromEmpties(frame.empty, config.frame_size, p);
+    sum += estimate;
+    ++used;
+    coarse = sum / used;  // keep re-tuning toward the running mean
+  }
+  run.estimate = used > 0 ? sum / used : coarse;
+  return run;
+}
+
+}  // namespace anc::estimate

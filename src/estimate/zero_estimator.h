@@ -1,0 +1,55 @@
+// Frame-based tag-count estimation (after Kodialam & Nandagopal,
+// MobiCom'06 — the paper's reference [24]).
+//
+// SCAT assumes N "can be estimated to an arbitrary accuracy in a
+// pre-step" (Section IV-C); this module supplies that pre-step so SCAT's
+// cost accounting can include it. The Zero Estimator variant: the reader
+// announces an estimation frame of L slots and a persistence probability
+// p; each tag picks one uniform slot with probability p; the reader only
+// needs empty/non-empty per slot. With n tags the empty count follows
+//   E[n0] = L (1 - p/L)^n  ~  L e^{-np/L},
+// inverted as  n_hat = -ln(n0/L) * L / p.
+//
+// The procedure auto-ranges: starting from p = 1, any frame with no empty
+// slots halves p (the load is far beyond measurable) and retries; once in
+// range, further rounds re-tune p toward the variance-optimal load and
+// average the per-round estimates.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace anc::estimate {
+
+struct ZeroEstimatorConfig {
+  std::uint64_t frame_size = 64;
+  int rounds = 16;
+  // Load (n p / L) the tuning targets after auto-ranging; ~1.59 minimizes
+  // the zero-estimator variance.
+  double target_load = 1.59;
+};
+
+struct EstimationRun {
+  double estimate = 0.0;
+  // Air-time accounting for the pre-step.
+  std::uint64_t empty_slots = 0;
+  std::uint64_t singleton_slots = 0;
+  std::uint64_t collision_slots = 0;
+  std::uint64_t TotalSlots() const {
+    return empty_slots + singleton_slots + collision_slots;
+  }
+};
+
+// Pure inversion: estimate of n from an observed empty count.
+double EstimateFromEmpties(std::uint64_t n0, std::uint64_t frame_size,
+                           double persistence);
+
+// Simulates the complete estimation procedure against a true population
+// of `true_n` tags. The returned slot counts are what the pre-step costs
+// on the air.
+EstimationRun RunZeroEstimator(std::uint64_t true_n,
+                               const ZeroEstimatorConfig& config,
+                               anc::Pcg32& rng);
+
+}  // namespace anc::estimate

@@ -1,0 +1,85 @@
+#include "multi/inventory.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace anc::multi {
+
+std::vector<std::uint32_t> CoveredTags(const CoverageModel& model,
+                                       std::size_t warehouse_size,
+                                       std::size_t position) {
+  if (model.positions == 0 || warehouse_size == 0) return {};
+  const double span = 1.0 / static_cast<double>(model.positions);
+  const double lo = std::max(
+      0.0, (static_cast<double>(position) - model.overlap_fraction) * span);
+  const double hi = std::min(
+      1.0,
+      (static_cast<double>(position) + 1.0 + model.overlap_fraction) * span);
+  const auto n = static_cast<double>(warehouse_size);
+  const auto begin = static_cast<std::uint32_t>(lo * n);
+  auto end = static_cast<std::uint32_t>(hi * n);
+  if (position + 1 == model.positions) {
+    end = static_cast<std::uint32_t>(warehouse_size);  // cover the tail
+  }
+  std::vector<std::uint32_t> covered;
+  covered.reserve(end - begin);
+  for (std::uint32_t i = begin; i < end; ++i) covered.push_back(i);
+  return covered;
+}
+
+InventoryResult RunInventory(std::span<const TagId> warehouse,
+                             const CoverageModel& model,
+                             const sim::ProtocolFactory& factory,
+                             std::uint64_t seed,
+                             std::uint64_t max_slots_per_tag) {
+  InventoryResult result;
+  std::unordered_set<TagId> inventory;
+  inventory.reserve(warehouse.size() * 2);
+
+  for (std::size_t position = 0; position < model.positions; ++position) {
+    const auto covered_indices =
+        CoveredTags(model, warehouse.size(), position);
+    std::vector<TagId> covered;
+    covered.reserve(covered_indices.size());
+    for (std::uint32_t i : covered_indices) covered.push_back(warehouse[i]);
+
+    anc::Pcg32 rng(seed + position, 0xC0FFEEULL + position);
+    auto protocol = factory(covered, rng);
+    const std::uint64_t cap = max_slots_per_tag * covered.size() + 1000;
+    while (!protocol->Finished() &&
+           protocol->metrics().TotalSlots() < cap) {
+      protocol->Step();
+    }
+    const sim::RunMetrics& metrics = protocol->metrics();
+    result.total_seconds += metrics.elapsed_seconds;
+    result.per_position.push_back(metrics);
+
+    // The reading collected every covered ID (the per-position protocol
+    // is complete); merging de-duplicates overlap tags.
+    if (metrics.tags_read == covered.size()) {
+      for (const TagId& id : covered) {
+        if (!inventory.insert(id).second) ++result.duplicate_reads;
+      }
+    }
+  }
+
+  result.unique_ids = inventory.size();
+  result.complete = result.unique_ids == warehouse.size();
+  return result;
+}
+
+InventoryAudit AuditInventory(std::span<const TagId> inventoried,
+                              std::span<const TagId> expected) {
+  InventoryAudit audit;
+  std::unordered_set<TagId> present(inventoried.begin(), inventoried.end());
+  std::unordered_set<TagId> wanted(expected.begin(), expected.end());
+  for (const TagId& id : expected) {
+    if (present.count(id) == 0) audit.missing.push_back(id);
+  }
+  for (const TagId& id : inventoried) {
+    if (wanted.count(id) == 0) audit.unexpected.push_back(id);
+  }
+  return audit;
+}
+
+}  // namespace anc::multi

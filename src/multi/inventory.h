@@ -1,0 +1,63 @@
+// Multi-position inventory (Section II-A): "If the communication range
+// cannot cover the whole deployment region, the reader may have to
+// perform the reading process at several locations and remove the
+// duplicate IDs when some tags are covered by multiple readings."
+//
+// The warehouse is modeled as a shelf line of tags; each reader position
+// covers a contiguous span with a configurable overlap into its
+// neighbours (tags in an overlap are read — and paid for — twice). Any
+// protocol from the library can drive each position's reading.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/tag_id.h"
+#include "sim/metrics.h"
+#include "sim/runner.h"
+
+namespace anc::multi {
+
+struct CoverageModel {
+  std::size_t positions = 4;
+  // Fraction of one position's nominal span that bleeds into each
+  // neighbour (0 = perfect tiling, 0.5 = half of each span shared).
+  double overlap_fraction = 0.15;
+};
+
+// Indices of the warehouse tags audible from `position`.
+std::vector<std::uint32_t> CoveredTags(const CoverageModel& model,
+                                       std::size_t warehouse_size,
+                                       std::size_t position);
+
+struct InventoryResult {
+  std::size_t unique_ids = 0;       // merged inventory size
+  std::size_t duplicate_reads = 0;  // overlap IDs read more than once
+  double total_seconds = 0.0;       // summed air time over all positions
+  std::vector<sim::RunMetrics> per_position;
+  bool complete = false;            // every warehouse tag inventoried
+};
+
+// Runs one full inventory: a complete reading process per position with
+// the given protocol, then a duplicate-removing merge.
+InventoryResult RunInventory(std::span<const TagId> warehouse,
+                             const CoverageModel& model,
+                             const sim::ProtocolFactory& factory,
+                             std::uint64_t seed,
+                             std::uint64_t max_slots_per_tag = 200);
+
+// The point of periodic reading (Section I): comparing the inventory
+// against the expected stock list exposes administration error, vendor
+// fraud and employee theft.
+struct InventoryAudit {
+  std::vector<TagId> missing;     // expected but not read
+  std::vector<TagId> unexpected;  // read but not on the stock list
+};
+
+// Compares the IDs actually present (`warehouse`, as merged by
+// RunInventory) against the `expected` stock list.
+InventoryAudit AuditInventory(std::span<const TagId> inventoried,
+                              std::span<const TagId> expected);
+
+}  // namespace anc::multi

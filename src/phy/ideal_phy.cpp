@@ -1,0 +1,80 @@
+#include "phy/ideal_phy.h"
+
+#include <algorithm>
+
+namespace anc::phy {
+
+IdealPhy::IdealPhy(std::span<const TagId> population, IdealPhyConfig config,
+                   anc::Pcg32 rng)
+    : population_(population), config_(config), rng_(rng) {}
+
+SlotObservation IdealPhy::ObserveSlot(
+    std::uint64_t /*slot_index*/,
+    std::span<const std::uint32_t> participants) {
+  SlotObservation obs;
+  if (participants.empty()) {
+    obs.type = SlotType::kEmpty;
+    return obs;
+  }
+
+  if (participants.size() == 1 &&
+      rng_.UniformDouble() >= config_.singleton_corrupt_prob) {
+    obs.type = SlotType::kSingleton;
+    obs.singleton_id = population_[participants[0]];
+    return obs;
+  }
+
+  // Collision, or a singleton whose CRC failed: the reader can only store
+  // the received signal as a collision record.
+  obs.type = participants.size() == 1 ? SlotType::kSingleton
+                                      : SlotType::kCollision;
+  Record record;
+  record.participants.assign(participants.begin(), participants.end());
+  record.open = true;
+  // A corrupted singleton's stored signal is garbage: it can never be
+  // resolved, only superseded when the tag retries.
+  record.doomed = participants.size() == 1;
+  records_.push_back(std::move(record));
+  ++open_records_;
+  obs.record = static_cast<RecordHandle>(records_.size() - 1);
+  return obs;
+}
+
+std::optional<TagId> IdealPhy::TryResolve(
+    RecordHandle handle, std::span<const std::uint32_t> known_participants) {
+  if (handle >= records_.size()) return std::nullopt;
+  Record& record = records_[handle];
+  if (!record.open || record.doomed) return std::nullopt;
+  const std::size_t k = record.participants.size();
+  if (k > config_.lambda) return std::nullopt;
+  if (known_participants.size() + 1 != k) return std::nullopt;
+
+  if (rng_.UniformDouble() >= config_.resolution_success_prob) {
+    // A noise-corrupted record never becomes resolvable (Section IV-E):
+    // the slot is wasted, but the missing tag keeps transmitting and will
+    // be learned elsewhere.
+    record.doomed = true;
+    return std::nullopt;
+  }
+
+  for (std::uint32_t tag : record.participants) {
+    const bool known =
+        std::find(known_participants.begin(), known_participants.end(),
+                  tag) != known_participants.end();
+    if (!known) return population_[tag];
+  }
+  return std::nullopt;  // all constituents already known; nothing to gain
+}
+
+void IdealPhy::ReleaseRecord(RecordHandle handle) {
+  if (handle >= records_.size()) return;
+  Record& record = records_[handle];
+  if (record.open) {
+    record.open = false;
+    record.participants.clear();
+    record.participants.shrink_to_fit();
+    --open_records_;
+  }
+}
+
+}  // namespace anc::phy

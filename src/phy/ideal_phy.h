@@ -1,0 +1,58 @@
+// The abstract phy the paper's evaluation assumes (Section III-B / VI): a
+// k-collision slot is resolvable iff k <= lambda and k-1 constituents are
+// known. Optional imperfections:
+//   resolution_success_prob  — Section IV-E: noisy environments make some
+//                              collision slots unresolvable; a failed
+//                              record is only wasted, never wrong.
+//   singleton_corrupt_prob   — channel error on a report segment: the CRC
+//                              fails and the slot is recorded like a
+//                              collision (the tag retries later).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "phy/phy.h"
+
+namespace anc::phy {
+
+struct IdealPhyConfig {
+  unsigned lambda = 2;
+  double resolution_success_prob = 1.0;
+  double singleton_corrupt_prob = 0.0;
+};
+
+class IdealPhy final : public PhyInterface {
+ public:
+  IdealPhy(std::span<const TagId> population, IdealPhyConfig config,
+           anc::Pcg32 rng);
+
+  SlotObservation ObserveSlot(
+      std::uint64_t slot_index,
+      std::span<const std::uint32_t> participants) override;
+
+  std::optional<TagId> TryResolve(
+      RecordHandle record,
+      std::span<const std::uint32_t> known_participants) override;
+
+  void ReleaseRecord(RecordHandle record) override;
+
+  std::size_t OpenRecords() const override { return open_records_; }
+
+ private:
+  struct Record {
+    std::vector<std::uint32_t> participants;
+    bool open = false;
+    bool doomed = false;  // resolution attempt already failed (noise draw)
+  };
+
+  std::span<const TagId> population_;
+  IdealPhyConfig config_;
+  anc::Pcg32 rng_;
+  std::vector<Record> records_;
+  std::size_t open_records_ = 0;
+};
+
+}  // namespace anc::phy

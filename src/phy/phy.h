@@ -1,0 +1,55 @@
+// Physical-layer interface between the protocol engines and the channel.
+//
+// Protocols decide *who transmits when*; the phy decides *what the reader
+// hears* and *whether a collision record yields the last constituent ID
+// when all others are known*. Two implementations share this interface:
+//
+//   IdealPhy  — the abstraction the paper simulates: a k-collision record
+//               with k <= lambda is resolvable once k-1 constituents are
+//               known (Section III-B), optionally degraded by a resolution
+//               success probability (Section IV-E).
+//   SignalPhy — full waveform simulation: MSK synthesis per tag through a
+//               static per-tag channel, AWGN at the reader, and resolution
+//               by actual signal subtraction + demodulation + CRC.
+//
+// Participants are indices into the tag population the phy was constructed
+// with. Protocols may record which collision records a tag participated in
+// at observation time: this stands in for the reader's retroactive hash
+// check H(ID|j) <= floor(p_j 2^l) (Section IV-B), which reconstructs the
+// same information once the ID is known.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/tag_id.h"
+#include "phy/slot.h"
+
+namespace anc::phy {
+
+class PhyInterface {
+ public:
+  virtual ~PhyInterface() = default;
+
+  // Simulates the report segment of `slot_index` with the given
+  // transmitting tags. Collision (and corrupted-singleton) slots allocate
+  // a record that stays valid until ReleaseRecord.
+  virtual SlotObservation ObserveSlot(
+      std::uint64_t slot_index, std::span<const std::uint32_t> participants) = 0;
+
+  // Attempts to recover one more ID from `record` given that the reader
+  // already knows the IDs of `known_participants` (tag indices). Returns
+  // the recovered ID when subtraction + demodulation + CRC succeed.
+  virtual std::optional<TagId> TryResolve(
+      RecordHandle record,
+      std::span<const std::uint32_t> known_participants) = 0;
+
+  // Frees the stored mixed signal of a resolved or abandoned record.
+  virtual void ReleaseRecord(RecordHandle record) = 0;
+
+  // Number of records currently held (leak checking in tests).
+  virtual std::size_t OpenRecords() const = 0;
+};
+
+}  // namespace anc::phy

@@ -1,0 +1,158 @@
+#include "phy/signal_phy.h"
+
+#include <algorithm>
+
+#include "signal/mixer.h"
+
+namespace anc::phy {
+
+using anc::signal::Buffer;
+
+SignalPhy::SignalPhy(std::span<const TagId> population,
+                     SignalPhyConfig config, anc::Pcg32 rng)
+    : population_(population),
+      config_(config),
+      rng_(rng),
+      codec_(config.samples_per_bit, config.preamble_bits),
+      resolver_(config.subtraction, config.samples_per_bit),
+      references_(population.size()) {
+  channels_.reserve(population.size());
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    auto channel =
+        anc::signal::RandomChannel(rng_, config_.min_gain, config_.max_gain);
+    if (config_.max_cfo_per_sample > 0.0) {
+      channel.cfo_per_sample =
+          config_.max_cfo_per_sample * (2.0 * rng_.UniformDouble() - 1.0);
+    }
+    channels_.push_back(channel);
+  }
+  // Unit-amplitude MSK has power 1; the SNR is referenced to a unit-gain
+  // tag at the reader front-end.
+  noise_power_ = anc::signal::NoisePowerForSnrDb(1.0, config_.snr_db);
+}
+
+Buffer SignalPhy::SynthesizeReception(std::uint32_t tag,
+                                      std::uint64_t slot_index) const {
+  anc::signal::ChannelParams channel = channels_[tag];
+  // A residual carrier offset keeps rotating between slots: the phase a
+  // waveform arrives with depends on *when* it is transmitted, so a
+  // reference captured in one slot is rotated relative to the same tag's
+  // contribution to a later mixed signal. This is what makes CFO hurt
+  // subtraction even though the per-slot channel is otherwise static.
+  const double slot_samples =
+      static_cast<double>(codec_.frame_bits()) *
+      static_cast<double>(config_.samples_per_bit);
+  channel.phase += channel.cfo_per_sample *
+                   static_cast<double>(slot_index) * slot_samples;
+  return anc::signal::ApplyChannel(codec_.Encode(population_[tag]),
+                                   channel);
+}
+
+SlotObservation SignalPhy::ObserveSlot(
+    std::uint64_t slot_index,
+    std::span<const std::uint32_t> participants) {
+  SlotObservation obs;
+  if (participants.empty()) {
+    obs.type = SlotType::kEmpty;
+    return obs;
+  }
+
+  std::vector<Buffer> waveforms;
+  std::vector<std::size_t> offsets;
+  waveforms.reserve(participants.size());
+  offsets.reserve(participants.size());
+  for (std::uint32_t tag : participants) {
+    waveforms.push_back(SynthesizeReception(tag, slot_index));
+    // The receiver time-aligns to a lone signal; only the *relative*
+    // misalignment between collided constituents survives.
+    offsets.push_back(
+        (config_.max_timing_jitter_samples == 0 || participants.size() == 1)
+            ? 0
+            : rng_.UniformBelow(config_.max_timing_jitter_samples + 1));
+  }
+  Buffer received = anc::signal::MixSignals(waveforms, offsets);
+  anc::signal::AddAwgn(received, noise_power_, rng_);
+
+  obs.type = participants.size() == 1 ? SlotType::kSingleton
+                                      : SlotType::kCollision;
+
+  if (participants.size() == 1) {
+    if (auto id = codec_.Decode(received)) {
+      obs.singleton_id = *id;
+      // Keep the cleanest reception seen so far as the reference.
+      references_[participants[0]] = std::move(received);
+      return obs;
+    }
+  }
+
+  if (config_.enable_capture && participants.size() > 1) {
+    // Capture attempt on the raw mixture: succeeds only when the CRC of
+    // the dominant constituent survives the interference.
+    if (auto id = codec_.Decode(received)) {
+      obs.singleton_id = *id;
+    }
+  }
+
+  Record record;
+  record.mixed = std::move(received);
+  record.mixture_order = participants.size();
+  record.open = true;
+  records_.push_back(std::move(record));
+  ++open_records_;
+  obs.record = static_cast<RecordHandle>(records_.size() - 1);
+  return obs;
+}
+
+std::optional<TagId> SignalPhy::TryResolve(
+    RecordHandle handle, std::span<const std::uint32_t> known_participants) {
+  if (handle >= records_.size()) return std::nullopt;
+  Record& record = records_[handle];
+  if (!record.open) return std::nullopt;
+  if (config_.max_mixture != 0 &&
+      record.mixture_order > config_.max_mixture) {
+    return std::nullopt;  // beyond the modeled ANC decoder capability
+  }
+
+  std::vector<Buffer> refs;
+  refs.reserve(known_participants.size());
+  for (std::uint32_t tag : known_participants) {
+    if (references_[tag].empty()) return std::nullopt;
+    refs.push_back(references_[tag]);
+  }
+
+  auto result =
+      resolver_.ResolveLast(record.mixed, refs, codec_.frame_bits());
+  if (!result.demodulated) return std::nullopt;
+  auto id = codec_.DecodeBits(result.bits);
+  if (!id) return std::nullopt;
+
+  // Reject pathological decodes of an already-known constituent (the CRC
+  // makes this astronomically unlikely, but it would corrupt bookkeeping).
+  for (std::uint32_t tag : known_participants) {
+    if (population_[tag] == *id) return std::nullopt;
+  }
+
+  // Locate the resolved tag and keep its extracted signal as a reference
+  // for further cascade resolution.
+  const auto it = std::find(population_.begin(), population_.end(), *id);
+  if (it == population_.end()) return std::nullopt;  // noise forged a CRC
+  const auto index =
+      static_cast<std::uint32_t>(std::distance(population_.begin(), it));
+  if (references_[index].empty()) {
+    references_[index] = std::move(result.residual);
+  }
+  return id;
+}
+
+void SignalPhy::ReleaseRecord(RecordHandle handle) {
+  if (handle >= records_.size()) return;
+  Record& record = records_[handle];
+  if (record.open) {
+    record.open = false;
+    record.mixed.clear();
+    record.mixed.shrink_to_fit();
+    --open_records_;
+  }
+}
+
+}  // namespace anc::phy

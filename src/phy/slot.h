@@ -1,0 +1,27 @@
+// Slot taxonomy (Section III-A): empty, singleton, or k-collision.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/tag_id.h"
+
+namespace anc::phy {
+
+enum class SlotType { kEmpty, kSingleton, kCollision };
+
+// Handle of a stored collision record (mixed signal + slot index).
+using RecordHandle = std::uint32_t;
+inline constexpr RecordHandle kInvalidRecord = ~RecordHandle{0};
+
+// What the reader observes in one report segment.
+struct SlotObservation {
+  SlotType type = SlotType::kEmpty;
+  // Present when a singleton decoded cleanly (CRC verified).
+  std::optional<TagId> singleton_id;
+  // Present when a mixed/undecodable signal was recorded for later
+  // resolution.
+  RecordHandle record = kInvalidRecord;
+};
+
+}  // namespace anc::phy

@@ -1,0 +1,48 @@
+#include "protocols/abs.h"
+
+#include <algorithm>
+
+namespace anc::protocols {
+
+Abs::Abs(std::span<const TagId> population, anc::Pcg32 rng,
+         phy::TimingModel timing, AbsConfig config)
+    : BaselineBase("ABS", population, rng, timing) {
+  const std::uint64_t branches = std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(config.initial_branches,
+                                 population.size() + 1));
+  std::vector<std::vector<std::uint32_t>> groups(branches);
+  for (std::uint32_t tag = 0; tag < population.size(); ++tag) {
+    groups[rng_.UniformBelow(static_cast<std::uint32_t>(branches))]
+        .push_back(tag);
+  }
+  // Depth-first order; empty initial branches still cost their slot.
+  for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
+    stack_.push_back(std::move(*it));
+  }
+}
+
+void Abs::Step() {
+  if (stack_.empty()) return;
+  std::vector<std::uint32_t> group = std::move(stack_.back());
+  stack_.pop_back();
+  metrics_.tag_transmissions += group.size();
+
+  if (group.empty()) {
+    ChargeEmptySlot();
+    return;
+  }
+  if (group.size() == 1) {
+    ChargeSingletonSlot();
+    return;
+  }
+
+  ChargeCollisionSlot();
+  std::vector<std::uint32_t> zeros, ones;
+  for (std::uint32_t tag : group) {
+    ((rng_() & 1u) ? ones : zeros).push_back(tag);
+  }
+  stack_.push_back(std::move(ones));   // processed after the zero-subset
+  stack_.push_back(std::move(zeros));
+}
+
+}  // namespace anc::protocols

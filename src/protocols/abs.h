@@ -1,0 +1,36 @@
+// Adaptive Binary Splitting (Myung & Lee, MobiHoc'06) — tree-family
+// baseline.
+//
+// Counter-based binary splitting: tags whose counter equals the reader's
+// progressed-slot counter transmit; a collision makes each colliding tag
+// draw a random bit to split into two subsets while bystanders defer.
+// Equivalently (and how we simulate it), the reading round is a binary
+// tree explored depth-first: one slot per node, singleton leaves identify
+// tags. ABS's adaptation seeds the round with the previous round's tag
+// count; `initial_branches` models that warm start (1 = cold start, which
+// matches the paper's reported 2.88 slots/tag).
+#pragma once
+
+#include <vector>
+
+#include "protocols/baseline_base.h"
+
+namespace anc::protocols {
+
+struct AbsConfig {
+  std::uint64_t initial_branches = 1;
+};
+
+class Abs final : public BaselineBase {
+ public:
+  Abs(std::span<const TagId> population, anc::Pcg32 rng,
+      phy::TimingModel timing, AbsConfig config = {});
+
+  void Step() override;
+  bool Finished() const override { return stack_.empty(); }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> stack_;
+};
+
+}  // namespace anc::protocols

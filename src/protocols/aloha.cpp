@@ -1,0 +1,34 @@
+#include "protocols/aloha.h"
+
+namespace anc::protocols {
+
+SlottedAloha::SlottedAloha(std::span<const TagId> population, anc::Pcg32 rng,
+                           phy::TimingModel timing)
+    : BaselineBase("ALOHA", population, rng, timing) {
+  unread_.resize(population.size());
+  for (std::uint32_t i = 0; i < population.size(); ++i) unread_[i] = i;
+}
+
+void SlottedAloha::Step() {
+  if (unread_.empty()) return;
+  const auto backlog = static_cast<std::uint32_t>(unread_.size());
+  const double p = 1.0 / static_cast<double>(backlog);
+  const std::uint64_t k = rng_.Binomial(backlog, p);
+  metrics_.tag_transmissions += k;
+
+  if (k == 0) {
+    ChargeEmptySlot();
+    return;
+  }
+  if (k > 1) {
+    ChargeCollisionSlot();
+    return;
+  }
+  // Exactly one transmitter: identify a uniformly random unread tag.
+  ChargeSingletonSlot();
+  const std::uint32_t pick = rng_.UniformBelow(backlog);
+  std::swap(unread_[pick], unread_.back());
+  unread_.pop_back();
+}
+
+}  // namespace anc::protocols

@@ -1,0 +1,30 @@
+// p-persistent slotted ALOHA (Section II-A's contention-based reference).
+//
+// Each unread tag transmits its ID in every slot with probability
+// p = 1/backlog — the load at which the singleton probability peaks at
+// 1/e = 36.8%. This is the protocol whose throughput ceiling 1/(eT)
+// the paper sets out to break; it is included as the analytic reference
+// for the bounds tests and benches. The reader is given the true backlog
+// (the "pre-step estimation to arbitrary accuracy" of Section IV-C), so
+// the measured throughput isolates the pure contention cost.
+#pragma once
+
+#include <vector>
+
+#include "protocols/baseline_base.h"
+
+namespace anc::protocols {
+
+class SlottedAloha final : public BaselineBase {
+ public:
+  SlottedAloha(std::span<const TagId> population, anc::Pcg32 rng,
+               phy::TimingModel timing);
+
+  void Step() override;
+  bool Finished() const override { return unread_.empty(); }
+
+ private:
+  std::vector<std::uint32_t> unread_;
+};
+
+}  // namespace anc::protocols

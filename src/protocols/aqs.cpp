@@ -1,0 +1,66 @@
+#include "protocols/aqs.h"
+
+#include <algorithm>
+
+namespace anc::protocols {
+
+bool Aqs::IdBit(std::uint32_t tag, int bit_index) const {
+  const TagId& id = population_[tag];
+  if (bit_index < 16) {
+    return ((id.payload_hi() >> (15 - bit_index)) & 1) != 0;
+  }
+  if (bit_index < 80) {
+    return ((id.payload_lo() >> (79 - bit_index)) & 1) != 0;
+  }
+  return ((id.crc() >> (95 - bit_index)) & 1) != 0;
+}
+
+Aqs::Aqs(std::span<const TagId> population, anc::Pcg32 rng,
+         phy::TimingModel timing, AqsConfig config)
+    : BaselineBase("AQS", population, rng, timing) {
+  const int depth = std::max(0, config.initial_prefix_depth);
+  const std::uint32_t prefixes = 1u << depth;
+  std::vector<Node> roots(prefixes);
+  for (std::uint32_t i = 0; i < prefixes; ++i) roots[i].depth = depth;
+  for (std::uint32_t tag = 0; tag < population.size(); ++tag) {
+    std::uint32_t prefix = 0;
+    for (int b = 0; b < depth; ++b) {
+      prefix = (prefix << 1) | (IdBit(tag, b) ? 1u : 0u);
+    }
+    roots[prefix].members.push_back(tag);
+  }
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack_.push_back(std::move(*it));
+  }
+}
+
+void Aqs::Step() {
+  if (stack_.empty()) return;
+  Node node = std::move(stack_.back());
+  stack_.pop_back();
+  metrics_.tag_transmissions += node.members.size();
+
+  if (node.members.empty()) {
+    ChargeEmptySlot();
+    return;
+  }
+  if (node.members.size() == 1) {
+    ChargeSingletonSlot();
+    return;
+  }
+
+  ChargeCollisionSlot();
+  if (node.depth >= TagId::kTotalBits) {
+    // Distinct IDs always separate before the full width; guard anyway.
+    return;
+  }
+  Node zeros{node.depth + 1, {}};
+  Node ones{node.depth + 1, {}};
+  for (std::uint32_t tag : node.members) {
+    (IdBit(tag, node.depth) ? ones : zeros).members.push_back(tag);
+  }
+  stack_.push_back(std::move(ones));
+  stack_.push_back(std::move(zeros));
+}
+
+}  // namespace anc::protocols

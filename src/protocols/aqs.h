@@ -1,0 +1,43 @@
+// Adaptive Query Splitting (Myung & Lee, MobiHoc'06) and the classic
+// query-tree protocol it extends — the ID-based tree baseline.
+//
+// The reader queries an ID prefix; tags whose ID starts with it respond.
+// A collision splits the prefix by appending 0 and 1. AQS's adaptation
+// carries the query queue across reading rounds; a fresh round starts
+// from the two 1-bit prefixes. Unlike random splitting (ABS), the split
+// quality depends on the ID distribution — uniform here, per Section VII.
+#pragma once
+
+#include <vector>
+
+#include "protocols/baseline_base.h"
+
+namespace anc::protocols {
+
+struct AqsConfig {
+  // Depth of the initial prefix set: a fresh AQS round queries the 2^d
+  // prefixes of this length (d = 1 by default). A warm round would seed
+  // with the previous round's singleton/empty queries instead.
+  int initial_prefix_depth = 1;
+};
+
+class Aqs final : public BaselineBase {
+ public:
+  Aqs(std::span<const TagId> population, anc::Pcg32 rng,
+      phy::TimingModel timing, AqsConfig config = {});
+
+  void Step() override;
+  bool Finished() const override { return stack_.empty(); }
+
+ private:
+  struct Node {
+    int depth = 0;
+    std::vector<std::uint32_t> members;
+  };
+
+  bool IdBit(std::uint32_t tag, int bit_index) const;
+
+  std::vector<Node> stack_;
+};
+
+}  // namespace anc::protocols

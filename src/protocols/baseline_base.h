@@ -1,0 +1,50 @@
+// Shared plumbing for the baseline anti-collision protocols the paper
+// compares against (Section VI). Baselines are charged pure slot time —
+// the paper's reported baseline throughputs equal
+// N / (slot_count * 2.8 ms) exactly, confirming that accounting.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/rng.h"
+#include "common/tag_id.h"
+#include "phy/timing.h"
+#include "sim/metrics.h"
+#include "sim/protocol.h"
+
+namespace anc::protocols {
+
+class BaselineBase : public sim::Protocol {
+ public:
+  BaselineBase(std::string_view name, std::span<const TagId> population,
+               anc::Pcg32 rng, phy::TimingModel timing)
+      : name_(name), population_(population), rng_(rng), timing_(timing) {}
+
+  std::string_view name() const override { return name_; }
+  const sim::RunMetrics& metrics() const override { return metrics_; }
+
+ protected:
+  void ChargeEmptySlot() {
+    ++metrics_.empty_slots;
+    metrics_.elapsed_seconds += timing_.SlotSeconds();
+  }
+  void ChargeSingletonSlot() {
+    ++metrics_.singleton_slots;
+    ++metrics_.tags_read;
+    ++metrics_.ids_from_singletons;
+    metrics_.elapsed_seconds += timing_.SlotSeconds();
+  }
+  void ChargeCollisionSlot() {
+    ++metrics_.collision_slots;
+    metrics_.elapsed_seconds += timing_.SlotSeconds();
+  }
+
+  std::string_view name_;
+  std::span<const TagId> population_;
+  anc::Pcg32 rng_;
+  phy::TimingModel timing_;
+  sim::RunMetrics metrics_;
+};
+
+}  // namespace anc::protocols

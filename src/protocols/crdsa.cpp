@@ -1,0 +1,127 @@
+#include "protocols/crdsa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace anc::protocols {
+
+Crdsa::Crdsa(std::span<const TagId> population, anc::Pcg32 rng,
+             phy::TimingModel timing, CrdsaConfig config)
+    : BaselineBase("CRDSA", population, rng, timing),
+      config_(config),
+      read_(population.size(), false) {
+  unread_.resize(population.size());
+  for (std::uint32_t i = 0; i < population.size(); ++i) unread_[i] = i;
+  StartFrame();
+}
+
+void Crdsa::StartFrame() {
+  ++metrics_.frames;
+  const auto backlog = static_cast<double>(unread_.size());
+  frame_size_ = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(std::llround(backlog / config_.target_load)),
+      config_.min_frame_size, config_.max_frame_size);
+
+  slot_cursor_ = 0;
+  frame_transmissions_ = 0;
+  slot_tags_.assign(frame_size_, {});
+  for (std::uint32_t tag : unread_) {
+    // `copies` distinct slots per tag (rejection sampling; copies is tiny
+    // against the frame).
+    std::uint32_t chosen[8];
+    int picked = 0;
+    while (picked < config_.copies &&
+           picked < static_cast<int>(frame_size_)) {
+      const std::uint32_t slot =
+          rng_.UniformBelow(static_cast<std::uint32_t>(frame_size_));
+      bool duplicate = false;
+      for (int i = 0; i < picked; ++i) duplicate |= chosen[i] == slot;
+      if (duplicate) continue;
+      chosen[picked++] = slot;
+      slot_tags_[slot].push_back(tag);
+      ++metrics_.tag_transmissions;
+    }
+    ++frame_transmissions_;
+  }
+
+  // Record the on-air slot occupancy before cancellation mutates it.
+  decoded_in_frame_.assign(frame_size_, 0);
+  for (std::uint64_t s = 0; s < frame_size_; ++s) {
+    decoded_in_frame_[s] = slot_tags_[s].size() == 1 ? 1 : 0;
+  }
+  RunInterferenceCancellation();
+}
+
+void Crdsa::RunInterferenceCancellation() {
+  // The receiver stores the whole frame, decodes clean singletons, then
+  // cancels each decoded tag's twin copies, possibly exposing new
+  // singletons; repeat until a sweep makes no progress (a stopping set).
+  std::vector<std::uint8_t> decoded(read_.size(), 0);
+  std::vector<std::vector<std::uint32_t>> working = slot_tags_;
+  std::deque<std::uint64_t> ready;
+  for (std::uint64_t s = 0; s < frame_size_; ++s) {
+    if (working[s].size() == 1) ready.push_back(s);
+  }
+
+  std::vector<std::pair<std::uint32_t, bool>> reads;  // tag, from_singleton
+  int iterations = 0;
+  while (!ready.empty() && iterations < config_.max_ic_iterations *
+                                            static_cast<int>(frame_size_)) {
+    const std::uint64_t slot = ready.front();
+    ready.pop_front();
+    ++iterations;
+    if (working[slot].size() != 1) continue;
+    const std::uint32_t tag = working[slot][0];
+    if (decoded[tag]) continue;
+    decoded[tag] = 1;
+    reads.emplace_back(tag, decoded_in_frame_[slot] == 1);
+    // Cancel every copy of this tag from the stored frame.
+    for (std::uint64_t s = 0; s < frame_size_; ++s) {
+      auto& tags = working[s];
+      const auto it = std::find(tags.begin(), tags.end(), tag);
+      if (it == tags.end()) continue;
+      tags.erase(it);
+      if (tags.size() == 1) ready.push_back(s);
+    }
+  }
+
+  // Book the reads now; Step() charges slot time as the frame plays out.
+  for (const auto& [tag, from_singleton] : reads) {
+    read_[tag] = true;
+    ++metrics_.tags_read;
+    if (from_singleton) {
+      ++metrics_.ids_from_singletons;
+    } else {
+      ++metrics_.ids_from_collisions;
+    }
+  }
+}
+
+void Crdsa::Step() {
+  if (finished_) return;
+
+  const std::size_t occupancy = slot_tags_[slot_cursor_].size();
+  if (occupancy == 0) {
+    ++metrics_.empty_slots;
+  } else if (occupancy == 1) {
+    ++metrics_.singleton_slots;
+  } else {
+    ++metrics_.collision_slots;
+  }
+  metrics_.elapsed_seconds += timing_.SlotSeconds();
+  ++slot_cursor_;
+
+  if (slot_cursor_ < frame_size_) return;
+
+  if (frame_transmissions_ == 0) {
+    finished_ = true;
+    return;
+  }
+  unread_.erase(std::remove_if(unread_.begin(), unread_.end(),
+                               [&](std::uint32_t t) { return read_[t]; }),
+                unread_.end());
+  StartFrame();
+}
+
+}  // namespace anc::protocols

@@ -1,0 +1,69 @@
+#include "protocols/dfsa.h"
+
+#include <algorithm>
+
+#include "protocols/estimators.h"
+
+namespace anc::protocols {
+
+Dfsa::Dfsa(std::span<const TagId> population, anc::Pcg32 rng,
+           phy::TimingModel timing, DfsaConfig config)
+    : BaselineBase("DFSA", population, rng, timing),
+      config_(config),
+      read_(population.size(), false) {
+  unread_.resize(population.size());
+  for (std::uint32_t i = 0; i < population.size(); ++i) unread_[i] = i;
+  const std::uint64_t initial = config_.initial_frame_size != 0
+                                    ? config_.initial_frame_size
+                                    : std::max<std::size_t>(population.size(), 1);
+  frame_size_ = std::min(initial, config_.max_frame_size);
+  StartFrame();
+}
+
+void Dfsa::StartFrame() {
+  ++metrics_.frames;
+  slot_cursor_ = 0;
+  frame_collisions_ = 0;
+  frame_transmissions_ = 0;
+  slot_counts_.assign(frame_size_, 0);
+  slot_last_tag_.assign(frame_size_, 0);
+  for (std::uint32_t tag : unread_) {
+    const auto slot = rng_.UniformBelow(static_cast<std::uint32_t>(frame_size_));
+    ++slot_counts_[slot];
+    slot_last_tag_[slot] = tag;
+    ++frame_transmissions_;
+  }
+  metrics_.tag_transmissions += frame_transmissions_;
+}
+
+void Dfsa::Step() {
+  if (finished_) return;
+
+  const std::uint16_t occupancy = slot_counts_[slot_cursor_];
+  if (occupancy == 0) {
+    ChargeEmptySlot();
+  } else if (occupancy == 1) {
+    ChargeSingletonSlot();
+    read_[slot_last_tag_[slot_cursor_]] = true;
+  } else {
+    ChargeCollisionSlot();
+    ++frame_collisions_;
+  }
+  ++slot_cursor_;
+
+  if (slot_cursor_ < frame_size_) return;
+
+  // Frame boundary: tags read this frame leave; the rest re-contend.
+  if (frame_transmissions_ == 0) {
+    finished_ = true;
+    return;
+  }
+  unread_.erase(std::remove_if(unread_.begin(), unread_.end(),
+                               [&](std::uint32_t t) { return read_[t]; }),
+                unread_.end());
+  const std::uint64_t backlog = ChaKimBacklog(frame_collisions_);
+  frame_size_ = std::clamp<std::uint64_t>(backlog, 1, config_.max_frame_size);
+  StartFrame();
+}
+
+}  // namespace anc::protocols

@@ -1,0 +1,23 @@
+#include "protocols/estimators.h"
+
+#include <cmath>
+
+namespace anc::protocols {
+
+double TagsPerCollisionSlotAtUnitLoad() {
+  // E[X | X >= 2] for X ~ Poisson(1):
+  //   (1 - e^{-1}) / (1 - 2 e^{-1}) = 2.3922...
+  const double e_inv = std::exp(-1.0);
+  return (1.0 - e_inv) / (1.0 - 2.0 * e_inv);
+}
+
+std::uint64_t ChaKimBacklog(std::uint64_t collision_slots) {
+  return static_cast<std::uint64_t>(
+      std::llround(2.39 * static_cast<double>(collision_slots)));
+}
+
+std::uint64_t VogtLowerBound(std::uint64_t collision_slots) {
+  return 2 * collision_slots;
+}
+
+}  // namespace anc::protocols

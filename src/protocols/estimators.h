@@ -1,0 +1,23 @@
+// Backlog (unread tag count) estimators used by the framed-ALOHA
+// baselines.
+#pragma once
+
+#include <cstdint>
+
+namespace anc::protocols {
+
+// Cha & Kim (CCNC'06) collision-ratio estimate: each collision slot hides
+// on average ~2.39 tags at optimal load, so backlog ~= 2.39 * collisions.
+// This is the "fast tag estimation method" DFSA uses between frames.
+std::uint64_t ChaKimBacklog(std::uint64_t collision_slots);
+
+// Vogt's lower bound: a collision slot holds at least 2 tags, so
+// backlog >= singletons_unread_excluded + 2 * collisions. Provided for the
+// estimator-comparison ablation.
+std::uint64_t VogtLowerBound(std::uint64_t collision_slots);
+
+// Schoute/Poisson posterior expected tags per collision slot at load 1
+// (~2.3922); exposed for tests.
+double TagsPerCollisionSlotAtUnitLoad();
+
+}  // namespace anc::protocols

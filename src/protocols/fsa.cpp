@@ -1,0 +1,60 @@
+#include "protocols/fsa.h"
+
+#include <algorithm>
+
+namespace anc::protocols {
+
+FramedSlottedAloha::FramedSlottedAloha(std::span<const TagId> population,
+                                       anc::Pcg32 rng,
+                                       phy::TimingModel timing,
+                                       FsaConfig config)
+    : BaselineBase("FSA", population, rng, timing),
+      config_(config),
+      read_(population.size(), false) {
+  unread_.resize(population.size());
+  for (std::uint32_t i = 0; i < population.size(); ++i) unread_[i] = i;
+  StartFrame();
+}
+
+void FramedSlottedAloha::StartFrame() {
+  ++metrics_.frames;
+  slot_cursor_ = 0;
+  frame_transmissions_ = 0;
+  slot_counts_.assign(config_.frame_size, 0);
+  slot_last_tag_.assign(config_.frame_size, 0);
+  for (std::uint32_t tag : unread_) {
+    const auto slot =
+        rng_.UniformBelow(static_cast<std::uint32_t>(config_.frame_size));
+    ++slot_counts_[slot];
+    slot_last_tag_[slot] = tag;
+    ++frame_transmissions_;
+  }
+  metrics_.tag_transmissions += frame_transmissions_;
+}
+
+void FramedSlottedAloha::Step() {
+  if (finished_) return;
+
+  const std::uint16_t occupancy = slot_counts_[slot_cursor_];
+  if (occupancy == 0) {
+    ChargeEmptySlot();
+  } else if (occupancy == 1) {
+    ChargeSingletonSlot();
+    read_[slot_last_tag_[slot_cursor_]] = true;
+  } else {
+    ChargeCollisionSlot();
+  }
+  ++slot_cursor_;
+
+  if (slot_cursor_ < config_.frame_size) return;
+  if (frame_transmissions_ == 0) {
+    finished_ = true;
+    return;
+  }
+  unread_.erase(std::remove_if(unread_.begin(), unread_.end(),
+                               [&](std::uint32_t t) { return read_[t]; }),
+                unread_.end());
+  StartFrame();
+}
+
+}  // namespace anc::protocols

@@ -1,0 +1,39 @@
+// Basic Framed Slotted ALOHA (the fixed-frame scheme of the paper's
+// reference [5] before the dynamic/enhanced variants): every unread tag
+// picks one uniform slot per frame, the frame size never changes. The
+// reference point that motivates DFSA — a fixed frame is catastrophically
+// slow when the population and frame size are mismatched.
+#pragma once
+
+#include <vector>
+
+#include "protocols/baseline_base.h"
+
+namespace anc::protocols {
+
+struct FsaConfig {
+  std::uint64_t frame_size = 256;
+};
+
+class FramedSlottedAloha final : public BaselineBase {
+ public:
+  FramedSlottedAloha(std::span<const TagId> population, anc::Pcg32 rng,
+                     phy::TimingModel timing, FsaConfig config = {});
+
+  void Step() override;
+  bool Finished() const override { return finished_; }
+
+ private:
+  void StartFrame();
+
+  FsaConfig config_;
+  std::vector<std::uint32_t> unread_;
+  std::vector<bool> read_;
+  std::uint64_t slot_cursor_ = 0;
+  std::uint64_t frame_transmissions_ = 0;
+  std::vector<std::uint16_t> slot_counts_;
+  std::vector<std::uint32_t> slot_last_tag_;
+  bool finished_ = false;
+};
+
+}  // namespace anc::protocols

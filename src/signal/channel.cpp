@@ -1,0 +1,42 @@
+#include "signal/channel.h"
+
+#include <cmath>
+
+namespace anc::signal {
+
+Buffer ApplyChannel(const Buffer& x, const ChannelParams& params) {
+  Buffer out;
+  out.reserve(x.size());
+  double phase = params.phase;
+  for (const Sample& s : x) {
+    out.push_back(s * Sample{params.gain * std::cos(phase),
+                             params.gain * std::sin(phase)});
+    phase += params.cfo_per_sample;
+  }
+  return out;
+}
+
+void AddAwgn(Buffer& y, double noise_power, anc::Pcg32& rng) {
+  if (noise_power <= 0.0) return;
+  // Per-dimension variance: E|n|^2 = 2 * var(dim).
+  const double sigma = std::sqrt(noise_power / 2.0);
+  for (Sample& s : y) {
+    s += Sample{sigma * rng.Normal(), sigma * rng.Normal()};
+  }
+}
+
+double NoisePowerForSnrDb(double signal_power, double snr_db) {
+  return signal_power / std::pow(10.0, snr_db / 10.0);
+}
+
+ChannelParams RandomChannel(anc::Pcg32& rng, double min_gain,
+                            double max_gain) {
+  ChannelParams params;
+  const double log_lo = std::log(min_gain);
+  const double log_hi = std::log(max_gain);
+  params.gain = std::exp(log_lo + (log_hi - log_lo) * rng.UniformDouble());
+  params.phase = 2.0 * M_PI * rng.UniformDouble();
+  return params;
+}
+
+}  // namespace anc::signal

@@ -1,0 +1,43 @@
+// Complex-baseband sample buffers and the small set of vector operations
+// the ANC signal chain needs. Kept header-only: these are the innermost
+// loops of the waveform-level simulator.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace anc::signal {
+
+using Sample = std::complex<double>;
+using Buffer = std::vector<Sample>;
+
+// Mean of |y[n]|^2 over the buffer.
+inline double MeanPower(const Buffer& y) {
+  if (y.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Sample& s : y) sum += std::norm(s);
+  return sum / static_cast<double>(y.size());
+}
+
+// Hermitian inner product <a, b> = sum a[n] * conj(b[n]).
+inline Sample InnerProduct(const Buffer& a, const Buffer& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  Sample acc{0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * std::conj(b[i]);
+  return acc;
+}
+
+// y -= alpha * x (element-wise over the common prefix).
+inline void SubtractScaled(Buffer& y, const Buffer& x, Sample alpha) {
+  const std::size_t n = std::min(y.size(), x.size());
+  for (std::size_t i = 0; i < n; ++i) y[i] -= alpha * x[i];
+}
+
+// Element-wise accumulate: acc += x, extending acc if x is longer.
+inline void Accumulate(Buffer& acc, const Buffer& x) {
+  if (x.size() > acc.size()) acc.resize(x.size(), Sample{0.0, 0.0});
+  for (std::size_t i = 0; i < x.size(); ++i) acc[i] += x[i];
+}
+
+}  // namespace anc::signal

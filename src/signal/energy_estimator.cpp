@@ -1,0 +1,52 @@
+#include "signal/energy_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace anc::signal {
+
+AmplitudeEstimate EstimateTwoAmplitudes(const Buffer& mixed) {
+  AmplitudeEstimate est;
+  if (mixed.size() < 8) return est;
+
+  double sum = 0.0;
+  for (const Sample& s : mixed) sum += std::norm(s);
+  est.mu = sum / static_cast<double>(mixed.size());
+
+  double upper_sum = 0.0;
+  std::size_t upper_count = 0;
+  for (const Sample& s : mixed) {
+    const double power = std::norm(s);
+    if (power > est.mu) {
+      upper_sum += power;
+      ++upper_count;
+    }
+  }
+  est.sigma =
+      upper_count > 0 ? upper_sum / static_cast<double>(upper_count) : est.mu;
+
+  // The closed-form inversion of (mu, sigma) is exact for an i.i.d.
+  // uniform phase difference, but MSK phase differences form a slow
+  // random walk (correlated samples), which inflates the variance of
+  // sigma enough to push the discriminant negative near A ~ B. The
+  // envelope percentiles are robust to that correlation: over a window
+  // that wraps the phase circle, |y|^2 sweeps between (A-B)^2 and
+  // (A+B)^2.
+  std::vector<double> powers;
+  powers.reserve(mixed.size());
+  for (const Sample& s : mixed) powers.push_back(std::norm(s));
+  std::sort(powers.begin(), powers.end());
+  const auto idx = [&](double q) {
+    return powers[static_cast<std::size_t>(
+        q * static_cast<double>(powers.size() - 1))];
+  };
+  const double lo = std::sqrt(std::max(idx(0.02), 0.0));  // ~|A - B|
+  const double hi = std::sqrt(std::max(idx(0.98), 0.0));  // ~ A + B
+  est.stronger = (hi + lo) / 2.0;
+  est.weaker = (hi - lo) / 2.0;
+  est.valid = hi > 0.0;
+  return est;
+}
+
+}  // namespace anc::signal

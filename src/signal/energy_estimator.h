@@ -1,0 +1,39 @@
+// Energy-equation amplitude separation for a two-signal MSK mixture
+// (Section II-B of the paper, after Katti et al. / Hamkins).
+//
+// For y[n] = A e^{i theta[n]} + B e^{i phi[n]} with independent MSK phases,
+// |y[n]|^2 = A^2 + B^2 + 2AB cos(theta[n] - phi[n]), and with the phase
+// difference ~uniform:
+//     mu    = E[|y|^2]                    = A^2 + B^2
+//     sigma = E[|y|^2 given |y|^2 > mu]   = A^2 + B^2 + 4AB/pi
+// so AB = pi (sigma - mu) / 4 and A^2, B^2 are the roots of
+// z^2 - mu z + (AB)^2 = 0. This recovers the constituent amplitudes from
+// the mixed signal alone — the key enabler for resolving a 2-collision slot.
+//
+// Implementation note: the closed-form (mu, sigma) inversion assumes the
+// phase difference is i.i.d.-uniform per sample; in MSK it is a slow random
+// walk, whose correlation inflates sigma's variance and breaks the
+// inversion near A ~ B. We therefore report the measured mu and sigma (the
+// unit tests verify the paper's identities on them) but recover the
+// amplitudes from the envelope percentiles of |y|^2, which sweep between
+// (A-B)^2 and (A+B)^2 — equivalent information, robust to the correlation.
+#pragma once
+
+#include "signal/complex_buffer.h"
+
+namespace anc::signal {
+
+struct AmplitudeEstimate {
+  bool valid = false;
+  double stronger = 0.0;  // max(A, B)
+  double weaker = 0.0;    // min(A, B)
+  double mu = 0.0;        // measured E|y|^2
+  double sigma = 0.0;     // measured upper-half mean of |y|^2
+};
+
+// Estimates the two constituent amplitudes of a 2-signal mixture. Returns
+// valid = false when the discriminant is negative (estimate inconsistent,
+// e.g. heavy noise or not actually a 2-mixture).
+AmplitudeEstimate EstimateTwoAmplitudes(const Buffer& mixed);
+
+}  // namespace anc::signal

@@ -1,0 +1,21 @@
+#include "signal/mixer.h"
+
+namespace anc::signal {
+
+Buffer MixSignals(std::span<const Buffer> signals,
+                  std::span<const std::size_t> offsets) {
+  Buffer mixed;
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    const std::size_t offset = (i < offsets.size()) ? offsets[i] : 0;
+    const Buffer& sig = signals[i];
+    if (offset + sig.size() > mixed.size()) {
+      mixed.resize(offset + sig.size(), Sample{0.0, 0.0});
+    }
+    for (std::size_t n = 0; n < sig.size(); ++n) {
+      mixed[offset + n] += sig[n];
+    }
+  }
+  return mixed;
+}
+
+}  // namespace anc::signal

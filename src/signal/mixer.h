@@ -1,0 +1,22 @@
+// Collision-slot signal mixing: the reader front-end sees the sample-wise
+// sum of all simultaneously transmitting tags' channel-transformed
+// waveforms. Reader-driven slot synchronization (Section II-B: "trans-
+// missions in a RFID system can be synchronized by the reader's signal")
+// means constituents are nominally aligned; an optional per-constituent
+// sample offset models residual timing jitter for ablation studies.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "signal/complex_buffer.h"
+
+namespace anc::signal {
+
+// Sum of the given waveforms, offset[i] samples of leading zeros each.
+// `offsets` may be empty (all zero).
+Buffer MixSignals(std::span<const Buffer> signals,
+                  std::span<const std::size_t> offsets = {});
+
+}  // namespace anc::signal

@@ -1,0 +1,55 @@
+// Minimum Shift Keying modulator / demodulator.
+//
+// ANC (Katti et al., SIGCOMM'07) is built on MSK: a bit '1' is a phase
+// advance of +pi/2 over one bit interval, a bit '0' a phase retreat of
+// -pi/2 (Section II-B of the paper). With S samples per bit the per-sample
+// increment is +-pi/(2S); the signal is constant-envelope, which is what
+// makes the energy-equation amplitude separation of the mixed signal work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "signal/complex_buffer.h"
+
+namespace anc::signal {
+
+struct MskParams {
+  int samples_per_bit = 8;
+  double amplitude = 1.0;
+  double initial_phase = 0.0;
+};
+
+class MskModulator {
+ public:
+  explicit MskModulator(MskParams params) : params_(params) {}
+
+  // Emits bits.size() * samples_per_bit complex samples with continuous
+  // phase across bit boundaries.
+  Buffer Modulate(const std::vector<std::uint8_t>& bits) const;
+
+  const MskParams& params() const { return params_; }
+
+ private:
+  MskParams params_;
+};
+
+class MskDemodulator {
+ public:
+  explicit MskDemodulator(int samples_per_bit)
+      : samples_per_bit_(samples_per_bit) {}
+
+  // Non-coherent phase-difference detection: for each bit interval, sums
+  // arg(y[n] conj(y[n-1])) and decides by sign. Amplitude-invariant, so it
+  // works unchanged on channel-scaled and on residual (post-subtraction)
+  // signals.
+  std::vector<std::uint8_t> Demodulate(const Buffer& y,
+                                       std::size_t num_bits) const;
+
+  int samples_per_bit() const { return samples_per_bit_; }
+
+ private:
+  int samples_per_bit_;
+};
+
+}  // namespace anc::signal

@@ -1,0 +1,46 @@
+// Bit-level framing of a tag report: preamble + 96-bit ID (payload + CRC).
+// Bridges TagId <-> MSK waveform for the waveform-level phy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/tag_id.h"
+#include "signal/complex_buffer.h"
+#include "signal/msk.h"
+
+namespace anc::signal {
+
+class WaveformCodec {
+ public:
+  // `preamble_bits` alternating bits precede the ID; the demodulator's
+  // weak first bit lands in the preamble, and a preamble mismatch marks a
+  // corrupted reception before the CRC is even checked.
+  explicit WaveformCodec(int samples_per_bit = 8, int preamble_bits = 8);
+
+  // Full over-the-air bit frame for an ID.
+  std::vector<std::uint8_t> FrameBits(const TagId& id) const;
+
+  // Unit-amplitude transmit waveform for an ID.
+  Buffer Encode(const TagId& id) const;
+
+  // Demodulates a received waveform; returns the ID when the preamble
+  // matches and the CRC validates, nullopt otherwise (collision or noise).
+  std::optional<TagId> Decode(const Buffer& received) const;
+
+  // Decodes pre-demodulated bits (used by the ANC resolver path).
+  std::optional<TagId> DecodeBits(const std::vector<std::uint8_t>& bits) const;
+
+  std::size_t frame_bits() const {
+    return static_cast<std::size_t>(preamble_bits_) + TagId::kTotalBits;
+  }
+  int samples_per_bit() const { return modulator_.params().samples_per_bit; }
+
+ private:
+  int preamble_bits_;
+  MskModulator modulator_;
+  MskDemodulator demodulator_;
+};
+
+}  // namespace anc::signal

@@ -1,0 +1,47 @@
+// Per-run measurements: the quantities the paper's Tables I-III report.
+#pragma once
+
+#include <cstdint>
+
+namespace anc::sim {
+
+struct RunMetrics {
+  // Slot-type histogram (Table II).
+  std::uint64_t empty_slots = 0;
+  std::uint64_t singleton_slots = 0;
+  std::uint64_t collision_slots = 0;
+
+  std::uint64_t frames = 0;
+
+  // Identification accounting.
+  std::uint64_t tags_read = 0;
+  std::uint64_t ids_from_singletons = 0;
+  std::uint64_t ids_from_collisions = 0;  // Table III
+  std::uint64_t duplicate_receptions = 0;
+  // Two records over the same tag pair both resolve to the same ID: the
+  // second resolution is redundant (the reader still acknowledges both
+  // records' slot indices). Distinct from an over-the-air duplicate.
+  std::uint64_t redundant_resolutions = 0;
+  std::uint64_t unresolved_records = 0;   // records left open at the end
+
+  // Total tag report transmissions over the run: the energy-side metric
+  // for battery-powered tags (CRDSA pays ~2x here for its twin copies).
+  std::uint64_t tag_transmissions = 0;
+
+  // Wall-clock air time, including protocol-specific overheads.
+  double elapsed_seconds = 0.0;
+
+  std::uint64_t TotalSlots() const {
+    return empty_slots + singleton_slots + collision_slots;
+  }
+
+  // Reading throughput: unique tag IDs per second (the paper's headline
+  // metric).
+  double Throughput() const {
+    return elapsed_seconds > 0.0
+               ? static_cast<double>(tags_read) / elapsed_seconds
+               : 0.0;
+  }
+};
+
+}  // namespace anc::sim

@@ -1,0 +1,16 @@
+// Tag population generation: N distinct 96-bit IDs with valid CRCs,
+// uniformly distributed payloads (the query-tree baseline's performance
+// depends on this uniformity, as Section VII notes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/tag_id.h"
+
+namespace anc::sim {
+
+std::vector<TagId> MakePopulation(std::size_t n, anc::Pcg32& rng);
+
+}  // namespace anc::sim

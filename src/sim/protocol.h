@@ -1,0 +1,34 @@
+// The protocol abstraction the experiment runner drives.
+//
+// A Protocol instance simulates one complete reading process: the reader's
+// logic plus the deterministic tag-side rules of that protocol, over a
+// fixed population. Step() advances by one time slot; Finished() reports
+// the protocol's own termination condition (not an oracle's).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "common/rng.h"
+#include "common/tag_id.h"
+#include "sim/metrics.h"
+
+namespace anc::sim {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Advances the simulation by one slot (or one query, for tree
+  // protocols; both occupy one slot of air time).
+  virtual void Step() = 0;
+
+  virtual bool Finished() const = 0;
+
+  virtual const RunMetrics& metrics() const = 0;
+};
+
+}  // namespace anc::sim

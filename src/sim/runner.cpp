@@ -1,0 +1,60 @@
+#include "sim/runner.h"
+
+#include "sim/population.h"
+
+namespace anc::sim {
+namespace {
+
+// Runs one protocol instance to completion (or the safety cap). Returns
+// true if the protocol terminated on its own.
+bool Drive(Protocol& protocol, std::uint64_t max_slots) {
+  while (!protocol.Finished()) {
+    if (protocol.metrics().TotalSlots() >= max_slots) return false;
+    protocol.Step();
+  }
+  return true;
+}
+
+}  // namespace
+
+AggregateResult RunExperiment(const ProtocolFactory& factory,
+                              const ExperimentOptions& options) {
+  AggregateResult agg;
+  for (std::size_t run = 0; run < options.runs; ++run) {
+    anc::Pcg32 master(options.base_seed + run, 0x9E3779B97F4A7C15ULL + run);
+    anc::Pcg32 pop_rng = master.Split();
+    anc::Pcg32 proto_rng = master.Split();
+    const auto population = MakePopulation(options.n_tags, pop_rng);
+
+    auto protocol = factory(population, proto_rng);
+    const std::uint64_t cap =
+        options.max_slots_per_tag * options.n_tags + 1000;
+    if (!Drive(*protocol, cap)) {
+      ++agg.runs_capped;
+      continue;
+    }
+    const RunMetrics& m = protocol->metrics();
+    agg.throughput.Add(m.Throughput());
+    agg.total_slots.Add(static_cast<double>(m.TotalSlots()));
+    agg.empty_slots.Add(static_cast<double>(m.empty_slots));
+    agg.singleton_slots.Add(static_cast<double>(m.singleton_slots));
+    agg.collision_slots.Add(static_cast<double>(m.collision_slots));
+    agg.ids_from_collisions.Add(static_cast<double>(m.ids_from_collisions));
+    agg.elapsed_seconds.Add(m.elapsed_seconds);
+    agg.unresolved_records.Add(static_cast<double>(m.unresolved_records));
+  }
+  return agg;
+}
+
+RunMetrics RunOnce(const ProtocolFactory& factory, std::size_t n_tags,
+                   std::uint64_t seed, std::uint64_t max_slots_per_tag) {
+  anc::Pcg32 master(seed, 0x9E3779B97F4A7C15ULL + seed);
+  anc::Pcg32 pop_rng = master.Split();
+  anc::Pcg32 proto_rng = master.Split();
+  const auto population = MakePopulation(n_tags, pop_rng);
+  auto protocol = factory(population, proto_rng);
+  Drive(*protocol, max_slots_per_tag * n_tags + 1000);
+  return protocol->metrics();
+}
+
+}  // namespace anc::sim

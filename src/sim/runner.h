@@ -1,0 +1,53 @@
+// Multi-run experiment driver: fresh population and RNG stream per run,
+// safety-capped simulation loop, aggregation of every metric the paper's
+// tables need. The paper averages 100 runs; the bench binaries default
+// lower and expose --runs / --full.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/tag_id.h"
+#include "sim/protocol.h"
+
+namespace anc::sim {
+
+// Builds a protocol for one run over `population`; `rng` is an independent
+// stream for that run.
+using ProtocolFactory = std::function<std::unique_ptr<Protocol>(
+    std::span<const TagId> population, anc::Pcg32 rng)>;
+
+struct AggregateResult {
+  RunningStats throughput;
+  RunningStats total_slots;
+  RunningStats empty_slots;
+  RunningStats singleton_slots;
+  RunningStats collision_slots;
+  RunningStats ids_from_collisions;
+  RunningStats elapsed_seconds;
+  RunningStats unresolved_records;
+  std::uint64_t runs_capped = 0;  // runs that hit the slot safety cap
+};
+
+struct ExperimentOptions {
+  std::size_t n_tags = 1000;
+  std::size_t runs = 20;
+  std::uint64_t base_seed = 1;
+  // Abort a run after this many slots per tag (detects protocol livelock;
+  // tests assert it never triggers).
+  std::uint64_t max_slots_per_tag = 100;
+};
+
+AggregateResult RunExperiment(const ProtocolFactory& factory,
+                              const ExperimentOptions& options);
+
+// Single run, returning the raw metrics (used by examples and tests).
+RunMetrics RunOnce(const ProtocolFactory& factory, std::size_t n_tags,
+                   std::uint64_t seed,
+                   std::uint64_t max_slots_per_tag = 100);
+
+}  // namespace anc::sim

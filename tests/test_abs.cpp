@@ -1,0 +1,66 @@
+#include "protocols/abs.h"
+
+#include <gtest/gtest.h>
+
+#include "core/factories.h"
+#include "sim/runner.h"
+
+namespace anc::protocols {
+namespace {
+
+TEST(Abs, ReadsEveryTag) {
+  for (std::size_t n : {0ul, 1ul, 2ul, 100ul, 2000ul}) {
+    const auto m = sim::RunOnce(core::MakeAbsFactory(), n, 3);
+    EXPECT_EQ(m.tags_read, n) << "n=" << n;
+    EXPECT_EQ(m.singleton_slots, n);
+  }
+}
+
+TEST(Abs, SlotsPerTagNear288) {
+  // Capetanakis / paper Section VII: binary splitting uses ~2.88 N slots;
+  // the paper's ABS line in Table II is 28819 slots for 10000 tags.
+  sim::ExperimentOptions opts;
+  opts.n_tags = 10000;
+  opts.runs = 5;
+  const auto agg = sim::RunExperiment(core::MakeAbsFactory(), opts);
+  EXPECT_EQ(agg.runs_capped, 0u);
+  EXPECT_NEAR(agg.total_slots.mean() / 10000.0, 2.885, 0.06);
+  // Slot mix from the paper: ~0.44N empty, ~1.44N collision.
+  EXPECT_NEAR(agg.empty_slots.mean() / 10000.0, 0.44, 0.04);
+  EXPECT_NEAR(agg.collision_slots.mean() / 10000.0, 1.44, 0.05);
+}
+
+TEST(Abs, ThroughputMatchesPaper) {
+  sim::ExperimentOptions opts;
+  opts.n_tags = 10000;
+  opts.runs = 5;
+  const auto agg = sim::RunExperiment(core::MakeAbsFactory(), opts);
+  EXPECT_NEAR(agg.throughput.mean(), 123.9, 3.0);  // paper Table I
+}
+
+TEST(Abs, WarmStartReducesSlots) {
+  // ABS's adaptation: seeding the split with ~N branches balances the
+  // tree and beats the cold (single-root) start.
+  AbsConfig warm;
+  warm.initial_branches = 3000;
+  sim::ExperimentOptions opts;
+  opts.n_tags = 3000;
+  opts.runs = 5;
+  const auto cold = sim::RunExperiment(core::MakeAbsFactory(), opts);
+  const auto warm_agg =
+      sim::RunExperiment(core::MakeAbsFactory({}, warm), opts);
+  EXPECT_LT(warm_agg.total_slots.mean(), cold.total_slots.mean());
+  // Tree splitting from an optimal initial partition runs at ~0.43
+  // efficiency (Massey): ~2.34 slots/tag.
+  EXPECT_NEAR(warm_agg.total_slots.mean() / 3000.0, 2.34, 0.1);
+}
+
+TEST(Abs, CollisionSlotsAreInternalNodes) {
+  // In a binary splitting tree, every collision adds exactly two child
+  // queries: total = initial_branches + 2 * collisions.
+  const auto m = sim::RunOnce(core::MakeAbsFactory(), 500, 11);
+  EXPECT_EQ(m.TotalSlots(), 1 + 2 * m.collision_slots);
+}
+
+}  // namespace
+}  // namespace anc::protocols

@@ -1,0 +1,61 @@
+#include "protocols/aloha.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.h"
+#include "core/factories.h"
+#include "sim/runner.h"
+
+namespace anc::protocols {
+namespace {
+
+TEST(SlottedAloha, ReadsEveryTagExactlyOnce) {
+  const auto m = sim::RunOnce(core::MakeAlohaFactory(), 500, 1);
+  EXPECT_EQ(m.tags_read, 500u);
+  EXPECT_EQ(m.singleton_slots, 500u);
+  EXPECT_EQ(m.duplicate_receptions, 0u);
+}
+
+TEST(SlottedAloha, ApproachesTheEBound) {
+  // At the optimal report probability the throughput approaches 1/(eT):
+  // e*N slots expected, 36.8% singletons.
+  sim::ExperimentOptions opts;
+  opts.n_tags = 2000;
+  opts.runs = 10;
+  const auto agg = sim::RunExperiment(core::MakeAlohaFactory(), opts);
+  EXPECT_EQ(agg.runs_capped, 0u);
+  const double slots_per_tag = agg.total_slots.mean() / 2000.0;
+  EXPECT_NEAR(slots_per_tag, 2.718, 0.12);
+
+  const double bound = analysis::AlohaBoundThroughput(
+      phy::TimingModel::ICode().SlotSeconds());
+  EXPECT_LT(agg.throughput.mean(), bound * 1.03);
+  EXPECT_GT(agg.throughput.mean(), bound * 0.90);
+}
+
+TEST(SlottedAloha, SlotMixMatchesPoisson) {
+  sim::ExperimentOptions opts;
+  opts.n_tags = 2000;
+  opts.runs = 10;
+  const auto agg = sim::RunExperiment(core::MakeAlohaFactory(), opts);
+  const double total = agg.total_slots.mean();
+  // At load 1: 36.8% empty, 36.8% singleton, 26.4% collision.
+  EXPECT_NEAR(agg.empty_slots.mean() / total, 0.368, 0.03);
+  EXPECT_NEAR(agg.singleton_slots.mean() / total, 0.368, 0.03);
+  EXPECT_NEAR(agg.collision_slots.mean() / total, 0.264, 0.03);
+}
+
+TEST(SlottedAloha, SingleTag) {
+  const auto m = sim::RunOnce(core::MakeAlohaFactory(), 1, 3);
+  EXPECT_EQ(m.tags_read, 1u);
+  EXPECT_EQ(m.TotalSlots(), 1u);  // p = 1 with one unread tag
+}
+
+TEST(SlottedAloha, EmptyPopulationFinishesImmediately) {
+  const auto m = sim::RunOnce(core::MakeAlohaFactory(), 0, 3);
+  EXPECT_EQ(m.tags_read, 0u);
+  EXPECT_EQ(m.TotalSlots(), 0u);
+}
+
+}  // namespace
+}  // namespace anc::protocols

@@ -1,0 +1,164 @@
+// The heart of the reproduction: collision records really are resolvable
+// by signal subtraction, exactly as Section II-B claims for 2-collisions
+// and Section III-C generalizes to lambda-collisions.
+#include "signal/anc_resolver.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/tag_id.h"
+#include "signal/channel.h"
+#include "signal/mixer.h"
+#include "signal/waveform_codec.h"
+
+namespace anc::signal {
+namespace {
+
+struct Scenario {
+  WaveformCodec codec{8, 8};
+  std::vector<TagId> ids;
+  std::vector<Buffer> receptions;  // channel-applied + reader noise
+  Buffer mixed;                    // collision-slot recording
+
+  // Builds k tags with random static channels; the mixed signal and each
+  // singleton reception carry independent AWGN realizations of the same
+  // reader noise floor (the reference the reader holds is itself noisy).
+  Scenario(int k, double snr_db, anc::Pcg32& rng) {
+    const double noise = NoisePowerForSnrDb(1.0, snr_db);
+    std::vector<Buffer> clean;
+    for (int i = 0; i < k; ++i) {
+      ids.push_back(TagId::FromPayload(
+          static_cast<std::uint16_t>(rng() & 0xFFFF),
+          (static_cast<std::uint64_t>(rng()) << 32) | rng()));
+      const ChannelParams ch = RandomChannel(rng, 0.6, 1.4);
+      clean.push_back(ApplyChannel(codec.Encode(ids.back()), ch));
+      Buffer reception = clean.back();
+      AddAwgn(reception, noise, rng);
+      receptions.push_back(std::move(reception));
+    }
+    mixed = MixSignals(clean);
+    AddAwgn(mixed, noise, rng);
+  }
+};
+
+class ResolveTwoCollision
+    : public ::testing::TestWithParam<SubtractionMode> {};
+
+TEST_P(ResolveTwoCollision, RecoversLastConstituent) {
+  anc::Pcg32 rng(42);
+  int successes = 0;
+  constexpr int kTrials = 30;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Scenario s(2, 25.0, rng);
+    const AncResolver resolver(GetParam(), 8);
+    const Buffer refs[] = {s.receptions[0]};
+    const auto result =
+        resolver.ResolveLast(s.mixed, refs, s.codec.frame_bits());
+    ASSERT_TRUE(result.demodulated);
+    const auto id = s.codec.DecodeBits(result.bits);
+    if (id && *id == s.ids[1]) ++successes;
+  }
+  // Section VI's premise: "most 2-collision slots can be resolved".
+  EXPECT_GE(successes, kTrials * 9 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ResolveTwoCollision,
+                         ::testing::Values(SubtractionMode::kDirect,
+                                           SubtractionMode::kLeastSquares,
+                                           SubtractionMode::kEnergy));
+
+class ResolveKCollision : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResolveKCollision, PeelsWithAllButOneKnown) {
+  // lambda-collision resolution with k-1 references (Section III-C's
+  // generalization: lambda = 3, 4, 5).
+  const int k = GetParam();
+  anc::Pcg32 rng(100 + k);
+  int successes = 0;
+  constexpr int kTrials = 20;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Scenario s(k, 30.0, rng);
+    const AncResolver resolver(SubtractionMode::kLeastSquares, 8);
+    std::vector<Buffer> refs(s.receptions.begin(), s.receptions.end() - 1);
+    const auto result =
+        resolver.ResolveLast(s.mixed, refs, s.codec.frame_bits());
+    ASSERT_TRUE(result.demodulated);
+    const auto id = s.codec.DecodeBits(result.bits);
+    if (id && *id == s.ids.back()) ++successes;
+  }
+  EXPECT_GE(successes, kTrials * 8 / 10) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(MixtureOrder, ResolveKCollision,
+                         ::testing::Values(3, 4, 5));
+
+TEST(AncResolver, PartialSubtractionNeverForgesIds) {
+  // Subtracting only 1 of 3 constituents leaves a 2-mixture. Two outcomes
+  // are physical: the CRC rejects the residual (record not yet
+  // resolvable), or — when one remaining constituent is much stronger —
+  // the demodulator *captures* it and decodes a genuine ID. What must
+  // never happen is a CRC-valid decode of an ID that was not in the slot.
+  anc::Pcg32 rng(7);
+  int captures = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    Scenario s(3, 25.0, rng);
+    const AncResolver resolver(SubtractionMode::kLeastSquares, 8);
+    const Buffer refs[] = {s.receptions[0]};
+    const auto result =
+        resolver.ResolveLast(s.mixed, refs, s.codec.frame_bits());
+    if (!result.demodulated) continue;
+    const auto id = s.codec.DecodeBits(result.bits);
+    if (!id) continue;
+    ++captures;
+    EXPECT_TRUE(*id == s.ids[1] || *id == s.ids[2])
+        << "decoded an ID that never transmitted in the slot";
+  }
+  // With gains in [0.6, 1.4] capture should happen sometimes but not
+  // always (the near-equal-power mixtures are undecodable).
+  EXPECT_LT(captures, 20);
+}
+
+TEST(AncResolver, EnergyModeRequiresSingleReference) {
+  anc::Pcg32 rng(8);
+  Scenario s(3, 25.0, rng);
+  const AncResolver resolver(SubtractionMode::kEnergy, 8);
+  std::vector<Buffer> refs(s.receptions.begin(), s.receptions.end() - 1);
+  const auto result =
+      resolver.ResolveLast(s.mixed, refs, s.codec.frame_bits());
+  EXPECT_FALSE(result.demodulated);
+}
+
+TEST(AncResolver, HeavyNoiseDegradesGracefully) {
+  // Section IV-E: an unresolvable slot is wasted, never wrong. At 0 dB
+  // resolution mostly fails but must not produce a *different valid* ID.
+  anc::Pcg32 rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    Scenario s(2, 0.0, rng);
+    const AncResolver resolver(SubtractionMode::kDirect, 8);
+    const Buffer refs[] = {s.receptions[0]};
+    const auto result =
+        resolver.ResolveLast(s.mixed, refs, s.codec.frame_bits());
+    if (result.demodulated) {
+      const auto id = s.codec.DecodeBits(result.bits);
+      if (id) {
+        EXPECT_EQ(*id, s.ids[1]);  // either correct or CRC-rejected
+      }
+    }
+  }
+}
+
+TEST(AncResolver, ResidualPowerSmallAfterFullSubtraction) {
+  anc::Pcg32 rng(10);
+  Scenario s(2, 30.0, rng);
+  const AncResolver resolver(SubtractionMode::kLeastSquares, 8);
+  const Buffer refs[] = {s.receptions[0]};
+  const auto result =
+      resolver.ResolveLast(s.mixed, refs, s.codec.frame_bits());
+  ASSERT_TRUE(result.demodulated);
+  // Residual ~ remaining constituent's power (gain in [0.6, 1.4] squared).
+  EXPECT_GT(result.residual_power, 0.2);
+  EXPECT_LT(result.residual_power, 2.5);
+}
+
+}  // namespace
+}  // namespace anc::signal

@@ -1,0 +1,81 @@
+#include "protocols/aqs.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/factories.h"
+#include "sim/runner.h"
+
+namespace anc::protocols {
+namespace {
+
+TEST(Aqs, ReadsEveryTag) {
+  for (std::size_t n : {0ul, 1ul, 2ul, 100ul, 2000ul}) {
+    const auto m = sim::RunOnce(core::MakeAqsFactory(), n, 3);
+    EXPECT_EQ(m.tags_read, n) << "n=" << n;
+    EXPECT_EQ(m.singleton_slots, n);
+  }
+}
+
+TEST(Aqs, SlotsPerTagNearQueryTreeConstant) {
+  // Paper Table II: AQS used 29472 slots for 10000 uniformly distributed
+  // IDs (~2.95 N); query trees on uniform IDs land in 2.85-3.0 N.
+  sim::ExperimentOptions opts;
+  opts.n_tags = 10000;
+  opts.runs = 5;
+  const auto agg = sim::RunExperiment(core::MakeAqsFactory(), opts);
+  EXPECT_EQ(agg.runs_capped, 0u);
+  EXPECT_NEAR(agg.total_slots.mean() / 10000.0, 2.9, 0.1);
+}
+
+TEST(Aqs, ThroughputMatchesPaper) {
+  sim::ExperimentOptions opts;
+  opts.n_tags = 10000;
+  opts.runs = 5;
+  const auto agg = sim::RunExperiment(core::MakeAqsFactory(), opts);
+  EXPECT_NEAR(agg.throughput.mean(), 121.2, 4.0);  // paper Table I
+}
+
+TEST(Aqs, QueryCountIdentity) {
+  // Query tree: every collision spawns exactly two queries.
+  AqsConfig config;
+  config.initial_prefix_depth = 1;
+  const auto m = sim::RunOnce(core::MakeAqsFactory({}, config), 500, 7);
+  EXPECT_EQ(m.TotalSlots(), 2 + 2 * m.collision_slots);
+}
+
+TEST(Aqs, DeeperInitialPrefixes) {
+  AqsConfig deep;
+  deep.initial_prefix_depth = 6;  // 64 starting queries
+  const auto m = sim::RunOnce(core::MakeAqsFactory({}, deep), 2000, 7);
+  EXPECT_EQ(m.tags_read, 2000u);
+  EXPECT_EQ(m.TotalSlots(), 64 + 2 * m.collision_slots);
+}
+
+TEST(Aqs, SkewedPopulationDegrades) {
+  // Query-tree performance depends on the ID distribution (Section VII):
+  // IDs sharing a long common prefix force deep exploration.
+  anc::Pcg32 rng(5);
+  std::vector<TagId> skewed;
+  std::unordered_set<std::uint64_t> used;
+  while (skewed.size() < 256) {
+    // 72 shared prefix bits; the remaining 24 bits random (random, not
+    // sequential: sequential low bits would form a perfectly balanced —
+    // and therefore cheap — subtree).
+    const std::uint64_t low = rng.UniformBelow(1u << 24);
+    if (!used.insert(low).second) continue;
+    skewed.push_back(
+        TagId::FromPayload(0xFFFF, 0xFFFFFFFFFF000000ULL | low));
+  }
+  Aqs protocol(skewed, anc::Pcg32(1), phy::TimingModel::ICode(), {});
+  while (!protocol.Finished()) protocol.Step();
+  const auto& m = protocol.metrics();
+  EXPECT_EQ(m.tags_read, 256u);
+  // The 72-level collision chain plus a random 24-bit tree push the
+  // per-tag cost well above the uniform-ID figure (~2.9).
+  EXPECT_GT(static_cast<double>(m.TotalSlots()) / 256.0, 3.2);
+}
+
+}  // namespace
+}  // namespace anc::protocols

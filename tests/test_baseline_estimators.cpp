@@ -1,0 +1,48 @@
+#include "protocols/estimators.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace anc::protocols {
+namespace {
+
+TEST(Estimators, UnitLoadConstant) {
+  // E[X | X >= 2] for Poisson(1) = 2.3922 — the 2.39 in Cha & Kim.
+  EXPECT_NEAR(TagsPerCollisionSlotAtUnitLoad(), 2.3922, 1e-3);
+}
+
+TEST(Estimators, ChaKimScaling) {
+  EXPECT_EQ(ChaKimBacklog(0), 0u);
+  EXPECT_EQ(ChaKimBacklog(100), 239u);
+  EXPECT_EQ(ChaKimBacklog(1), 2u);
+}
+
+TEST(Estimators, VogtIsLowerBound) {
+  for (std::uint64_t c : {0ull, 5ull, 100ull}) {
+    EXPECT_LE(VogtLowerBound(c), ChaKimBacklog(c) + 1);
+  }
+}
+
+TEST(Estimators, ChaKimUnbiasedAtOptimalLoad) {
+  // Simulate a frame at load 1 (L = n): backlog left after the frame
+  // (tags in collision slots) should average ~2.39 * collision count.
+  anc::Pcg32 rng(5);
+  double backlog_sum = 0.0, estimate_sum = 0.0;
+  const std::uint32_t n = 1000;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint16_t> counts(n, 0);
+    for (std::uint32_t t = 0; t < n; ++t) ++counts[rng.UniformBelow(n)];
+    std::uint64_t collisions = 0, singles = 0;
+    for (std::uint16_t c : counts) {
+      if (c == 1) ++singles;
+      if (c >= 2) ++collisions;
+    }
+    backlog_sum += static_cast<double>(n - singles);
+    estimate_sum += static_cast<double>(ChaKimBacklog(collisions));
+  }
+  EXPECT_NEAR(estimate_sum / backlog_sum, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace anc::protocols

@@ -1,0 +1,63 @@
+#include "analysis/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/omega.h"
+#include "phy/timing.h"
+
+namespace anc::analysis {
+namespace {
+
+TEST(Bounds, AlohaAtICodeTiming) {
+  // 1/(e * 2.794 ms) ~ 131.7 tags/s — the ceiling DFSA approaches in
+  // Table I (131.4).
+  const double t = phy::TimingModel::ICode().SlotSeconds();
+  EXPECT_NEAR(AlohaBoundThroughput(t), 131.7, 0.5);
+}
+
+TEST(Bounds, TreeAtICodeTiming) {
+  // 1/(2.88 * T) ~ 124.3 tags/s — what ABS achieves (123.9).
+  const double t = phy::TimingModel::ICode().SlotSeconds();
+  EXPECT_NEAR(TreeBoundThroughput(t), 124.3, 0.5);
+}
+
+TEST(Bounds, FcatPredictionBeatsAlohaBound) {
+  const double t = phy::TimingModel::ICode().SlotSeconds();
+  for (unsigned lambda : {2u, 3u, 4u}) {
+    const double w = OptimalOmega(lambda);
+    const double predicted = FcatPredictedThroughput(
+        w, lambda, t, 30, 1.49e-3, 4.34e-4,
+        CollisionRecoveredFraction(w, lambda));
+    EXPECT_GT(predicted, AlohaBoundThroughput(t)) << "lambda=" << lambda;
+  }
+}
+
+TEST(Bounds, FcatPredictionNearPaperNumbers) {
+  // Zero-overhead prediction = s(omega, lambda) / T; the paper's
+  // throughputs sit a few percent below it.
+  const double t = phy::TimingModel::ICode().SlotSeconds();
+  const double pred2 = FcatPredictedThroughput(OptimalOmega(2), 2, t, 30,
+                                               0.0, 0.0, 0.0);
+  EXPECT_NEAR(pred2, 209.5, 1.5);  // 0.5852 / 2.794 ms
+  const double pred4 = FcatPredictedThroughput(OptimalOmega(4), 4, t, 30,
+                                               0.0, 0.0, 0.0);
+  EXPECT_NEAR(pred4, 290.0, 3.0);
+}
+
+TEST(Bounds, CollisionRecoveredFractionMatchesTable3) {
+  // Table III: ~41% of IDs from collision slots for FCAT-2, ~59% for
+  // FCAT-3, ~70% for FCAT-4.
+  EXPECT_NEAR(CollisionRecoveredFraction(OptimalOmega(2), 2), 0.414, 0.02);
+  EXPECT_NEAR(CollisionRecoveredFraction(OptimalOmega(3), 3), 0.59, 0.02);
+  EXPECT_NEAR(CollisionRecoveredFraction(OptimalOmega(4), 4), 0.70, 0.02);
+}
+
+TEST(Bounds, DegenerateInputs) {
+  EXPECT_EQ(FcatPredictedThroughput(0.0, 2, 1.0, 30, 0.0, 0.0, 0.0), 0.0);
+  EXPECT_EQ(CollisionRecoveredFraction(0.0, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace anc::analysis

@@ -1,0 +1,101 @@
+#include "signal/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "signal/complex_buffer.h"
+
+namespace anc::signal {
+namespace {
+
+TEST(Channel, GainScalesPower) {
+  Buffer x(256, Sample{1.0, 0.0});
+  ChannelParams ch;
+  ch.gain = 0.5;
+  const Buffer y = ApplyChannel(x, ch);
+  EXPECT_NEAR(MeanPower(y), 0.25, 1e-12);
+}
+
+TEST(Channel, PhaseRotationPreservesPower) {
+  anc::Pcg32 rng(2);
+  Buffer x;
+  for (int i = 0; i < 128; ++i) {
+    x.emplace_back(rng.Normal(), rng.Normal());
+  }
+  ChannelParams ch;
+  ch.phase = 1.234;
+  const Buffer y = ApplyChannel(x, ch);
+  EXPECT_NEAR(MeanPower(y), MeanPower(x), 1e-9);
+  // Each sample rotated by exactly the channel phase.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double rotation = std::arg(y[i] * std::conj(x[i]));
+    EXPECT_NEAR(rotation, 1.234, 1e-9);
+  }
+}
+
+TEST(Channel, CfoAccumulates) {
+  Buffer x(100, Sample{1.0, 0.0});
+  ChannelParams ch;
+  ch.cfo_per_sample = 0.01;
+  const Buffer y = ApplyChannel(x, ch);
+  EXPECT_NEAR(std::arg(y[99]) - std::arg(y[0]), 0.99, 1e-9);
+}
+
+TEST(Channel, AwgnPowerMatchesRequest) {
+  anc::Pcg32 rng(3);
+  Buffer y(200000, Sample{0.0, 0.0});
+  AddAwgn(y, 0.25, rng);
+  EXPECT_NEAR(MeanPower(y), 0.25, 0.01);
+}
+
+TEST(Channel, AwgnZeroPowerIsNoop) {
+  anc::Pcg32 rng(4);
+  Buffer y(16, Sample{1.0, 1.0});
+  AddAwgn(y, 0.0, rng);
+  for (const Sample& s : y) {
+    EXPECT_EQ(s, (Sample{1.0, 1.0}));
+  }
+}
+
+TEST(Channel, NoisePowerForSnr) {
+  EXPECT_NEAR(NoisePowerForSnrDb(1.0, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(NoisePowerForSnrDb(1.0, 10.0), 0.1, 1e-12);
+  EXPECT_NEAR(NoisePowerForSnrDb(4.0, 3.0), 4.0 / std::pow(10.0, 0.3),
+              1e-9);
+}
+
+TEST(Channel, RandomChannelInRange) {
+  anc::Pcg32 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const ChannelParams ch = RandomChannel(rng, 0.5, 1.5);
+    EXPECT_GE(ch.gain, 0.5);
+    EXPECT_LE(ch.gain, 1.5);
+    EXPECT_GE(ch.phase, 0.0);
+    EXPECT_LT(ch.phase, 2.0 * M_PI);
+  }
+}
+
+TEST(ComplexBuffer, InnerProductAndSubtract) {
+  Buffer a{{1.0, 0.0}, {0.0, 1.0}};
+  Buffer b{{1.0, 0.0}, {0.0, 1.0}};
+  const Sample ip = InnerProduct(a, b);
+  EXPECT_NEAR(ip.real(), 2.0, 1e-12);
+  EXPECT_NEAR(ip.imag(), 0.0, 1e-12);
+
+  SubtractScaled(a, b, Sample{1.0, 0.0});
+  EXPECT_NEAR(MeanPower(a), 0.0, 1e-12);
+}
+
+TEST(ComplexBuffer, AccumulateExtends) {
+  Buffer acc{{1.0, 0.0}};
+  Buffer x{{1.0, 0.0}, {2.0, 0.0}};
+  Accumulate(acc, x);
+  ASSERT_EQ(acc.size(), 2u);
+  EXPECT_NEAR(acc[0].real(), 2.0, 1e-12);
+  EXPECT_NEAR(acc[1].real(), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace anc::signal

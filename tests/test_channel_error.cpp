@@ -1,0 +1,95 @@
+// Section IV-E channel-error behaviour: a tag keeps transmitting until it
+// receives positive confirmation; the reader discards duplicate
+// receptions.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/factories.h"
+#include "sim/runner.h"
+
+namespace anc::core {
+namespace {
+
+TEST(AckLoss, DuplicatesAppearAndAreDiscarded) {
+  FcatOptions o;
+  o.ack_loss_prob = 0.3;
+  const auto m = sim::RunOnce(MakeFcatFactory(o), 1000, 3, 300);
+  EXPECT_EQ(m.tags_read, 1000u);
+  EXPECT_GT(m.duplicate_receptions, 0u);
+  // Unique IDs still conserved.
+  EXPECT_EQ(m.ids_from_singletons + m.ids_from_collisions, 1000u);
+}
+
+TEST(AckLoss, NoLossMeansNoDuplicates) {
+  const auto m = sim::RunOnce(MakeFcatFactory({}), 1000, 3, 300);
+  EXPECT_EQ(m.duplicate_receptions, 0u);
+}
+
+TEST(AckLoss, ThroughputDegradesMonotonically) {
+  sim::ExperimentOptions opts;
+  opts.n_tags = 2000;
+  opts.runs = 5;
+  opts.max_slots_per_tag = 300;
+  double prev = 1e9;
+  for (double loss : {0.0, 0.2, 0.5}) {
+    FcatOptions o;
+    o.ack_loss_prob = loss;
+    o.initial_estimate = 2000;
+    const auto agg = sim::RunExperiment(MakeFcatFactory(o), opts);
+    EXPECT_EQ(agg.runs_capped, 0u) << "loss=" << loss;
+    EXPECT_LT(agg.throughput.mean(), prev + 3.0) << "loss=" << loss;
+    prev = agg.throughput.mean();
+  }
+}
+
+TEST(AckLoss, ReAckedTagsStopRetransmitting) {
+  // Even at high ack loss the protocol must terminate on its own probe
+  // rule (every tag eventually hears an acknowledgement).
+  FcatOptions o;
+  o.ack_loss_prob = 0.6;
+  const auto m = sim::RunOnce(MakeFcatFactory(o), 500, 7, 500);
+  EXPECT_EQ(m.tags_read, 500u);
+}
+
+TEST(AckLoss, KnownParticipantFeedsNewRecords) {
+  // An unacked-but-known tag colliding with one unknown tag makes the
+  // record instantly resolvable: with heavy ack loss the collision yield
+  // should stay substantial rather than collapse.
+  FcatOptions o;
+  o.ack_loss_prob = 0.5;
+  o.initial_estimate = 2000;
+  const auto m = sim::RunOnce(MakeFcatFactory(o), 2000, 9, 500);
+  EXPECT_EQ(m.tags_read, 2000u);
+  EXPECT_GT(m.ids_from_collisions, 400u);
+}
+
+class AckLossMatrix
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(AckLossMatrix, CompletenessUnderCombinedImpairments) {
+  const auto [ack_loss, corrupt, resolve] = GetParam();
+  FcatOptions o;
+  o.ack_loss_prob = ack_loss;
+  o.singleton_corrupt_prob = corrupt;
+  o.resolution_success_prob = resolve;
+  const auto m = sim::RunOnce(MakeFcatFactory(o), 800, 11, 600);
+  EXPECT_EQ(m.tags_read, 800u);
+  EXPECT_EQ(m.ids_from_singletons + m.ids_from_collisions, 800u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AckLossMatrix,
+    ::testing::Combine(::testing::Values(0.0, 0.25, 0.5),
+                       ::testing::Values(0.0, 0.15),
+                       ::testing::Values(1.0, 0.5)));
+
+TEST(AckLoss, ScatAlsoRecovers) {
+  ScatOptions o;
+  o.ack_loss_prob = 0.3;
+  const auto m = sim::RunOnce(MakeScatFactory(o), 500, 13, 500);
+  EXPECT_EQ(m.tags_read, 500u);
+}
+
+}  // namespace
+}  // namespace anc::core

@@ -1,0 +1,85 @@
+#include "protocols/dfsa.h"
+
+#include <gtest/gtest.h>
+
+#include "core/factories.h"
+#include "sim/runner.h"
+
+namespace anc::protocols {
+namespace {
+
+TEST(Dfsa, ReadsEveryTag) {
+  for (std::size_t n : {1ul, 10ul, 500ul}) {
+    const auto m = sim::RunOnce(core::MakeDfsaFactory(), n, 7);
+    EXPECT_EQ(m.tags_read, n) << "n=" << n;
+    EXPECT_EQ(m.singleton_slots, n);
+  }
+}
+
+TEST(Dfsa, SlotsPerTagNearE) {
+  // The paper's DFSA reference point: 27284 slots for 10000 tags
+  // (2.73 slots/tag ~ e).
+  sim::ExperimentOptions opts;
+  opts.n_tags = 5000;
+  opts.runs = 8;
+  const auto agg = sim::RunExperiment(core::MakeDfsaFactory(), opts);
+  EXPECT_EQ(agg.runs_capped, 0u);
+  EXPECT_NEAR(agg.total_slots.mean() / 5000.0, 2.73, 0.15);
+}
+
+TEST(Dfsa, ThroughputNearPaperValue) {
+  sim::ExperimentOptions opts;
+  opts.n_tags = 10000;
+  opts.runs = 5;
+  const auto agg = sim::RunExperiment(core::MakeDfsaFactory(), opts);
+  // Paper Table I: 129.1 ~ 132.8 across N.
+  EXPECT_NEAR(agg.throughput.mean(), 131.0, 3.0);
+}
+
+TEST(Dfsa, SlotMixMatchesPaperTable2) {
+  sim::ExperimentOptions opts;
+  opts.n_tags = 10000;
+  opts.runs = 5;
+  const auto agg = sim::RunExperiment(core::MakeDfsaFactory(), opts);
+  // Paper: empty 10076, collision 7208 at N = 10000.
+  EXPECT_NEAR(agg.empty_slots.mean(), 10076, 600);
+  EXPECT_NEAR(agg.collision_slots.mean(), 7208, 400);
+}
+
+TEST(Dfsa, ColdStartConvergesAndCostsMore) {
+  DfsaConfig cold;
+  cold.initial_frame_size = 16;
+  const auto warm = sim::RunOnce(core::MakeDfsaFactory({}, {}), 3000, 11);
+  const auto cold_run =
+      sim::RunOnce(core::MakeDfsaFactory({}, cold), 3000, 11);
+  EXPECT_EQ(cold_run.tags_read, 3000u);
+  EXPECT_GT(cold_run.TotalSlots(), warm.TotalSlots());
+}
+
+TEST(Dfsa, ModerateFrameCapCostsEfficiency) {
+  DfsaConfig capped;
+  capped.max_frame_size = 1024;  // overloaded (load ~2) but workable
+  const auto capped_run =
+      sim::RunOnce(core::MakeDfsaFactory({}, capped), 2000, 3);
+  const auto free_run = sim::RunOnce(core::MakeDfsaFactory(), 2000, 3);
+  EXPECT_EQ(capped_run.tags_read, 2000u);
+  EXPECT_GT(capped_run.TotalSlots(), free_run.TotalSlots());
+}
+
+TEST(Dfsa, SevereFrameCapStarves) {
+  // A 64-slot cap against 2000 tags keeps every slot collided: reads
+  // stall — the starvation problem EDFSA's group restriction solves. The
+  // runner's safety cap must catch it rather than hang.
+  sim::ExperimentOptions opts;
+  opts.n_tags = 2000;
+  opts.runs = 1;
+  opts.max_slots_per_tag = 10;
+  DfsaConfig config;
+  config.max_frame_size = 64;
+  const auto agg =
+      sim::RunExperiment(core::MakeDfsaFactory({}, config), opts);
+  EXPECT_EQ(agg.runs_capped, 1u);
+}
+
+}  // namespace
+}  // namespace anc::protocols

@@ -1,0 +1,61 @@
+#include "analysis/estimator_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace anc::analysis {
+namespace {
+
+TEST(EstimatorModel, PaperBiasValues) {
+  // Fig. 3: |Bias(N_hat/N)| ~ 0.0082 / 0.011 / 0.014 for
+  // omega = 1.414 / 1.817 / 2.213 (f = 30), nearly independent of N.
+  EXPECT_NEAR(std::abs(EstimatorRelativeBias(10000, 1.414, 30)), 0.0082,
+              0.0005);
+  EXPECT_NEAR(std::abs(EstimatorRelativeBias(10000, 1.817, 30)), 0.011,
+              0.001);
+  EXPECT_NEAR(std::abs(EstimatorRelativeBias(10000, 2.213, 30)), 0.014,
+              0.001);
+}
+
+TEST(EstimatorModel, BiasFlatInN) {
+  // The Fig. 3 curves are flat: N ln(1 - w/N) -> -w.
+  for (double omega : {1.414, 1.817, 2.213}) {
+    const double at_5k = EstimatorRelativeBias(5000, omega, 30);
+    const double at_40k = EstimatorRelativeBias(40000, omega, 30);
+    EXPECT_NEAR(at_5k, at_40k, 1e-4) << "omega=" << omega;
+  }
+}
+
+TEST(EstimatorModel, BiasShrinksWithFrameSize) {
+  const double f30 = std::abs(EstimatorRelativeBias(10000, 1.414, 30));
+  const double f120 = std::abs(EstimatorRelativeBias(10000, 1.414, 120));
+  EXPECT_NEAR(f120, f30 / 4.0, 1e-4);
+}
+
+TEST(EstimatorModel, PaperVarianceValues) {
+  // Appendix: V(N_hat/N) ~ 0.0342 / 0.0287 / 0.0265 for
+  // omega = 1.414 / 1.817 / 2.213 at f = 30.
+  EXPECT_NEAR(EstimatorRelativeVariance(1.414, 30), 0.0342, 0.001);
+  EXPECT_NEAR(EstimatorRelativeVariance(1.817, 30), 0.0287, 0.001);
+  EXPECT_NEAR(EstimatorRelativeVariance(2.213, 30), 0.0265, 0.001);
+}
+
+TEST(EstimatorModel, VarianceScalesInverseFrameSize) {
+  const double f30 = EstimatorRelativeVariance(1.414, 30);
+  const double f60 = EstimatorRelativeVariance(1.414, 60);
+  EXPECT_NEAR(f60, f30 / 2.0, 1e-9);
+}
+
+TEST(EstimatorModel, AbsoluteVarianceConsistent) {
+  // Eq. 24 = N^2 * Eq. 25 at Np = omega.
+  const std::uint64_t n = 10000;
+  const double omega = 1.817;
+  EXPECT_NEAR(EstimatorVariance(n, omega, 30),
+              static_cast<double>(n) * static_cast<double>(n) *
+                  EstimatorRelativeVariance(omega, 30),
+              1.0);
+}
+
+}  // namespace
+}  // namespace anc::analysis

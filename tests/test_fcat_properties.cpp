@@ -1,0 +1,91 @@
+// Property-based sweep: protocol invariants that must hold for every
+// combination of lambda, frame size, population size and seed.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/factories.h"
+#include "sim/runner.h"
+
+namespace anc::core {
+namespace {
+
+using Params = std::tuple<unsigned /*lambda*/, std::uint64_t /*frame*/,
+                          std::size_t /*n*/, std::uint64_t /*seed*/>;
+
+class FcatInvariants : public ::testing::TestWithParam<Params> {};
+
+TEST_P(FcatInvariants, Hold) {
+  const auto [lambda, frame, n, seed] = GetParam();
+  FcatOptions o;
+  o.lambda = lambda;
+  o.frame_size = frame;
+  const auto m = sim::RunOnce(MakeFcatFactory(o), n, seed, 200);
+
+  // 1. Completeness: every tag read exactly once, no duplicates.
+  EXPECT_EQ(m.tags_read, n);
+  EXPECT_EQ(m.duplicate_receptions, 0u);
+
+  // 2. Conservation: IDs come from singletons or collision records.
+  EXPECT_EQ(m.ids_from_singletons + m.ids_from_collisions, n);
+
+  // 3. Singleton slots upper-bound direct IDs (termination probes can add
+  //    singleton slots whose tag was already counted; corruption is off,
+  //    so every direct ID used a singleton slot).
+  EXPECT_GE(m.singleton_slots, m.ids_from_singletons);
+
+  // 4. Collision-resolved IDs cannot exceed resolvable collision slots.
+  EXPECT_LE(m.ids_from_collisions, m.collision_slots);
+
+  // 5. Unresolved records never exceed stored collision-ish slots
+  //    (collisions plus corrupted singletons; the latter are zero here).
+  EXPECT_LE(m.unresolved_records, m.collision_slots);
+
+  // 6. Time accounting: at least pure slot time, bounded overhead.
+  const double slot_time = static_cast<double>(m.TotalSlots()) * 2.794e-3;
+  EXPECT_GE(m.elapsed_seconds, slot_time * 0.999);
+  EXPECT_LE(m.elapsed_seconds, slot_time * 1.30);
+
+  // 7. Efficiency sanity: never worse than 4 slots/tag for n >= 100, and
+  //    always better than pure ALOHA's e slots/tag once the cold-start
+  //    bootstrap is amortized (large n, paper-scale frames; an f = 100
+  //    bootstrap against n = 1000 legitimately eats a few percent).
+  if (n >= 100) {
+    EXPECT_LT(m.TotalSlots(), 4 * n + 100);
+  }
+  if (n >= 1000 && frame <= 30) {
+    EXPECT_LT(static_cast<double>(m.TotalSlots()),
+              2.718 * static_cast<double>(n));
+  } else if (n >= 1000) {
+    EXPECT_LT(static_cast<double>(m.TotalSlots()),
+              3.0 * static_cast<double>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FcatInvariants,
+    ::testing::Combine(::testing::Values(2u, 3u, 4u, 5u),
+                       ::testing::Values(10ull, 30ull, 100ull),
+                       ::testing::Values(100ul, 1000ul, 5000ul),
+                       ::testing::Values(1ull, 2ull, 3ull)));
+
+class FcatNoiseInvariants
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(FcatNoiseInvariants, CompletenessUnderImperfection) {
+  const auto [resolve_prob, corrupt_prob] = GetParam();
+  FcatOptions o;
+  o.resolution_success_prob = resolve_prob;
+  o.singleton_corrupt_prob = corrupt_prob;
+  const auto m = sim::RunOnce(MakeFcatFactory(o), 1000, 7, 300);
+  EXPECT_EQ(m.tags_read, 1000u);
+  EXPECT_EQ(m.ids_from_singletons + m.ids_from_collisions, 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Noise, FcatNoiseInvariants,
+    ::testing::Combine(::testing::Values(1.0, 0.7, 0.3, 0.0),
+                       ::testing::Values(0.0, 0.1, 0.3)));
+
+}  // namespace
+}  // namespace anc::core

@@ -1,0 +1,61 @@
+#include "common/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace anc {
+namespace {
+
+TEST(QuantizedProbability, Bounds) {
+  const int l = 16;
+  EXPECT_EQ(QuantizedProbability(0.0, l).raw(), 0u);
+  EXPECT_EQ(QuantizedProbability(-1.0, l).raw(), 0u);
+  EXPECT_EQ(QuantizedProbability(1.0, l).raw(), 1ULL << l);
+  EXPECT_EQ(QuantizedProbability(2.0, l).raw(), 1ULL << l);
+}
+
+TEST(QuantizedProbability, EffectiveTracksRequested) {
+  const int l = 24;
+  for (double p : {1e-5, 1e-4, 0.01, 0.3, 0.999}) {
+    const QuantizedProbability q(p, l);
+    // floor() quantization can only shrink, and by at most 2^-l.
+    EXPECT_LE(q.effective(), p);
+    EXPECT_GE(q.effective(), p - 1.0 / (1 << l) - 1e-15);
+  }
+}
+
+TEST(QuantizedProbability, CoarseQuantizationAtSmallL) {
+  // With l = 8 and p = 1/300, the advertised integer is 0: tags would
+  // never transmit — exactly why the field width matters.
+  const QuantizedProbability q(1.0 / 300.0, 8);
+  EXPECT_EQ(q.raw(), 0u);
+  EXPECT_EQ(q.effective(), 0.0);
+}
+
+TEST(QuantizedProbability, AdmitEdges) {
+  const int l = 10;
+  const QuantizedProbability never(0.0, l);
+  const QuantizedProbability always(1.0, l);
+  for (std::uint64_t h : {0ULL, 1ULL, 512ULL, 1023ULL}) {
+    EXPECT_FALSE(never.Admits(h));
+    EXPECT_TRUE(always.Admits(h));
+  }
+}
+
+TEST(QuantizedProbability, AdmitRateEqualsEffective) {
+  const int l = 16;
+  const QuantizedProbability q(0.037, l);
+  Pcg32 rng(21);
+  int admitted = 0;
+  constexpr int kTrials = 200000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (q.Admits(ReportHash(rng(), i, l))) ++admitted;
+  }
+  const double rate = static_cast<double>(admitted) / kTrials;
+  EXPECT_NEAR(rate, q.effective(), 0.002);
+}
+
+}  // namespace
+}  // namespace anc

@@ -1,0 +1,82 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace anc {
+namespace {
+
+TEST(ReportHash, Deterministic) {
+  EXPECT_EQ(ReportHash(123, 45, 24), ReportHash(123, 45, 24));
+  EXPECT_NE(ReportHash(123, 45, 24), ReportHash(123, 46, 24));
+  EXPECT_NE(ReportHash(123, 45, 24), ReportHash(124, 45, 24));
+}
+
+TEST(ReportHash, RangeRespected) {
+  Pcg32 rng(1);
+  for (int l : {1, 8, 16, 24, 32}) {
+    const std::uint64_t bound = 1ULL << l;
+    for (int trial = 0; trial < 1000; ++trial) {
+      const std::uint64_t h = ReportHash(rng(), rng(), l);
+      EXPECT_LT(h, bound);
+    }
+  }
+}
+
+TEST(ReportHash, UniformAcrossSlots) {
+  // For a fixed ID, the hash over consecutive slots should hit each
+  // quarter of the range ~uniformly (chi-square sanity bound).
+  constexpr int kBuckets = 4;
+  constexpr int kSamples = 40000;
+  std::array<int, kBuckets> counts{};
+  const std::uint64_t digest = SplitMix64(0xDEADBEEF);
+  for (int slot = 0; slot < kSamples; ++slot) {
+    const std::uint64_t h = ReportHash(digest, slot, 16);
+    counts[h * kBuckets >> 16]++;
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 3 dof; P(chi2 > 16.3) ~ 0.001.
+  EXPECT_LT(chi2, 16.3);
+}
+
+TEST(ReportHash, TransmissionRateMatchesThreshold) {
+  // Fraction of (id, slot) pairs admitted below a threshold ~ p.
+  Pcg32 rng(9);
+  const int l = 20;
+  const double p = 0.05;
+  const auto threshold =
+      static_cast<std::uint64_t>(p * static_cast<double>(1ULL << l));
+  int admitted = 0;
+  constexpr int kTrials = 100000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    if (ReportHash(rng(), trial, l) < threshold) ++admitted;
+  }
+  const double rate = static_cast<double>(admitted) / kTrials;
+  EXPECT_NEAR(rate, p, 0.005);
+}
+
+TEST(SplitMix64, AvalancheSmoke) {
+  // Flipping one input bit should flip ~half the output bits on average.
+  double total_flips = 0.0;
+  constexpr int kTrials = 2000;
+  Pcg32 rng(17);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const std::uint64_t x = (static_cast<std::uint64_t>(rng()) << 32) | rng();
+    const int bit = static_cast<int>(rng.UniformBelow(64));
+    const std::uint64_t delta = SplitMix64(x) ^ SplitMix64(x ^ (1ULL << bit));
+    total_flips += __builtin_popcountll(delta);
+  }
+  const double mean_flips = total_flips / kTrials;
+  EXPECT_NEAR(mean_flips, 32.0, 1.0);
+}
+
+}  // namespace
+}  // namespace anc

@@ -1,0 +1,124 @@
+#include "phy/ideal_phy.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/population.h"
+
+namespace anc::phy {
+namespace {
+
+std::vector<TagId> Pop(std::size_t n, std::uint64_t seed = 1) {
+  anc::Pcg32 rng(seed);
+  return anc::sim::MakePopulation(n, rng);
+}
+
+TEST(IdealPhy, SlotClassification) {
+  const auto pop = Pop(10);
+  IdealPhy phy(pop, {2, 1.0, 0.0}, anc::Pcg32(1));
+
+  const std::uint32_t none[] = {0};
+  EXPECT_EQ(phy.ObserveSlot(0, {none, 0}).type, SlotType::kEmpty);
+
+  const std::uint32_t one[] = {3};
+  const auto singleton = phy.ObserveSlot(1, one);
+  EXPECT_EQ(singleton.type, SlotType::kSingleton);
+  ASSERT_TRUE(singleton.singleton_id.has_value());
+  EXPECT_EQ(*singleton.singleton_id, pop[3]);
+  EXPECT_EQ(singleton.record, kInvalidRecord);
+
+  const std::uint32_t two[] = {1, 2};
+  const auto collision = phy.ObserveSlot(2, two);
+  EXPECT_EQ(collision.type, SlotType::kCollision);
+  EXPECT_FALSE(collision.singleton_id.has_value());
+  EXPECT_NE(collision.record, kInvalidRecord);
+  EXPECT_EQ(phy.OpenRecords(), 1u);
+}
+
+TEST(IdealPhy, TwoCollisionResolvesWithOneKnown) {
+  const auto pop = Pop(10);
+  IdealPhy phy(pop, {2, 1.0, 0.0}, anc::Pcg32(1));
+  const std::uint32_t two[] = {4, 7};
+  const auto obs = phy.ObserveSlot(0, two);
+
+  const std::uint32_t known[] = {4};
+  const auto resolved = phy.TryResolve(obs.record, known);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(*resolved, pop[7]);
+}
+
+TEST(IdealPhy, ResolutionNeedsAllButOne) {
+  const auto pop = Pop(10);
+  IdealPhy phy(pop, {3, 1.0, 0.0}, anc::Pcg32(1));
+  const std::uint32_t three[] = {1, 2, 3};
+  const auto obs = phy.ObserveSlot(0, three);
+
+  const std::uint32_t one_known[] = {1};
+  EXPECT_FALSE(phy.TryResolve(obs.record, one_known).has_value());
+
+  const std::uint32_t two_known[] = {1, 3};
+  const auto resolved = phy.TryResolve(obs.record, two_known);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(*resolved, pop[2]);
+}
+
+TEST(IdealPhy, LambdaCapsMixtureOrder) {
+  const auto pop = Pop(10);
+  IdealPhy phy(pop, {2, 1.0, 0.0}, anc::Pcg32(1));
+  const std::uint32_t three[] = {1, 2, 3};
+  const auto obs = phy.ObserveSlot(0, three);
+  const std::uint32_t two_known[] = {1, 2};
+  // 3-collision with lambda = 2: never resolvable.
+  EXPECT_FALSE(phy.TryResolve(obs.record, two_known).has_value());
+}
+
+TEST(IdealPhy, ReleaseClosesRecord) {
+  const auto pop = Pop(10);
+  IdealPhy phy(pop, {2, 1.0, 0.0}, anc::Pcg32(1));
+  const std::uint32_t two[] = {4, 7};
+  const auto obs = phy.ObserveSlot(0, two);
+  phy.ReleaseRecord(obs.record);
+  EXPECT_EQ(phy.OpenRecords(), 0u);
+  const std::uint32_t known[] = {4};
+  EXPECT_FALSE(phy.TryResolve(obs.record, known).has_value());
+  phy.ReleaseRecord(obs.record);  // double release is harmless
+  EXPECT_EQ(phy.OpenRecords(), 0u);
+}
+
+TEST(IdealPhy, ResolutionFailureIsSticky) {
+  // Section IV-E: a noise-corrupted record never resolves, even on retry.
+  const auto pop = Pop(10);
+  IdealPhy phy(pop, {2, 0.0, 0.0}, anc::Pcg32(1));  // always fails
+  const std::uint32_t two[] = {4, 7};
+  const auto obs = phy.ObserveSlot(0, two);
+  const std::uint32_t known[] = {4};
+  EXPECT_FALSE(phy.TryResolve(obs.record, known).has_value());
+  EXPECT_FALSE(phy.TryResolve(obs.record, known).has_value());
+}
+
+TEST(IdealPhy, ResolutionSuccessRateMatchesConfig) {
+  const auto pop = Pop(2000);
+  IdealPhy phy(pop, {2, 0.7, 0.0}, anc::Pcg32(5));
+  int resolved = 0;
+  for (std::uint32_t i = 0; i + 1 < 2000; i += 2) {
+    const std::uint32_t pair[] = {i, i + 1};
+    const auto obs = phy.ObserveSlot(i, pair);
+    const std::uint32_t known[] = {i};
+    if (phy.TryResolve(obs.record, known)) ++resolved;
+  }
+  EXPECT_NEAR(resolved / 1000.0, 0.7, 0.05);
+}
+
+TEST(IdealPhy, CorruptedSingletonBecomesDeadRecord) {
+  const auto pop = Pop(10);
+  IdealPhy phy(pop, {2, 1.0, 1.0}, anc::Pcg32(1));  // always corrupt
+  const std::uint32_t one[] = {5};
+  const auto obs = phy.ObserveSlot(0, one);
+  EXPECT_EQ(obs.type, SlotType::kSingleton);
+  EXPECT_FALSE(obs.singleton_id.has_value());
+  ASSERT_NE(obs.record, kInvalidRecord);
+  // A garbage record can never be "resolved", even with zero unknowns.
+  EXPECT_FALSE(phy.TryResolve(obs.record, {}).has_value());
+}
+
+}  // namespace
+}  // namespace anc::phy

@@ -1,0 +1,112 @@
+// Cross-module integration: the paper's headline claims, asserted
+// end-to-end against the same harness the benches use.
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.h"
+#include "analysis/omega.h"
+#include "core/factories.h"
+#include "sim/runner.h"
+
+namespace anc {
+namespace {
+
+sim::AggregateResult RunProtocol(const sim::ProtocolFactory& factory,
+                                 std::size_t n, std::size_t runs = 5) {
+  sim::ExperimentOptions opts;
+  opts.n_tags = n;
+  opts.runs = runs;
+  return sim::RunExperiment(factory, opts);
+}
+
+TEST(Integration, HeadlineClaimFcat2BeatsEveryBaseline) {
+  // Abstract: "51.1% ~ 70.6% higher than the best existing protocols."
+  constexpr std::size_t kTags = 5000;
+  core::FcatOptions fcat;
+  fcat.initial_estimate = kTags;
+  const double fcat2 =
+      RunProtocol(core::MakeFcatFactory(fcat), kTags).throughput.mean();
+  const double dfsa =
+      RunProtocol(core::MakeDfsaFactory(), kTags).throughput.mean();
+  const double edfsa =
+      RunProtocol(core::MakeEdfsaFactory(), kTags).throughput.mean();
+  const double abs_tp =
+      RunProtocol(core::MakeAbsFactory(), kTags).throughput.mean();
+  const double aqs =
+      RunProtocol(core::MakeAqsFactory(), kTags).throughput.mean();
+
+  const double best_baseline =
+      std::max({dfsa, edfsa, abs_tp, aqs});
+  EXPECT_GT(fcat2, best_baseline * 1.40)
+      << "FCAT-2 must beat the best baseline by roughly the paper's "
+         "margin";
+  // And the ordering within baselines: ALOHA-family ~ 131 > tree ~ 124.
+  EXPECT_GT(dfsa, abs_tp);
+  EXPECT_GT(abs_tp, 100.0);
+}
+
+TEST(Integration, Fcat2BreaksTheAlohaBound) {
+  // The whole point: 1/(eT) is not a ceiling for a collision-aware
+  // protocol.
+  constexpr std::size_t kTags = 5000;
+  core::FcatOptions fcat;
+  fcat.initial_estimate = kTags;
+  const double fcat2 =
+      RunProtocol(core::MakeFcatFactory(fcat), kTags).throughput.mean();
+  const double bound = analysis::AlohaBoundThroughput(
+      phy::TimingModel::ICode().SlotSeconds());
+  EXPECT_GT(fcat2, bound * 1.4);
+}
+
+TEST(Integration, DiminishingLambdaGains) {
+  // Section VI-A: FCAT-5 only slightly better than FCAT-4.
+  constexpr std::size_t kTags = 5000;
+  std::vector<double> tp;
+  for (unsigned lambda : {2u, 3u, 4u, 5u}) {
+    core::FcatOptions o;
+    o.lambda = lambda;
+    o.initial_estimate = kTags;
+    tp.push_back(
+        RunProtocol(core::MakeFcatFactory(o), kTags).throughput.mean());
+  }
+  const double gain_23 = tp[1] - tp[0];
+  const double gain_45 = tp[3] - tp[2];
+  EXPECT_GT(gain_23, 0.0);
+  EXPECT_GT(gain_45, -3.0);          // ~flat is acceptable
+  EXPECT_LT(gain_45, gain_23 * 0.5);  // and clearly smaller
+}
+
+TEST(Integration, MeasuredThroughputTracksAnalyticPrediction) {
+  // Simulator vs analysis module: zero-overhead prediction s(w,l)/T must
+  // bound the measured value from above, within ~12%.
+  constexpr std::size_t kTags = 8000;
+  const double t = phy::TimingModel::ICode().SlotSeconds();
+  for (unsigned lambda : {2u, 3u}) {
+    core::FcatOptions o;
+    o.lambda = lambda;
+    o.initial_estimate = kTags;
+    const double measured =
+        RunProtocol(core::MakeFcatFactory(o), kTags).throughput.mean();
+    const double predicted = analysis::FcatPredictedThroughput(
+        analysis::OptimalOmega(lambda), lambda, t, 30, 0.0, 0.0, 0.0);
+    EXPECT_LT(measured, predicted);
+    EXPECT_GT(measured, predicted * 0.88) << "lambda=" << lambda;
+  }
+}
+
+TEST(Integration, OmegaSweepPeaksAtAnalyticOptimum) {
+  // The Fig. 5 story in miniature: throughput at the analytic omega beats
+  // clearly-off values on both sides.
+  constexpr std::size_t kTags = 3000;
+  auto tp_at = [&](double omega) {
+    core::FcatOptions o;
+    o.omega = omega;
+    o.initial_estimate = kTags;
+    return RunProtocol(core::MakeFcatFactory(o), kTags).throughput.mean();
+  };
+  const double at_optimum = tp_at(analysis::OptimalOmega(2));
+  EXPECT_GT(at_optimum, tp_at(0.4));
+  EXPECT_GT(at_optimum, tp_at(2.8));
+}
+
+}  // namespace
+}  // namespace anc

@@ -1,0 +1,134 @@
+#include "multi/inventory.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/factories.h"
+#include "sim/population.h"
+
+namespace anc::multi {
+namespace {
+
+std::vector<TagId> Warehouse(std::size_t n, std::uint64_t seed = 1) {
+  anc::Pcg32 rng(seed);
+  return anc::sim::MakePopulation(n, rng);
+}
+
+TEST(Coverage, TilesTheWholeWarehouse) {
+  const CoverageModel model{4, 0.0};
+  std::unordered_set<std::uint32_t> seen;
+  for (std::size_t pos = 0; pos < 4; ++pos) {
+    for (std::uint32_t i : CoveredTags(model, 1003, pos)) {
+      EXPECT_TRUE(seen.insert(i).second)
+          << "tag " << i << " covered twice with zero overlap";
+    }
+  }
+  EXPECT_EQ(seen.size(), 1003u);  // incl. the tail remainder
+}
+
+TEST(Coverage, OverlapSharesNeighbours) {
+  const CoverageModel model{4, 0.25};
+  std::unordered_set<std::uint32_t> first(
+      [&] {
+        auto v = CoveredTags(model, 1000, 0);
+        return std::unordered_set<std::uint32_t>(v.begin(), v.end());
+      }());
+  int shared = 0;
+  for (std::uint32_t i : CoveredTags(model, 1000, 1)) {
+    shared += first.count(i) > 0;
+  }
+  EXPECT_GT(shared, 0);
+  EXPECT_LT(shared, 300);
+}
+
+TEST(Coverage, DegenerateInputs) {
+  EXPECT_TRUE(CoveredTags({0, 0.1}, 100, 0).empty());
+  EXPECT_TRUE(CoveredTags({4, 0.1}, 0, 2).empty());
+  // Single position covers everything.
+  EXPECT_EQ(CoveredTags({1, 0.0}, 57, 0).size(), 57u);
+}
+
+TEST(Inventory, CompleteWithFcat) {
+  const auto warehouse = Warehouse(3000);
+  const auto result = RunInventory(warehouse, {4, 0.15},
+                                   core::MakeFcatFactory({}), 7);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.unique_ids, 3000u);
+  EXPECT_GT(result.duplicate_reads, 0u);  // overlap read twice
+  EXPECT_EQ(result.per_position.size(), 4u);
+  EXPECT_GT(result.total_seconds, 0.0);
+}
+
+TEST(Inventory, NoOverlapNoDuplicates) {
+  const auto warehouse = Warehouse(2000);
+  const auto result = RunInventory(warehouse, {4, 0.0},
+                                   core::MakeDfsaFactory(), 9);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.duplicate_reads, 0u);
+}
+
+TEST(Inventory, FcatFasterThanDfsa) {
+  const auto warehouse = Warehouse(4000);
+  const CoverageModel model{4, 0.2};
+  const auto fcat =
+      RunInventory(warehouse, model, core::MakeFcatFactory({}), 11);
+  const auto dfsa =
+      RunInventory(warehouse, model, core::MakeDfsaFactory(), 11);
+  ASSERT_TRUE(fcat.complete);
+  ASSERT_TRUE(dfsa.complete);
+  EXPECT_LT(fcat.total_seconds, dfsa.total_seconds * 0.80);
+}
+
+TEST(Audit, DetectsMissingAndUnexpected) {
+  const auto stock = Warehouse(50, 1);
+  // Two items stolen, one foreign item appeared.
+  std::vector<TagId> present(stock.begin(), stock.end() - 2);
+  const auto foreign = Warehouse(1, 99);
+  present.push_back(foreign[0]);
+
+  const auto audit = AuditInventory(present, stock);
+  ASSERT_EQ(audit.missing.size(), 2u);
+  EXPECT_EQ(audit.missing[0], stock[48]);
+  EXPECT_EQ(audit.missing[1], stock[49]);
+  ASSERT_EQ(audit.unexpected.size(), 1u);
+  EXPECT_EQ(audit.unexpected[0], foreign[0]);
+}
+
+TEST(Audit, CleanInventoryIsClean) {
+  const auto stock = Warehouse(100, 2);
+  const auto audit = AuditInventory(stock, stock);
+  EXPECT_TRUE(audit.missing.empty());
+  EXPECT_TRUE(audit.unexpected.empty());
+}
+
+TEST(Audit, EndToEndTheftDetection) {
+  // Full pipeline: stock list -> two items walk out -> periodic FCAT
+  // inventory -> audit flags exactly those two.
+  const auto stock = Warehouse(2000, 3);
+  std::vector<TagId> on_shelves(stock.begin() + 2, stock.end());
+
+  const auto result = RunInventory(on_shelves, {3, 0.1},
+                                   core::MakeFcatFactory({}), 21);
+  ASSERT_TRUE(result.complete);
+
+  std::vector<TagId> inventoried(on_shelves.begin(), on_shelves.end());
+  const auto audit = AuditInventory(inventoried, stock);
+  ASSERT_EQ(audit.missing.size(), 2u);
+  EXPECT_TRUE(audit.unexpected.empty());
+}
+
+TEST(Inventory, MoreOverlapCostsMoreAirTime) {
+  const auto warehouse = Warehouse(3000);
+  const auto narrow =
+      RunInventory(warehouse, {4, 0.05}, core::MakeFcatFactory({}), 13);
+  const auto wide =
+      RunInventory(warehouse, {4, 0.45}, core::MakeFcatFactory({}), 13);
+  ASSERT_TRUE(narrow.complete);
+  ASSERT_TRUE(wide.complete);
+  EXPECT_GT(wide.duplicate_reads, narrow.duplicate_reads);
+  EXPECT_GT(wide.total_seconds, narrow.total_seconds);
+}
+
+}  // namespace
+}  // namespace anc::multi

@@ -1,0 +1,93 @@
+#include "analysis/omega.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace anc::analysis {
+namespace {
+
+TEST(OptimalOmega, PaperConstants) {
+  // Section IV-C: 1.414 for lambda=2, 1.817 for lambda=3, 2.213 for
+  // lambda=4.
+  EXPECT_NEAR(OptimalOmega(2), 1.414, 5e-4);
+  EXPECT_NEAR(OptimalOmega(3), 1.817, 5e-4);
+  EXPECT_NEAR(OptimalOmega(4), 2.213, 5e-4);
+}
+
+TEST(OptimalOmega, LambdaOneIsClassicAloha) {
+  // lambda = 1 (no collision resolution) reduces to the classic ALOHA
+  // optimum: load 1, singleton probability 1/e.
+  EXPECT_NEAR(OptimalOmega(1), 1.0, 1e-9);
+  EXPECT_NEAR(UsefulSlotProbability(1.0, 1), std::exp(-1.0), 1e-12);
+}
+
+TEST(OptimalOmega, ClosedFormMatchesNumeric) {
+  for (unsigned lambda = 1; lambda <= 8; ++lambda) {
+    EXPECT_NEAR(OptimalOmega(lambda), OptimalOmegaNumeric(lambda), 1e-5)
+        << "lambda=" << lambda;
+  }
+}
+
+TEST(OptimalOmega, StationaryPoint) {
+  // d/dw of the useful-slot probability vanishes at the optimum:
+  // check numerically with a central difference.
+  for (unsigned lambda : {2u, 3u, 4u}) {
+    const double w = OptimalOmega(lambda);
+    const double h = 1e-5;
+    const double derivative = (UsefulSlotProbability(w + h, lambda) -
+                               UsefulSlotProbability(w - h, lambda)) /
+                              (2.0 * h);
+    EXPECT_NEAR(derivative, 0.0, 1e-6) << "lambda=" << lambda;
+  }
+}
+
+TEST(UsefulSlotProbability, UnimodalAroundOptimum) {
+  for (unsigned lambda : {2u, 4u}) {
+    const double w = OptimalOmega(lambda);
+    const double peak = UsefulSlotProbability(w, lambda);
+    EXPECT_GT(peak, UsefulSlotProbability(w * 0.5, lambda));
+    EXPECT_GT(peak, UsefulSlotProbability(w * 1.5, lambda));
+  }
+}
+
+TEST(UsefulSlotProbability, IncreasesWithLambda) {
+  // More resolvable collision orders -> more useful slots at the
+  // respective optima (why FCAT-4 beats FCAT-3 beats FCAT-2).
+  double prev = 0.0;
+  for (unsigned lambda = 1; lambda <= 6; ++lambda) {
+    const double s = UsefulSlotProbability(OptimalOmega(lambda), lambda);
+    EXPECT_GT(s, prev) << "lambda=" << lambda;
+    prev = s;
+  }
+}
+
+TEST(UsefulSlotProbability, DiminishingReturns) {
+  // Section VI-A: the gain of lambda -> lambda+1 shrinks quickly.
+  auto gain = [](unsigned lambda) {
+    return UsefulSlotProbability(OptimalOmega(lambda + 1), lambda + 1) -
+           UsefulSlotProbability(OptimalOmega(lambda), lambda);
+  };
+  EXPECT_GT(gain(2), gain(3));
+  EXPECT_GT(gain(3), gain(4));
+  EXPECT_GT(gain(4), gain(5));
+}
+
+class BinomialOptimum : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BinomialOptimum, ApproachesPoissonOptimum) {
+  const std::uint64_t n = GetParam();
+  for (unsigned lambda : {2u, 3u, 4u}) {
+    const double w_binomial = OptimalOmegaBinomial(n, lambda);
+    const double w_poisson = OptimalOmega(lambda);
+    // Finite-N optimum is close to, and converges to, the Poisson one.
+    EXPECT_NEAR(w_binomial, w_poisson, n >= 10000 ? 0.01 : 0.25)
+        << "n=" << n << " lambda=" << lambda;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BinomialOptimum,
+                         ::testing::Values(50, 500, 10000, 50000));
+
+}  // namespace
+}  // namespace anc::analysis

@@ -1,0 +1,74 @@
+#include "analysis/poisson.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace anc::analysis {
+namespace {
+
+TEST(Poisson, PmfKnownValues) {
+  EXPECT_NEAR(PoissonPmf(1.0, 0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(PoissonPmf(1.0, 1), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(PoissonPmf(2.0, 2), 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_EQ(PoissonPmf(0.0, 0), 1.0);
+  EXPECT_EQ(PoissonPmf(0.0, 3), 0.0);
+}
+
+TEST(Poisson, PmfSumsToOne) {
+  for (double omega : {0.1, 1.0, 2.213, 5.0, 20.0}) {
+    double sum = 0.0;
+    for (unsigned k = 0; k < 200; ++k) sum += PoissonPmf(omega, k);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "omega=" << omega;
+  }
+}
+
+TEST(Poisson, CdfMonotone) {
+  const double omega = 1.414;
+  double prev = 0.0;
+  for (unsigned k = 0; k < 20; ++k) {
+    const double cdf = PoissonCdf(omega, k);
+    EXPECT_GE(cdf, prev);
+    EXPECT_LE(cdf, 1.0 + 1e-12);
+    prev = cdf;
+  }
+  EXPECT_NEAR(PoissonCdf(omega, 100), 1.0, 1e-12);
+}
+
+TEST(Binomial, PmfKnownValues) {
+  EXPECT_NEAR(BinomialPmf(4, 0.5, 2), 6.0 / 16.0, 1e-12);
+  EXPECT_NEAR(BinomialPmf(10, 0.0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(BinomialPmf(10, 1.0, 10), 1.0, 1e-12);
+  EXPECT_EQ(BinomialPmf(5, 0.3, 6), 0.0);
+}
+
+TEST(Binomial, PmfSumsToOne) {
+  const std::uint64_t n = 50;
+  const double p = 0.07;
+  double sum = 0.0;
+  for (std::uint64_t k = 0; k <= n; ++k) sum += BinomialPmf(n, p, k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Binomial, ConvergesToPoisson) {
+  // Binomial(N, omega/N) -> Poisson(omega): the approximation Section IV-C
+  // rests on.
+  const double omega = 1.414;
+  for (unsigned k = 0; k <= 5; ++k) {
+    const double poisson = PoissonPmf(omega, k);
+    const double binom = BinomialPmf(100000, omega / 100000.0, k);
+    EXPECT_NEAR(binom, poisson, 1e-4) << "k=" << k;
+  }
+}
+
+TEST(Binomial, LargeNStable) {
+  // No overflow/underflow at paper-scale parameters.
+  const double p = 1.414 / 20000.0;
+  double sum = 0.0;
+  for (std::uint64_t k = 0; k <= 10; ++k) sum += BinomialPmf(20000, p, k);
+  EXPECT_GT(sum, 0.999);
+  EXPECT_LE(sum, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace anc::analysis

@@ -1,0 +1,118 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace anc {
+namespace {
+
+TEST(Pcg32, DeterministicForSeed) {
+  Pcg32 a(123, 456);
+  Pcg32 b(123, 456);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Pcg32, DistinctStreams) {
+  Pcg32 a(123, 1);
+  Pcg32 b(123, 2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Pcg32, UniformBelowRange) {
+  Pcg32 rng(5);
+  for (std::uint32_t bound : {1u, 2u, 7u, 100u, 1000003u}) {
+    for (int trial = 0; trial < 200; ++trial) {
+      EXPECT_LT(rng.UniformBelow(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.UniformBelow(0), 0u);
+  EXPECT_EQ(rng.UniformBelow(1), 0u);
+}
+
+TEST(Pcg32, UniformDoubleMoments) {
+  Pcg32 rng(6);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    stats.Add(u);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Pcg32, NormalMoments) {
+  Pcg32 rng(8);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(rng.Normal());
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.03);
+}
+
+struct BinomialCase {
+  std::uint64_t n;
+  double p;
+};
+
+class BinomialMoments : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(BinomialMoments, MeanAndVarianceMatch) {
+  const auto [n, p] = GetParam();
+  Pcg32 rng(1000 + n);
+  RunningStats stats;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t k = rng.Binomial(n, p);
+    ASSERT_LE(k, n);
+    stats.Add(static_cast<double>(k));
+  }
+  const double mean = static_cast<double>(n) * p;
+  const double var = mean * (1.0 - p);
+  const double mean_tol = 5.0 * std::sqrt(var / kSamples) + 1e-9;
+  EXPECT_NEAR(stats.mean(), mean, std::max(mean_tol, 0.02 * mean + 1e-9));
+  if (var > 0.01) {
+    EXPECT_NEAR(stats.variance(), var, 0.1 * var + 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BinomialMoments,
+    ::testing::Values(BinomialCase{1, 0.5}, BinomialCase{10, 0.1},
+                      BinomialCase{100, 0.014}, BinomialCase{1000, 0.002},
+                      BinomialCase{20000, 7.07e-5}, BinomialCase{50, 0.9},
+                      BinomialCase{5000, 0.05},  // large-mean normal path
+                      BinomialCase{100000, 0.001}));
+
+TEST(Pcg32, BinomialEdgeCases) {
+  Pcg32 rng(2);
+  EXPECT_EQ(rng.Binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.Binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.Binomial(100, 1.0), 100u);
+  EXPECT_EQ(rng.Binomial(100, -0.5), 0u);
+  EXPECT_EQ(rng.Binomial(100, 2.0), 100u);
+}
+
+TEST(Pcg32, SplitProducesIndependentStream) {
+  Pcg32 rng(77);
+  Pcg32 child = rng.Split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (rng() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace anc

@@ -1,0 +1,111 @@
+// Property sweeps over the signal chain: resolve-rate monotonicity in
+// SNR, correctness across subtraction modes and mixture orders.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "common/tag_id.h"
+#include "signal/anc_resolver.h"
+#include "signal/channel.h"
+#include "signal/mixer.h"
+#include "signal/waveform_codec.h"
+
+namespace anc::signal {
+namespace {
+
+struct Mixture {
+  WaveformCodec codec{8, 8};
+  std::vector<TagId> ids;
+  std::vector<Buffer> references;
+  Buffer mixed;
+
+  Mixture(int k, double snr_db, anc::Pcg32& rng) {
+    const double noise = NoisePowerForSnrDb(1.0, snr_db);
+    std::vector<Buffer> clean;
+    for (int i = 0; i < k; ++i) {
+      ids.push_back(
+          TagId::FromPayload(static_cast<std::uint16_t>(rng() & 0xFFFF),
+                             (std::uint64_t(rng()) << 32) | rng()));
+      clean.push_back(ApplyChannel(codec.Encode(ids.back()),
+                                   RandomChannel(rng, 0.6, 1.4)));
+      Buffer ref = clean.back();
+      AddAwgn(ref, noise, rng);
+      references.push_back(std::move(ref));
+    }
+    mixed = MixSignals(clean);
+    AddAwgn(mixed, noise, rng);
+  }
+};
+
+double ResolveRate(int k, double snr_db, SubtractionMode mode, int trials,
+                   anc::Pcg32& rng) {
+  const AncResolver resolver(mode, 8);
+  int ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    Mixture m(k, snr_db, rng);
+    std::vector<Buffer> refs(m.references.begin(), m.references.end() - 1);
+    const auto result =
+        resolver.ResolveLast(m.mixed, refs, m.codec.frame_bits());
+    if (!result.demodulated) continue;
+    const auto id = m.codec.DecodeBits(result.bits);
+    if (id && *id == m.ids.back()) ++ok;
+  }
+  return static_cast<double>(ok) / trials;
+}
+
+using ModeAndOrder = std::tuple<SubtractionMode, int>;
+
+class ResolveRateSweep : public ::testing::TestWithParam<ModeAndOrder> {};
+
+TEST_P(ResolveRateSweep, MonotoneInSnr) {
+  const auto [mode, k] = GetParam();
+  if (mode == SubtractionMode::kEnergy && k != 2) GTEST_SKIP();
+  anc::Pcg32 rng(static_cast<std::uint64_t>(k) * 131 +
+                 static_cast<std::uint64_t>(mode));
+  const double low = ResolveRate(k, 5.0, mode, 25, rng);
+  const double mid = ResolveRate(k, 14.0, mode, 25, rng);
+  const double high = ResolveRate(k, 28.0, mode, 25, rng);
+  EXPECT_LE(low, mid + 0.15);
+  EXPECT_LE(mid, high + 0.15);
+  EXPECT_GE(high, 0.85) << "high SNR must resolve nearly always";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ResolveRateSweep,
+    ::testing::Combine(::testing::Values(SubtractionMode::kDirect,
+                                         SubtractionMode::kLeastSquares,
+                                         SubtractionMode::kEnergy),
+                       ::testing::Values(2, 3, 4)));
+
+class CodecChannelSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CodecChannelSweep, SingletonDecodeRateTracksSnr) {
+  const double snr_db = GetParam();
+  anc::Pcg32 rng(17);
+  const WaveformCodec codec(8, 8);
+  const double noise = NoisePowerForSnrDb(1.0, snr_db);
+  int ok = 0;
+  constexpr int kTrials = 60;
+  for (int t = 0; t < kTrials; ++t) {
+    const TagId id =
+        TagId::FromPayload(static_cast<std::uint16_t>(rng() & 0xFFFF),
+                           (std::uint64_t(rng()) << 32) | rng());
+    Buffer y = ApplyChannel(codec.Encode(id), RandomChannel(rng, 0.6, 1.4));
+    AddAwgn(y, noise, rng);
+    const auto decoded = codec.Decode(y);
+    ok += decoded && *decoded == id;
+  }
+  const double rate = static_cast<double>(ok) / kTrials;
+  if (snr_db >= 15.0) {
+    EXPECT_GE(rate, 0.95);
+  } else if (snr_db <= -5.0) {
+    EXPECT_LE(rate, 0.40);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Snrs, CodecChannelSweep,
+                         ::testing::Values(-5.0, 5.0, 15.0, 25.0));
+
+}  // namespace
+}  // namespace anc::signal

@@ -1,0 +1,114 @@
+#include "analysis/slot_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace anc::analysis {
+namespace {
+
+TEST(SlotModel, CompositionSumsToFrame) {
+  for (std::uint64_t n : {0ull, 1ull, 100ull, 10000ull}) {
+    const double p = n > 0 ? 1.414 / static_cast<double>(n) : 0.1;
+    const auto c = ExpectedSlotComposition(n, p, 30);
+    EXPECT_NEAR(
+        c.expected_empty + c.expected_singleton + c.expected_collision, 30.0,
+        1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(SlotModel, EmptyPopulation) {
+  const auto c = ExpectedSlotComposition(0, 0.5, 30);
+  EXPECT_DOUBLE_EQ(c.expected_empty, 30.0);
+  EXPECT_DOUBLE_EQ(c.expected_singleton, 0.0);
+  EXPECT_DOUBLE_EQ(c.expected_collision, 0.0);
+}
+
+TEST(SlotModel, MatchesPoissonAtPaperOperatingPoint) {
+  // At N = 10000, p = 1.414/N, f = 30 (the Fig. 4 setting):
+  // E(n0)/f ~ e^-w, E(n1)/f ~ w e^-w.
+  const std::uint64_t n = 10000;
+  const double w = 1.414;
+  const auto c = ExpectedSlotComposition(n, w / n, 30);
+  EXPECT_NEAR(c.expected_empty / 30.0, std::exp(-w), 1e-3);
+  EXPECT_NEAR(c.expected_singleton / 30.0, w * std::exp(-w), 1e-3);
+}
+
+TEST(SlotModel, MatchesMonteCarlo) {
+  const std::uint64_t n = 500;
+  const double p = 1.817 / n;
+  const std::uint64_t f = 30;
+  const auto expected = ExpectedSlotComposition(n, p, f);
+
+  anc::Pcg32 rng(123);
+  double empty = 0, single = 0, coll = 0;
+  constexpr int kFrames = 20000;
+  for (int frame = 0; frame < kFrames; ++frame) {
+    for (std::uint64_t s = 0; s < f; ++s) {
+      const std::uint64_t k = rng.Binomial(n, p);
+      if (k == 0) {
+        empty += 1;
+      } else if (k == 1) {
+        single += 1;
+      } else {
+        coll += 1;
+      }
+    }
+  }
+  EXPECT_NEAR(empty / kFrames, expected.expected_empty, 0.1);
+  EXPECT_NEAR(single / kFrames, expected.expected_singleton, 0.1);
+  EXPECT_NEAR(coll / kFrames, expected.expected_collision, 0.1);
+}
+
+TEST(SlotModel, EstimatorInvertsExpectation) {
+  // Feeding E(nc) back through Eq. 12 recovers ~N when the frame ran at
+  // the design load (omega = N p).
+  for (std::uint64_t n : {100ull, 1000ull, 10000ull, 20000ull}) {
+    const double omega = 1.414;
+    const double p = omega / static_cast<double>(n);
+    const auto c = ExpectedSlotComposition(n, p, 30);
+    const double estimate =
+        EstimateTagsFromCollisions(c.expected_collision, 30, p, omega);
+    // Eq. 12 carries a small systematic bias (Fig. 3: ~1%).
+    EXPECT_NEAR(estimate, static_cast<double>(n), 0.02 * n + 2.0)
+        << "n=" << n;
+  }
+}
+
+TEST(SlotModel, EstimatorClampsSaturatedFrame) {
+  const double estimate = EstimateTagsFromCollisions(30.0, 30, 0.01, 1.414);
+  EXPECT_TRUE(std::isfinite(estimate));
+  EXPECT_GT(estimate, 0.0);
+}
+
+TEST(SlotModel, EstimatorZeroCollisionsSmall) {
+  // nc = 0 with the load on target means very few tags.
+  const double estimate = EstimateTagsFromCollisions(0.0, 30, 0.2, 1.414);
+  EXPECT_GE(estimate, 0.0);
+  EXPECT_LT(estimate, 15.0);
+}
+
+TEST(SlotModel, CollisionVarianceMatchesMonteCarlo) {
+  const std::uint64_t n = 2000;
+  const double p = 1.414 / n;
+  const std::uint64_t f = 30;
+  const double expected_var = CollisionCountVariance(n, p, f);
+
+  anc::Pcg32 rng(321);
+  anc::RunningStats nc_stats;
+  for (int frame = 0; frame < 30000; ++frame) {
+    int nc = 0;
+    for (std::uint64_t s = 0; s < f; ++s) {
+      if (rng.Binomial(n, p) >= 2) ++nc;
+    }
+    nc_stats.Add(nc);
+  }
+  EXPECT_NEAR(nc_stats.variance(), expected_var, 0.1 * expected_var);
+}
+
+}  // namespace
+}  // namespace anc::analysis

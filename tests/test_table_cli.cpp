@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "common/cli.h"
+#include "common/table.h"
+
+namespace anc {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "2.5"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| longer"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+  // All rows have equal width.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = 0;
+  for (int line = 0; line < 4; ++line) {
+    const std::size_t next = out.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"only"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::Int(-42), "-42");
+}
+
+TEST(CliArgs, ParsesForms) {
+  const char* argv[] = {"prog", "--runs=5", "--full", "positional",
+                        "--rate=0.5"};
+  CliArgs args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetInt("runs", 0), 5);
+  EXPECT_TRUE(args.GetBool("full"));
+  EXPECT_FALSE(args.GetBool("absent"));
+  EXPECT_DOUBLE_EQ(args.GetDouble("rate", 0.0), 0.5);
+  EXPECT_EQ(args.GetString("missing", "dflt"), "dflt");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(CliArgs, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetInt("runs", 17), 17);
+  EXPECT_FALSE(args.Has("runs"));
+}
+
+TEST(CliArgs, ExplicitBooleanValues) {
+  const char* argv[] = {"prog", "--flag=false", "--other=true"};
+  CliArgs args(3, const_cast<char**>(argv));
+  EXPECT_FALSE(args.GetBool("flag", true));
+  EXPECT_TRUE(args.GetBool("other", false));
+}
+
+}  // namespace
+}  // namespace anc

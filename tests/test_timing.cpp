@@ -1,0 +1,42 @@
+#include "phy/timing.h"
+
+#include <gtest/gtest.h>
+
+namespace anc::phy {
+namespace {
+
+TEST(Timing, ICodeSlotIsAbout2point8ms) {
+  // Section VI: 18.88 us/bit, 96-bit ID = 1812 us, 20-bit ack = 378 us,
+  // 302 us waits -> "each slot is about 2.8 ms".
+  const TimingModel t = TimingModel::ICode();
+  EXPECT_NEAR(t.SlotSeconds(), 2.794e-3, 1e-5);
+  EXPECT_NEAR(t.id_bits * t.bit_seconds, 1812e-6, 1e-6);
+  EXPECT_NEAR(t.ack_bits * t.bit_seconds, 378e-6, 1e-6);
+}
+
+TEST(Timing, PaperBaselineThroughputFromSlotCounts) {
+  // Sanity-tie to Table I/II: DFSA used 27284 slots for 10000 tags at
+  // 131.4 tags/s => slot length 2.79 ms.
+  const TimingModel t = TimingModel::ICode();
+  const double throughput = 10000.0 / (27284.0 * t.SlotSeconds());
+  EXPECT_NEAR(throughput, 131.2, 0.5);
+}
+
+TEST(Timing, AdvertisementCost) {
+  const TimingModel t = TimingModel::ICode();
+  // guard + (23 + 24 + 16) bits.
+  EXPECT_NEAR(t.AdvertSeconds(), 302e-6 + 63 * 18.88e-6, 1e-9);
+}
+
+TEST(Timing, ResolvedAckEncodingGap) {
+  // Section V-A: a 23-bit slot index is much cheaper than a 96-bit ID.
+  const TimingModel t = TimingModel::ICode();
+  EXPECT_NEAR(t.ResolvedAckSeconds(1, true), 23 * 18.88e-6, 1e-12);
+  EXPECT_NEAR(t.ResolvedAckSeconds(1, false), 96 * 18.88e-6, 1e-12);
+  EXPECT_GT(t.ResolvedAckSeconds(10, false),
+            4.0 * t.ResolvedAckSeconds(10, true));
+  EXPECT_EQ(t.ResolvedAckSeconds(0, true), 0.0);
+}
+
+}  // namespace
+}  // namespace anc::phy

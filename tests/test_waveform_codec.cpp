@@ -1,0 +1,96 @@
+#include "signal/waveform_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "signal/channel.h"
+
+namespace anc::signal {
+namespace {
+
+TagId RandomId(anc::Pcg32& rng) {
+  return TagId::FromPayload(
+      static_cast<std::uint16_t>(rng() & 0xFFFF),
+      (static_cast<std::uint64_t>(rng()) << 32) | rng());
+}
+
+TEST(WaveformCodec, FrameLayout) {
+  const WaveformCodec codec(8, 8);
+  EXPECT_EQ(codec.frame_bits(), 8u + 96u);
+  anc::Pcg32 rng(1);
+  const TagId id = RandomId(rng);
+  const auto bits = codec.FrameBits(id);
+  ASSERT_EQ(bits.size(), 104u);
+  // Alternating preamble.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(bits[static_cast<std::size_t>(i)], i % 2 == 0 ? 1 : 0);
+  }
+  const Buffer wave = codec.Encode(id);
+  EXPECT_EQ(wave.size(), 104u * 8u);
+}
+
+TEST(WaveformCodec, CleanRoundTrip) {
+  const WaveformCodec codec(8, 8);
+  anc::Pcg32 rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    const TagId id = RandomId(rng);
+    const auto decoded = codec.Decode(codec.Encode(id));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, id);
+  }
+}
+
+TEST(WaveformCodec, RoundTripThroughNoisyChannel) {
+  const WaveformCodec codec(8, 8);
+  anc::Pcg32 rng(3);
+  int ok = 0;
+  constexpr int kTrials = 50;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const TagId id = RandomId(rng);
+    Buffer y = ApplyChannel(codec.Encode(id), RandomChannel(rng, 0.6, 1.4));
+    AddAwgn(y, NoisePowerForSnrDb(1.0, 20.0), rng);
+    const auto decoded = codec.Decode(y);
+    if (decoded && *decoded == id) ++ok;
+  }
+  EXPECT_GE(ok, kTrials - 1);
+}
+
+TEST(WaveformCodec, GarbageRejected) {
+  const WaveformCodec codec(8, 8);
+  anc::Pcg32 rng(4);
+  int accepted = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    Buffer noise(104 * 8);
+    for (auto& s : noise) s = Sample{rng.Normal(), rng.Normal()};
+    if (codec.Decode(noise)) ++accepted;
+  }
+  EXPECT_EQ(accepted, 0);  // preamble + CRC-16: false accept ~ 2^-24
+}
+
+TEST(WaveformCodec, WrongLengthBitsRejected) {
+  const WaveformCodec codec(8, 8);
+  EXPECT_FALSE(codec.DecodeBits(std::vector<std::uint8_t>(10, 1)));
+  EXPECT_FALSE(codec.DecodeBits(std::vector<std::uint8_t>(200, 1)));
+}
+
+TEST(WaveformCodec, PreambleMismatchRejected) {
+  const WaveformCodec codec(8, 8);
+  anc::Pcg32 rng(5);
+  auto bits = codec.FrameBits(RandomId(rng));
+  bits[0] ^= 1;
+  EXPECT_FALSE(codec.DecodeBits(bits));
+}
+
+TEST(WaveformCodec, DifferentSamplesPerBit) {
+  for (int s : {4, 16}) {
+    const WaveformCodec codec(s, 8);
+    anc::Pcg32 rng(6);
+    const TagId id = RandomId(rng);
+    const auto decoded = codec.Decode(codec.Encode(id));
+    ASSERT_TRUE(decoded.has_value()) << "samples_per_bit=" << s;
+    EXPECT_EQ(*decoded, id);
+  }
+}
+
+}  // namespace
+}  // namespace anc::signal

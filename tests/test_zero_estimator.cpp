@@ -1,0 +1,101 @@
+#include "estimate/zero_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "core/factories.h"
+#include "sim/runner.h"
+
+namespace anc::estimate {
+namespace {
+
+TEST(ZeroEstimator, InversionIdentity) {
+  // Plugging the expected empty count back through the inversion recovers
+  // ~n.
+  for (std::uint64_t n : {50ull, 500ull, 5000ull}) {
+    const std::uint64_t l = 64;
+    const double p = std::min(1.0, 1.59 * 64.0 / static_cast<double>(n));
+    const double expected_empty =
+        static_cast<double>(l) *
+        std::exp(-static_cast<double>(n) * p / static_cast<double>(l));
+    const double estimate = EstimateFromEmpties(
+        static_cast<std::uint64_t>(std::llround(expected_empty)), l, p);
+    EXPECT_NEAR(estimate, static_cast<double>(n), 0.1 * n + 5.0) << n;
+  }
+}
+
+TEST(ZeroEstimator, ClampsDegenerateCounts) {
+  EXPECT_GT(EstimateFromEmpties(0, 64, 1.0), 0.0);
+  EXPECT_GT(EstimateFromEmpties(64, 64, 1.0), 0.0);
+  EXPECT_TRUE(std::isfinite(EstimateFromEmpties(0, 64, 0.5)));
+}
+
+class ZeroEstimatorAccuracy : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ZeroEstimatorAccuracy, WithinTenPercent) {
+  const std::uint64_t n = GetParam();
+  anc::Pcg32 rng(n);
+  RunningStats relative;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto run = RunZeroEstimator(n, {}, rng);
+    relative.Add(run.estimate / static_cast<double>(n));
+  }
+  EXPECT_NEAR(relative.mean(), 1.0, 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, ZeroEstimatorAccuracy,
+                         ::testing::Values(100, 1000, 10000, 50000));
+
+TEST(ZeroEstimator, MoreRoundsShrinkError) {
+  anc::Pcg32 rng(9);
+  RunningStats few, many;
+  ZeroEstimatorConfig cfg_few;
+  cfg_few.rounds = 2;
+  ZeroEstimatorConfig cfg_many;
+  cfg_many.rounds = 32;
+  for (int trial = 0; trial < 40; ++trial) {
+    few.Add(RunZeroEstimator(5000, cfg_few, rng).estimate / 5000.0);
+    many.Add(RunZeroEstimator(5000, cfg_many, rng).estimate / 5000.0);
+  }
+  EXPECT_LT(many.stddev(), few.stddev());
+}
+
+TEST(ZeroEstimator, SlotCostScalesWithRounds) {
+  anc::Pcg32 rng(11);
+  ZeroEstimatorConfig cfg;
+  cfg.rounds = 8;
+  const auto run = RunZeroEstimator(10000, cfg, rng);
+  // Auto-ranging frames + 8 refinement frames of 64 slots each.
+  EXPECT_GE(run.TotalSlots(), 9u * 64u);
+  EXPECT_LE(run.TotalSlots(), 40u * 64u);
+}
+
+TEST(ZeroEstimator, ScatPrestepChargedInMetrics) {
+  core::ScatOptions with_prestep;
+  with_prestep.estimation_prestep = true;
+  core::ScatOptions oracle;
+  const auto paid =
+      sim::RunOnce(core::MakeScatFactory(with_prestep), 2000, 5);
+  const auto free_run = sim::RunOnce(core::MakeScatFactory(oracle), 2000, 5);
+  EXPECT_EQ(paid.tags_read, 2000u);
+  // The pre-step costs slots, hence time, hence throughput.
+  EXPECT_GT(paid.TotalSlots(), free_run.TotalSlots());
+  EXPECT_LT(paid.Throughput(), free_run.Throughput());
+}
+
+TEST(ZeroEstimator, ScatWithImperfectEstimateStillCompletes) {
+  core::ScatOptions options;
+  options.estimation_prestep = true;
+  options.prestep_rounds = 1;  // deliberately crude estimate
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto m = sim::RunOnce(core::MakeScatFactory(options), 1500, seed,
+                                400);
+    EXPECT_EQ(m.tags_read, 1500u) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace anc::estimate
