@@ -11,6 +11,8 @@ int main(int argc, char** argv) {
   using namespace anc;
   const CliArgs args(argc, argv);
   const auto opts = bench::ParseHarness(args, 8);
+  bench::RequireKnownFlags(args, argv[0],
+                           {{"tags", "population size (default 10000)"}});
   const auto n = static_cast<std::size_t>(args.GetInt("tags", 10000));
   bench::PrintHeader("Ablation: acknowledgement encoding & advertisement",
                      "ICDCS'10 Section V-A", opts);

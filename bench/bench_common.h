@@ -1,7 +1,19 @@
 // Shared helpers for the table/figure harness binaries.
+//
+// Every harness accepts the common flags --runs/--full/--seed/--threads/
+// --json (plus per-binary extras declared through RequireKnownFlags).
+// --threads parallelizes the per-point run loop without changing any
+// printed number: RunExperiment folds runs back in run-index order, so
+// the aggregate is bit-identical at every thread count. --json=<path>
+// appends one machine-readable JSON line per invocation (every data
+// point's mean/stddev/min/max plus runs, seed, threads and wall time) so
+// repeated bench runs accumulate a trajectory file.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -15,8 +27,115 @@ namespace anc::bench {
 struct HarnessOptions {
   std::size_t runs = 10;
   std::uint64_t seed = 1;
-  bool full = false;  // paper-scale sweep
+  bool full = false;       // paper-scale sweep
+  std::size_t threads = 0;  // workers for the run loop; 0 = all cores
+  std::string json_path;   // append per-invocation JSON here ("" = off)
 };
+
+namespace detail {
+
+// Per-process JSON trajectory state. Harnesses are single-threaded at the
+// top level (parallelism lives inside RunExperiment), so plain globals
+// behind an inline accessor are safe.
+struct JsonState {
+  std::string path;
+  std::string bench_name;
+  std::uint64_t seed = 0;
+  std::size_t threads = 0;
+  bool full = false;
+  std::chrono::steady_clock::time_point start;
+  std::vector<std::string> points;  // pre-serialized JSON objects
+};
+
+inline JsonState& Json() {
+  static JsonState state;
+  return state;
+}
+
+inline std::string JsonNum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+inline std::string JsonStr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+inline std::string JsonStats(const RunningStats& s) {
+  return "{\"count\":" + std::to_string(s.count()) +
+         ",\"mean\":" + JsonNum(s.mean()) +
+         ",\"stddev\":" + JsonNum(s.stddev()) +
+         ",\"min\":" + JsonNum(s.min()) + ",\"max\":" + JsonNum(s.max()) +
+         "}";
+}
+
+inline void FlushJson() {
+  JsonState& j = Json();
+  if (j.path.empty()) return;
+  std::FILE* f = std::fopen(j.path.c_str(), "a");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot open --json file %s\n",
+                 j.path.c_str());
+    return;
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    j.start)
+          .count();
+  std::string line = "{\"bench\":" + JsonStr(j.bench_name) +
+                     ",\"seed\":" + std::to_string(j.seed) +
+                     ",\"threads\":" + std::to_string(j.threads) +
+                     ",\"full\":" + (j.full ? "true" : "false") +
+                     ",\"wall_seconds\":" + JsonNum(wall) + ",\"points\":[";
+  for (std::size_t i = 0; i < j.points.size(); ++i) {
+    if (i) line += ',';
+    line += j.points[i];
+  }
+  line += "]}\n";
+  std::fputs(line.c_str(), f);
+  std::fclose(f);
+}
+
+inline void RecordJsonPoint(const std::string& label, std::size_t n_tags,
+                            const sim::ExperimentOptions& eo,
+                            const sim::AggregateResult& result,
+                            double wall_seconds) {
+  JsonState& j = Json();
+  if (j.path.empty()) return;
+  std::string point =
+      "{\"label\":" + JsonStr(label) +
+      ",\"n_tags\":" + std::to_string(n_tags) +
+      ",\"runs\":" + std::to_string(eo.runs) +
+      ",\"runs_capped\":" + std::to_string(result.runs_capped) +
+      ",\"wall_seconds\":" + JsonNum(wall_seconds) + ",\"metrics\":{";
+  const std::pair<const char*, const RunningStats*> metrics[] = {
+      {"throughput", &result.throughput},
+      {"total_slots", &result.total_slots},
+      {"empty_slots", &result.empty_slots},
+      {"singleton_slots", &result.singleton_slots},
+      {"collision_slots", &result.collision_slots},
+      {"ids_from_collisions", &result.ids_from_collisions},
+      {"elapsed_seconds", &result.elapsed_seconds},
+      {"unresolved_records", &result.unresolved_records},
+  };
+  bool first = true;
+  for (const auto& [name, stats] : metrics) {
+    if (!first) point += ',';
+    first = false;
+    point += std::string("\"") + name + "\":" + JsonStats(*stats);
+  }
+  point += "}}";
+  j.points.push_back(std::move(point));
+}
+
+}  // namespace detail
 
 inline HarnessOptions ParseHarness(const CliArgs& args,
                                    std::size_t default_runs = 10) {
@@ -25,17 +144,42 @@ inline HarnessOptions ParseHarness(const CliArgs& args,
   o.runs = static_cast<std::size_t>(
       args.GetInt("runs", o.full ? 100 : static_cast<std::int64_t>(default_runs)));
   o.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  o.threads = static_cast<std::size_t>(args.GetInt("threads", 0));
+  o.json_path = args.GetString("json", "");
   return o;
+}
+
+// Rejects any --flag not in the shared harness set or `extra`; prints the
+// supported-flag list and exits(2) on violation.
+inline void RequireKnownFlags(const CliArgs& args, const std::string& program,
+                              std::initializer_list<FlagSpec> extra = {}) {
+  std::vector<FlagSpec> known = {
+      {"runs", "runs per data point (harness default; --full => 100)"},
+      {"full", "paper-scale sweep (100 runs, full grids)"},
+      {"seed", "base RNG seed (default 1); run i uses seed+i"},
+      {"threads", "worker threads for the run loop; 0 = all cores"},
+      {"json", "append machine-readable results to this JSONL file"},
+  };
+  known.insert(known.end(), extra.begin(), extra.end());
+  DieOnUnknownFlags(args, program, known);
 }
 
 inline sim::AggregateResult Run(const sim::ProtocolFactory& factory,
                                 std::size_t n_tags,
-                                const HarnessOptions& opts) {
+                                const HarnessOptions& opts,
+                                const std::string& json_label = "") {
   sim::ExperimentOptions eo;
   eo.n_tags = n_tags;
   eo.runs = opts.runs;
   eo.base_seed = opts.seed;
-  return sim::RunExperiment(factory, eo);
+  eo.n_threads = opts.threads;
+  const auto start = std::chrono::steady_clock::now();
+  auto result = sim::RunExperiment(factory, eo);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  detail::RecordJsonPoint(json_label, n_tags, eo, result, wall);
+  return result;
 }
 
 inline core::FcatOptions FcatFor(unsigned lambda,
@@ -48,11 +192,20 @@ inline core::FcatOptions FcatFor(unsigned lambda,
 
 inline void PrintHeader(const char* title, const char* paper_ref,
                         const HarnessOptions& opts) {
+  const std::size_t threads = sim::EffectiveThreadCount(opts.threads);
   std::printf("== %s ==\n", title);
-  std::printf("(reproduces %s; %zu runs per point, seed %llu%s)\n\n",
+  std::printf("(reproduces %s; %zu runs per point, seed %llu, %zu thread%s%s)\n\n",
               paper_ref, opts.runs,
-              static_cast<unsigned long long>(opts.seed),
-              opts.full ? ", full sweep" : "");
+              static_cast<unsigned long long>(opts.seed), threads,
+              threads == 1 ? "" : "s", opts.full ? ", full sweep" : "");
+  detail::JsonState& j = detail::Json();
+  j.path = opts.json_path;
+  j.bench_name = title;
+  j.seed = opts.seed;
+  j.threads = threads;
+  j.full = opts.full;
+  j.start = std::chrono::steady_clock::now();
+  if (!j.path.empty()) std::atexit(detail::FlushJson);
 }
 
 }  // namespace anc::bench

@@ -17,6 +17,10 @@
 int main(int argc, char** argv) {
   using namespace anc;
   const CliArgs args(argc, argv);
+  bench::RequireKnownFlags(
+      args, argv[0],
+      {{"tags", "population size (default 10000)"},
+       {"frames", "Monte-Carlo frames per omega (default 6000)"}});
   const auto opts = bench::ParseHarness(args, 8);
   const auto n = static_cast<std::uint64_t>(args.GetInt("tags", 10000));
   const auto frames = static_cast<std::size_t>(

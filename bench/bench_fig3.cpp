@@ -37,6 +37,9 @@ double EmpiricalBias(std::uint64_t n, double omega, std::uint64_t f,
 int main(int argc, char** argv) {
   using namespace anc;
   const CliArgs args(argc, argv);
+  bench::RequireKnownFlags(
+      args, argv[0],
+      {{"frames", "Monte-Carlo frames per point (default 4000)"}});
   const auto opts = bench::ParseHarness(args, 10);
   const auto frames =
       static_cast<std::size_t>(args.GetInt("frames", opts.full ? 20000 : 4000));

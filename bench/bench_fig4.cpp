@@ -13,6 +13,9 @@
 int main(int argc, char** argv) {
   using namespace anc;
   const CliArgs args(argc, argv);
+  bench::RequireKnownFlags(
+      args, argv[0],
+      {{"frames", "Monte-Carlo slots per point (default 8000)"}});
   const auto opts = bench::ParseHarness(args, 10);
   const auto frames = static_cast<std::size_t>(
       args.GetInt("frames", opts.full ? 40000 : 8000));

@@ -9,6 +9,8 @@
 int main(int argc, char** argv) {
   using namespace anc;
   const CliArgs args(argc, argv);
+  bench::RequireKnownFlags(args, argv[0],
+                           {{"tags", "population size (default 10000)"}});
   const auto opts = bench::ParseHarness(args, 6);
   const auto n = static_cast<std::size_t>(args.GetInt("tags", 10000));
   bench::PrintHeader("Fig. 6: throughput vs frame size",

@@ -56,6 +56,8 @@ double MeasureResolveRate(double snr_db, int trials, anc::Pcg32& rng,
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  bench::RequireKnownFlags(args, argv[0],
+                           {{"tags", "population size (default 5000)"}});
   const auto opts = bench::ParseHarness(args, 8);
   const auto n = static_cast<std::size_t>(args.GetInt("tags", 5000));
   bench::PrintHeader("Ablation: unresolvable collision slots",

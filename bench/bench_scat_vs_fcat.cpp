@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace anc;
   const CliArgs args(argc, argv);
+  bench::RequireKnownFlags(args, argv[0]);
   const auto opts = bench::ParseHarness(args, 8);
   bench::PrintHeader("Ablation: SCAT vs FCAT", "ICDCS'10 Sections IV-V",
                      opts);
@@ -26,9 +27,10 @@ int main(int argc, char** argv) {
     scat_paid.estimation_prestep = true;
     auto fcat = bench::FcatFor(2, timing);
     fcat.initial_estimate = static_cast<double>(n);
-    const auto s = bench::Run(core::MakeScatFactory(scat), n, opts);
-    const auto sp = bench::Run(core::MakeScatFactory(scat_paid), n, opts);
-    const auto f = bench::Run(core::MakeFcatFactory(fcat), n, opts);
+    const auto s = bench::Run(core::MakeScatFactory(scat), n, opts, "SCAT-2");
+    const auto sp =
+        bench::Run(core::MakeScatFactory(scat_paid), n, opts, "SCAT-2+pre");
+    const auto f = bench::Run(core::MakeFcatFactory(fcat), n, opts, "FCAT-2");
     table.AddRow(
         {TextTable::Int(static_cast<long long>(n)),
          TextTable::Num(s.throughput.mean(), 1),

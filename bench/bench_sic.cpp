@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace anc;
   const CliArgs args(argc, argv);
+  bench::RequireKnownFlags(args, argv[0]);
   const auto opts = bench::ParseHarness(args, 8);
   bench::PrintHeader("Ablation: ANC resolution vs CRDSA cancellation",
                      "ICDCS'10 Section III-C context", opts);

@@ -15,6 +15,8 @@
 int main(int argc, char** argv) {
   using namespace anc;
   const CliArgs args(argc, argv);
+  bench::RequireKnownFlags(args, argv[0],
+                           {{"tags", "population size (default 150)"}});
   const auto opts = bench::ParseHarness(args, 4);
   const auto n = static_cast<std::size_t>(args.GetInt("tags", 150));
   bench::PrintHeader("Ablation: synchronization sensitivity of ANC",

@@ -21,6 +21,9 @@
 int main(int argc, char** argv) {
   using namespace anc;
   const CliArgs args(argc, argv);
+  bench::RequireKnownFlags(
+      args, argv[0],
+      {{"cold", "start FCAT's estimator from scratch (bootstrap ramp)"}});
   const auto opts = bench::ParseHarness(args, 10);
   bench::PrintHeader("Table I: reading throughput (tags/sec)",
                      "ICDCS'10 Table I", opts);
@@ -65,7 +68,7 @@ int main(int argc, char** argv) {
         if (!cold) o.initial_estimate = static_cast<double>(n);
         factory = core::MakeFcatFactory(o);
       }
-      const auto result = bench::Run(factory, n, opts);
+      const auto result = bench::Run(factory, n, opts, column.name);
       const double throughput = result.throughput.mean();
       row.push_back(TextTable::Num(throughput, 1));
       if (column.name == "FCAT-2") fcat2 = throughput;

@@ -14,6 +14,8 @@
 int main(int argc, char** argv) {
   using namespace anc;
   const CliArgs args(argc, argv);
+  bench::RequireKnownFlags(args, argv[0],
+                           {{"tags", "population size (default 10000)"}});
   const auto opts = bench::ParseHarness(args, 10);
   const auto n =
       static_cast<std::size_t>(args.GetInt("tags", 10000));
@@ -44,7 +46,7 @@ int main(int argc, char** argv) {
       coll_row{"collision"}, total_row{"total"};
   for (const auto& column : columns) {
     header.push_back(column.name);
-    const auto result = bench::Run(column.factory, n, opts);
+    const auto result = bench::Run(column.factory, n, opts, column.name);
     empty_row.push_back(TextTable::Num(result.empty_slots.mean(), 0));
     single_row.push_back(TextTable::Num(result.singleton_slots.mean(), 0));
     coll_row.push_back(TextTable::Num(result.collision_slots.mean(), 0));

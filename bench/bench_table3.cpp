@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace anc;
   const CliArgs args(argc, argv);
+  bench::RequireKnownFlags(args, argv[0]);
   const auto opts = bench::ParseHarness(args, 10);
   bench::PrintHeader("Table III: tag IDs resolved from collision slots",
                      "ICDCS'10 Table III", opts);
@@ -31,7 +32,8 @@ int main(int argc, char** argv) {
     for (unsigned lambda : {2u, 3u, 4u}) {
       auto o = bench::FcatFor(lambda, timing);
       o.initial_estimate = static_cast<double>(n);
-      const auto result = bench::Run(core::MakeFcatFactory(o), n, opts);
+      const auto result = bench::Run(core::MakeFcatFactory(o), n, opts,
+                                     "FCAT-" + std::to_string(lambda));
       row.push_back(TextTable::Num(result.ids_from_collisions.mean(), 0));
     }
     table.AddRow(std::move(row));

@@ -15,6 +15,10 @@
 int main(int argc, char** argv) {
   using namespace anc;
   const CliArgs args(argc, argv);
+  bench::RequireKnownFlags(
+      args, argv[0],
+      {{"tags", "population size (default 10000)"},
+       {"step", "omega sweep step (default 0.08; --full => 0.02)"}});
   const auto opts = bench::ParseHarness(args, 6);
   const auto n = static_cast<std::size_t>(args.GetInt("tags", 10000));
   const double step = args.GetDouble("step", opts.full ? 0.02 : 0.08);

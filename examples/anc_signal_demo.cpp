@@ -34,6 +34,11 @@ TagId MakeTag(Pcg32& rng) {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  const FlagSpec known[] = {
+      {"snr", "reader SNR in dB (default 25)"},
+      {"seed", "RNG seed (default 7)"},
+  };
+  DieOnUnknownFlags(args, argv[0], known);
   const double snr_db = args.GetDouble("snr", 25.0);
   Pcg32 rng(static_cast<std::uint64_t>(args.GetInt("seed", 7)));
 

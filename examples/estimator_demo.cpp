@@ -13,6 +13,12 @@ using namespace anc;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  const FlagSpec known[] = {
+      {"tags", "population size (default 8000)"},
+      {"lambda", "ANC decoder capability (default 2)"},
+      {"seed", "RNG seed (default 1)"},
+  };
+  DieOnUnknownFlags(args, argv[0], known);
   const auto n_tags = static_cast<std::size_t>(args.GetInt("tags", 8000));
   const auto lambda = static_cast<unsigned>(args.GetInt("lambda", 2));
   const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));

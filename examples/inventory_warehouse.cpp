@@ -20,6 +20,13 @@ using namespace anc;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  const FlagSpec known[] = {
+      {"tags", "warehouse population (default 12000)"},
+      {"positions", "reader positions (default 4)"},
+      {"overlap", "coverage overlap fraction (default 0.15)"},
+      {"seed", "RNG seed (default 1)"},
+  };
+  DieOnUnknownFlags(args, argv[0], known);
   const auto n_tags = static_cast<std::size_t>(args.GetInt("tags", 12000));
   const multi::CoverageModel model{
       static_cast<std::size_t>(args.GetInt("positions", 4)),

@@ -2,7 +2,7 @@
 // Table I as a single-command demo, plus the analytic bounds each family
 // is governed by.
 //
-//   ./protocol_shootout [--tags=5000] [--runs=5] [--seed=1]
+//   ./protocol_shootout [--tags=5000] [--runs=5] [--seed=1] [--threads=0]
 #include <cstdio>
 
 #include "analysis/bounds.h"
@@ -16,11 +16,19 @@ using namespace anc;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  const FlagSpec known[] = {
+      {"tags", "population size (default 5000)"},
+      {"runs", "runs per protocol (default 5)"},
+      {"seed", "base RNG seed (default 1)"},
+      {"threads", "worker threads for the run loop; 0 = all cores"},
+  };
+  DieOnUnknownFlags(args, argv[0], known);
   const auto n_tags = static_cast<std::size_t>(args.GetInt("tags", 5000));
   sim::ExperimentOptions opts;
   opts.n_tags = n_tags;
   opts.runs = static_cast<std::size_t>(args.GetInt("runs", 5));
   opts.base_seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  opts.n_threads = static_cast<std::size_t>(args.GetInt("threads", 0));
 
   const phy::TimingModel timing = phy::TimingModel::ICode();
   std::printf("Protocol shootout: %zu tags, %zu runs, %.2f ms slots\n\n",

@@ -14,6 +14,12 @@
 
 int main(int argc, char** argv) {
   const anc::CliArgs args(argc, argv);
+  const anc::FlagSpec known[] = {
+      {"tags", "population size (default 5000)"},
+      {"lambda", "ANC decoder capability (default 2)"},
+      {"seed", "RNG seed (default 1)"},
+  };
+  anc::DieOnUnknownFlags(args, argv[0], known);
   const auto n_tags = static_cast<std::size_t>(args.GetInt("tags", 5000));
   const auto lambda = static_cast<unsigned>(args.GetInt("lambda", 2));
   const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));

@@ -1,5 +1,7 @@
 #include "common/cli.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 namespace anc {
@@ -54,6 +56,46 @@ bool CliArgs::GetBool(const std::string& name, bool def) const {
     return true;
   }
   return false;
+}
+
+std::string CliArgs::UnknownFlagError(const std::string& program,
+                                      std::span<const FlagSpec> known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : flags_) {
+    bool found = false;
+    for (const FlagSpec& spec : known) {
+      if (spec.name == name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back(name);
+  }
+  if (unknown.empty()) return "";
+
+  std::string error;
+  for (const std::string& name : unknown) {
+    error += program + ": unknown flag --" + name + "\n";
+  }
+  error += "usage: " + program + " [--flag=value ...]\nsupported flags:\n";
+  std::size_t width = 0;
+  for (const FlagSpec& spec : known) {
+    width = std::max(width, spec.name.size());
+  }
+  for (const FlagSpec& spec : known) {
+    error += "  --" + spec.name +
+             std::string(width - spec.name.size() + 2, ' ') + spec.help +
+             "\n";
+  }
+  return error;
+}
+
+void DieOnUnknownFlags(const CliArgs& args, const std::string& program,
+                       std::span<const FlagSpec> known) {
+  const std::string error = args.UnknownFlagError(program, known);
+  if (error.empty()) return;
+  std::fputs(error.c_str(), stderr);
+  std::exit(2);
 }
 
 }  // namespace anc

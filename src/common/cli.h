@@ -1,13 +1,25 @@
 // Minimal command-line flag parsing shared by the bench binaries and
 // examples. Supports `--name=value` and boolean `--name`.
+//
+// Binaries declare their supported flags as a FlagSpec list and reject
+// anything else via UnknownFlagError / DieOnUnknownFlags, so a typo like
+// `--thread=4` fails loudly instead of silently running with defaults.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace anc {
+
+// A supported flag and its one-line help text, e.g. {"runs", "runs per
+// data point (default 10; --full => 100)"}.
+struct FlagSpec {
+  std::string name;
+  std::string help;
+};
 
 class CliArgs {
  public:
@@ -22,9 +34,20 @@ class CliArgs {
   // Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  // Returns "" when every --flag passed is listed in `known`; otherwise a
+  // multi-line error naming the offending flags followed by a usage block
+  // listing the supported ones.
+  std::string UnknownFlagError(const std::string& program,
+                               std::span<const FlagSpec> known) const;
+
  private:
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
 };
+
+// Convenience wrapper: prints UnknownFlagError to stderr and exits with
+// status 2 if any unknown flag was passed.
+void DieOnUnknownFlags(const CliArgs& args, const std::string& program,
+                       std::span<const FlagSpec> known);
 
 }  // namespace anc

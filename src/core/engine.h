@@ -1,6 +1,16 @@
 // The collision-aware tag identification engine — the paper's core
 // contribution, shared by SCAT (Section IV) and FCAT (Section V).
 //
+// Paper anchors implemented here:
+//   * Report probability p_i = omega / N_i with the optimal load target
+//     omega = (lambda!)^{1/lambda} (Section IV-D's maximization of
+//     P{1 <= X_i <= lambda}): 1.414 / 1.817 / 2.213 for lambda = 2/3/4.
+//   * The embedded tag-count estimator of Section V-C: each frame's
+//     collision-slot count n_c is inverted through Eq. 12 to refresh the
+//     backlog estimate N_i, with no dedicated estimation slots.
+//   * Slot accounting per Section VI's timing model, including the
+//     frame-advertisement and acknowledgement overheads of Section V-A.
+//
 // Per slot: the reader advertises (or has advertised, per frame) a report
 // probability p_i = omega / N_i; each unidentified tag transmits its ID
 // with that probability. Singletons are identified immediately; collision
@@ -8,7 +18,8 @@
 // records it participated in, and any record reduced to one unknown
 // constituent (with mixture order <= lambda) is resolved by ANC — possibly
 // cascading into further resolutions (Fig. 1's walkthrough). Tags stop
-// once acknowledged, directly or via the resolved record's slot index.
+// once acknowledged, directly or via the resolved record's 23-bit slot
+// index (Section V-A).
 //
 // The engine is generic over the phy, so the identical protocol logic runs
 // against the paper's abstract channel (IdealPhy) and against full MSK

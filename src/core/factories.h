@@ -1,5 +1,14 @@
 // Convenience factories wiring each protocol into the experiment runner.
 // These are what the bench binaries, examples and integration tests use.
+//
+// One factory per column of the paper's Table I — FCAT-lambda and SCAT
+// (the contribution, Sections IV-V) against the prior art re-implemented
+// from the papers the evaluation cites: DFSA/EDFSA (framed ALOHA with
+// backlog estimation), ABS/AQS (binary tree splitting), plus slotted
+// ALOHA, fixed-frame FSA and CRDSA (the Section III-C satellite scheme)
+// as extra baselines. Each returned factory is a pure function of its
+// captured options: it builds a fresh protocol instance per run and is
+// safe to invoke concurrently from RunExperiment's worker threads.
 #pragma once
 
 #include "core/fcat.h"

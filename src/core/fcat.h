@@ -7,6 +7,14 @@
 //                        waveform simulation (SignalPhy).
 //
 // FCAT-lambda in the paper's tables is Fcat with options.lambda = lambda.
+// FCAT removes SCAT's three inefficiencies (Section V-A): it advertises
+// the report probability once per frame instead of per slot, acknowledges
+// IDs resolved from collision records by their 23-bit slot index instead
+// of the full 96-bit ID, and replaces the estimation pre-step with the
+// Eq. 12 embedded estimator fed by each frame's collision count. The
+// probability rides the advertisement as an l_bits-quantized threshold
+// (tags compare H(ID|i) <= floor(p_i 2^l), Section IV-B); omega = 0 in
+// the options selects the optimal (lambda!)^{1/lambda} of Section IV-D.
 #pragma once
 
 #include <memory>

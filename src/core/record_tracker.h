@@ -1,4 +1,8 @@
-// Reader-side collision-record bookkeeping (Section IV-B).
+// Reader-side collision-record bookkeeping (Section IV-B): the store of
+// recorded mixed signals that ANC later resolves, and the index that maps
+// each learned tag ID to the records it participated in — the machinery
+// behind Fig. 1's cascade and the Table III "IDs from collision slots"
+// counts.
 //
 // For every learned ID the reader determines which outstanding collision
 // records that tag transmitted in — in the real protocol by replaying the

@@ -1,5 +1,9 @@
 #include "sim/runner.h"
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "sim/population.h"
 
 namespace anc::sim {
@@ -15,34 +19,102 @@ bool Drive(Protocol& protocol, std::uint64_t max_slots) {
   return true;
 }
 
+struct PerRunResult {
+  bool capped = false;
+  RunMetrics metrics;
+};
+
+// Executes run `run` exactly as the original sequential loop did: the RNG
+// streams depend only on base_seed + run, never on which thread ran it.
+PerRunResult ExecuteRun(const ProtocolFactory& factory,
+                        const ExperimentOptions& options, std::size_t run) {
+  anc::Pcg32 master(options.base_seed + run, 0x9E3779B97F4A7C15ULL + run);
+  anc::Pcg32 pop_rng = master.Split();
+  anc::Pcg32 proto_rng = master.Split();
+  const auto population = MakePopulation(options.n_tags, pop_rng);
+
+  auto protocol = factory(population, proto_rng);
+  const std::uint64_t cap = options.max_slots_per_tag * options.n_tags + 1000;
+  PerRunResult result;
+  if (!Drive(*protocol, cap)) {
+    result.capped = true;
+    return result;
+  }
+  result.metrics = protocol->metrics();
+  return result;
+}
+
+// Folds one run into the aggregate. Called in run-index order regardless
+// of thread count, so the Add() sequence — and hence every mean / stddev
+// bit — matches the sequential path exactly.
+void Accumulate(AggregateResult& agg, const PerRunResult& r) {
+  if (r.capped) {
+    ++agg.runs_capped;
+    return;
+  }
+  const RunMetrics& m = r.metrics;
+  agg.throughput.Add(m.Throughput());
+  agg.total_slots.Add(static_cast<double>(m.TotalSlots()));
+  agg.empty_slots.Add(static_cast<double>(m.empty_slots));
+  agg.singleton_slots.Add(static_cast<double>(m.singleton_slots));
+  agg.collision_slots.Add(static_cast<double>(m.collision_slots));
+  agg.ids_from_collisions.Add(static_cast<double>(m.ids_from_collisions));
+  agg.elapsed_seconds.Add(m.elapsed_seconds);
+  agg.unresolved_records.Add(static_cast<double>(m.unresolved_records));
+}
+
 }  // namespace
+
+void AggregateResult::Merge(const AggregateResult& other) {
+  throughput.Merge(other.throughput);
+  total_slots.Merge(other.total_slots);
+  empty_slots.Merge(other.empty_slots);
+  singleton_slots.Merge(other.singleton_slots);
+  collision_slots.Merge(other.collision_slots);
+  ids_from_collisions.Merge(other.ids_from_collisions);
+  elapsed_seconds.Merge(other.elapsed_seconds);
+  unresolved_records.Merge(other.unresolved_records);
+  runs_capped += other.runs_capped;
+}
+
+std::size_t EffectiveThreadCount(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
 
 AggregateResult RunExperiment(const ProtocolFactory& factory,
                               const ExperimentOptions& options) {
   AggregateResult agg;
-  for (std::size_t run = 0; run < options.runs; ++run) {
-    anc::Pcg32 master(options.base_seed + run, 0x9E3779B97F4A7C15ULL + run);
-    anc::Pcg32 pop_rng = master.Split();
-    anc::Pcg32 proto_rng = master.Split();
-    const auto population = MakePopulation(options.n_tags, pop_rng);
-
-    auto protocol = factory(population, proto_rng);
-    const std::uint64_t cap =
-        options.max_slots_per_tag * options.n_tags + 1000;
-    if (!Drive(*protocol, cap)) {
-      ++agg.runs_capped;
-      continue;
+  const std::size_t n_threads =
+      std::min(EffectiveThreadCount(options.n_threads), options.runs);
+  if (n_threads <= 1) {
+    for (std::size_t run = 0; run < options.runs; ++run) {
+      Accumulate(agg, ExecuteRun(factory, options, run));
     }
-    const RunMetrics& m = protocol->metrics();
-    agg.throughput.Add(m.Throughput());
-    agg.total_slots.Add(static_cast<double>(m.TotalSlots()));
-    agg.empty_slots.Add(static_cast<double>(m.empty_slots));
-    agg.singleton_slots.Add(static_cast<double>(m.singleton_slots));
-    agg.collision_slots.Add(static_cast<double>(m.collision_slots));
-    agg.ids_from_collisions.Add(static_cast<double>(m.ids_from_collisions));
-    agg.elapsed_seconds.Add(m.elapsed_seconds);
-    agg.unresolved_records.Add(static_cast<double>(m.unresolved_records));
+    return agg;
   }
+
+  // Dynamic work queue over run indices: runs vary in length (protocol
+  // terminations differ across seeds), so static striping would leave
+  // workers idle. Each worker writes only results[i] for the indices it
+  // claimed; the buffer is pre-sized, so no locking is needed.
+  std::vector<PerRunResult> results(options.runs);
+  std::atomic<std::size_t> next_run{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t run =
+          next_run.fetch_add(1, std::memory_order_relaxed);
+      if (run >= options.runs) return;
+      results[run] = ExecuteRun(factory, options, run);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  for (const PerRunResult& r : results) Accumulate(agg, r);
   return agg;
 }
 

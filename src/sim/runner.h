@@ -2,6 +2,12 @@
 // safety-capped simulation loop, aggregation of every metric the paper's
 // tables need. The paper averages 100 runs; the bench binaries default
 // lower and expose --runs / --full.
+//
+// Runs are independent by construction (run i's seed is derived only from
+// base_seed + i), so `RunExperiment` executes them on a fixed-size worker
+// pool and folds the per-run metrics back into the aggregate in run-index
+// order. The aggregate is therefore bit-identical for any thread count,
+// including the sequential n_threads = 1 path.
 #pragma once
 
 #include <functional>
@@ -17,7 +23,10 @@
 namespace anc::sim {
 
 // Builds a protocol for one run over `population`; `rng` is an independent
-// stream for that run.
+// stream for that run. The factory is invoked concurrently from worker
+// threads when n_threads > 1, so it must be safe to call from multiple
+// threads at once (the stock factories in core/factories.h are: they only
+// read captured options).
 using ProtocolFactory = std::function<std::unique_ptr<Protocol>(
     std::span<const TagId> population, anc::Pcg32 rng)>;
 
@@ -31,6 +40,12 @@ struct AggregateResult {
   RunningStats elapsed_seconds;
   RunningStats unresolved_records;
   std::uint64_t runs_capped = 0;  // runs that hit the slot safety cap
+
+  // Pools another aggregate into this one (Welford-combine per metric).
+  // For sharding a sweep across processes/machines; note that merged
+  // aggregates follow parallel-merge rounding, not the run-index-ordered
+  // accumulation RunExperiment itself guarantees.
+  void Merge(const AggregateResult& other);
 };
 
 struct ExperimentOptions {
@@ -40,10 +55,17 @@ struct ExperimentOptions {
   // Abort a run after this many slots per tag (detects protocol livelock;
   // tests assert it never triggers).
   std::uint64_t max_slots_per_tag = 100;
+  // Worker threads for the run loop. 0 = one per hardware core. Any value
+  // yields the same aggregate bit-for-bit (see file comment).
+  std::size_t n_threads = 1;
 };
 
 AggregateResult RunExperiment(const ProtocolFactory& factory,
                               const ExperimentOptions& options);
+
+// Resolves a requested thread count: 0 -> hardware_concurrency (at least
+// 1). Exposed so harnesses can report the count actually used.
+std::size_t EffectiveThreadCount(std::size_t requested);
 
 // Single run, returning the raw metrics (used by examples and tests).
 RunMetrics RunOnce(const ProtocolFactory& factory, std::size_t n_tags,

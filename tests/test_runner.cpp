@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/factories.h"
 #include "sim/population.h"
 
@@ -47,6 +49,113 @@ TEST(Runner, AggregatesAcrossRuns) {
   EXPECT_GT(agg.throughput.mean(), 0.0);
   // ALOHA: every tag read in a singleton slot.
   EXPECT_NEAR(agg.singleton_slots.mean(), 300.0, 1e-9);
+}
+
+void ExpectStatsIdentical(const RunningStats& a, const RunningStats& b) {
+  EXPECT_EQ(a.count(), b.count());
+  // Exact comparison on purpose: the parallel runner folds runs back in
+  // run-index order, so every bit must match the sequential path.
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+void ExpectAggregateIdentical(const AggregateResult& a,
+                              const AggregateResult& b) {
+  ExpectStatsIdentical(a.throughput, b.throughput);
+  ExpectStatsIdentical(a.total_slots, b.total_slots);
+  ExpectStatsIdentical(a.empty_slots, b.empty_slots);
+  ExpectStatsIdentical(a.singleton_slots, b.singleton_slots);
+  ExpectStatsIdentical(a.collision_slots, b.collision_slots);
+  ExpectStatsIdentical(a.ids_from_collisions, b.ids_from_collisions);
+  ExpectStatsIdentical(a.elapsed_seconds, b.elapsed_seconds);
+  ExpectStatsIdentical(a.unresolved_records, b.unresolved_records);
+  EXPECT_EQ(a.runs_capped, b.runs_capped);
+}
+
+TEST(Runner, ParallelBitIdenticalToSequentialFcat) {
+  const auto factory = core::MakeFcatFactory(core::FcatOptions{});
+  ExperimentOptions opts;
+  opts.n_tags = 250;
+  opts.runs = 8;
+  opts.n_threads = 1;
+  const auto sequential = RunExperiment(factory, opts);
+  for (std::size_t threads : {2u, 8u, 0u}) {  // 0 = hardware concurrency
+    opts.n_threads = threads;
+    ExpectAggregateIdentical(RunExperiment(factory, opts), sequential);
+  }
+}
+
+TEST(Runner, ParallelBitIdenticalToSequentialScat) {
+  const auto factory = core::MakeScatFactory(core::ScatOptions{});
+  ExperimentOptions opts;
+  opts.n_tags = 250;
+  opts.runs = 8;
+  opts.n_threads = 1;
+  const auto sequential = RunExperiment(factory, opts);
+  for (std::size_t threads : {2u, 8u}) {
+    opts.n_threads = threads;
+    ExpectAggregateIdentical(RunExperiment(factory, opts), sequential);
+  }
+}
+
+TEST(Runner, ParallelCountsCappedRuns) {
+  ExperimentOptions opts;
+  opts.n_tags = 10;
+  opts.runs = 6;
+  opts.max_slots_per_tag = 5;
+  opts.n_threads = 3;
+  const auto agg = RunExperiment(
+      [](std::span<const TagId>, anc::Pcg32) {
+        return std::make_unique<StuckProtocol>();
+      },
+      opts);
+  EXPECT_EQ(agg.runs_capped, 6u);
+  EXPECT_EQ(agg.throughput.count(), 0u);
+}
+
+TEST(Runner, MoreThreadsThanRuns) {
+  ExperimentOptions opts;
+  opts.n_tags = 100;
+  opts.runs = 2;
+  opts.n_threads = 16;
+  const auto agg = RunExperiment(core::MakeAlohaFactory(), opts);
+  EXPECT_EQ(agg.throughput.count(), 2u);
+}
+
+TEST(Runner, AggregateMergePoolsShards) {
+  // Two disjoint experiment shards (e.g. from different processes of a
+  // distributed sweep) pooled into one aggregate.
+  const auto factory = core::MakeDfsaFactory();
+  ExperimentOptions opts;
+  opts.n_tags = 300;
+  opts.runs = 5;
+  opts.base_seed = 1;
+  const auto a = RunExperiment(factory, opts);
+  opts.runs = 3;
+  opts.base_seed = 100;
+  const auto b = RunExperiment(factory, opts);
+
+  auto merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.throughput.count(), 8u);
+  EXPECT_EQ(merged.runs_capped, a.runs_capped + b.runs_capped);
+  const double na = static_cast<double>(a.throughput.count());
+  const double nb = static_cast<double>(b.throughput.count());
+  EXPECT_NEAR(merged.throughput.mean(),
+              (a.throughput.mean() * na + b.throughput.mean() * nb) /
+                  (na + nb),
+              1e-9);
+  EXPECT_EQ(merged.total_slots.min(),
+            std::min(a.total_slots.min(), b.total_slots.min()));
+  EXPECT_EQ(merged.total_slots.max(),
+            std::max(a.total_slots.max(), b.total_slots.max()));
+}
+
+TEST(Runner, EffectiveThreadCount) {
+  EXPECT_EQ(EffectiveThreadCount(4), 4u);
+  EXPECT_GE(EffectiveThreadCount(0), 1u);
 }
 
 TEST(Runner, RunOnceDeterministicInSeed) {

@@ -66,6 +66,44 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), mean);
 }
 
+TEST(RunningStats, MergeSingletonsInOrderMatchesAdd) {
+  // The parallel runner's model: each run contributes a single sample,
+  // folded back in run-index order. Merging one-sample accumulators must
+  // agree with plain sequential Add.
+  Pcg32 rng(7);
+  RunningStats direct, merged;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Normal() * 2.0 + 3.0;
+    direct.Add(x);
+    RunningStats one;
+    one.Add(x);
+    merged.Merge(one);
+  }
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_NEAR(merged.mean(), direct.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), direct.variance(), 1e-12);
+  EXPECT_EQ(merged.min(), direct.min());
+  EXPECT_EQ(merged.max(), direct.max());
+}
+
+TEST(RunningStats, MergeManyShardsMatchesCombinedStream) {
+  Pcg32 rng(11);
+  RunningStats all;
+  RunningStats shards[8];
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.Normal() * 5.0 - 2.0;
+    all.Add(x);
+    shards[i % 8].Add(x);
+  }
+  RunningStats merged;
+  for (const RunningStats& s : shards) merged.Merge(s);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(merged.min(), all.min());
+  EXPECT_EQ(merged.max(), all.max());
+}
+
 TEST(RunningStats, Ci95ShrinksWithSamples) {
   Pcg32 rng(5);
   RunningStats small, large;

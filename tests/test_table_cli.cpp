@@ -66,5 +66,34 @@ TEST(CliArgs, ExplicitBooleanValues) {
   EXPECT_TRUE(args.GetBool("other", false));
 }
 
+TEST(CliArgs, UnknownFlagErrorNamesOffenderAndListsSupported) {
+  // The motivating typo: --thread=4 must not silently run single-threaded.
+  const char* argv[] = {"prog", "--thread=4", "--runs=5"};
+  CliArgs args(3, const_cast<char**>(argv));
+  const FlagSpec known[] = {{"threads", "worker threads"},
+                            {"runs", "runs per point"}};
+  const std::string err = args.UnknownFlagError("prog", known);
+  EXPECT_NE(err.find("unknown flag --thread"), std::string::npos);
+  EXPECT_NE(err.find("usage: prog"), std::string::npos);
+  EXPECT_NE(err.find("--threads"), std::string::npos);
+  EXPECT_NE(err.find("--runs"), std::string::npos);
+}
+
+TEST(CliArgs, UnknownFlagErrorEmptyWhenAllKnown) {
+  const char* argv[] = {"prog", "--runs=5", "positional"};
+  CliArgs args(3, const_cast<char**>(argv));
+  const FlagSpec known[] = {{"runs", "runs per point"}};
+  EXPECT_EQ(args.UnknownFlagError("prog", known), "");
+}
+
+TEST(CliArgs, UnknownFlagErrorReportsEveryOffender) {
+  const char* argv[] = {"prog", "--bogus", "--also=1"};
+  CliArgs args(3, const_cast<char**>(argv));
+  const FlagSpec known[] = {{"runs", "runs per point"}};
+  const std::string err = args.UnknownFlagError("prog", known);
+  EXPECT_NE(err.find("--bogus"), std::string::npos);
+  EXPECT_NE(err.find("--also"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace anc
