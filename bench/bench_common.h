@@ -124,6 +124,10 @@ inline void RecordJsonPoint(const std::string& label, std::size_t n_tags,
       {"ids_from_collisions", &result.ids_from_collisions},
       {"elapsed_seconds", &result.elapsed_seconds},
       {"unresolved_records", &result.unresolved_records},
+      {"tags_read", &result.tags_read},
+      {"frames", &result.frames},
+      {"duplicate_receptions", &result.duplicate_receptions},
+      {"ids_injected", &result.ids_injected},
   };
   bool first = true;
   for (const auto& [name, stats] : metrics) {

@@ -1,0 +1,136 @@
+// Multi-reader deployment sweep (src/deploy): reader grids over a 2D
+// floor plan under interference-aware TDMA. Three questions, one table
+// each: (1) how much schedule-level concurrency buys over sequential
+// round-robin, (2) whether the collision-aware protocols keep their edge
+// over DFSA when run per-reader in a deployment, and (3) what cross-reader
+// record sharing recovers as coverage overlap grows. All numbers go
+// through RunExperiment, so --threads changes nothing but wall time.
+#include "bench_common.h"
+
+#include "common/table.h"
+#include "deploy/deployment.h"
+
+namespace {
+
+// Slot efficiency from aggregates: air slots actually used across readers
+// over the schedule's capacity (global slots x readers).
+double SlotEfficiency(const anc::sim::AggregateResult& r,
+                      std::size_t n_readers) {
+  const double capacity = r.frames.mean() * static_cast<double>(n_readers);
+  return capacity > 0.0 ? r.total_slots.mean() / capacity : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace anc;
+  const CliArgs args(argc, argv);
+  bench::RequireKnownFlags(
+      args, argv[0],
+      {{"tags", "tags on the floor (default 300; --full default 1200)"}});
+  const auto opts = bench::ParseHarness(args, 5);
+  bench::PrintHeader("Deployment: interference scheduling + record sharing",
+                     "multi-reader extension of ICDCS'10 Section VI", opts);
+  const auto n_tags = static_cast<std::size_t>(
+      args.GetInt("tags", opts.full ? 1200 : 300));
+
+  const phy::TimingModel timing = phy::TimingModel::ICode();
+  const sim::ProtocolFactory fcat =
+      core::MakeFcatFactory(bench::FcatFor(2, timing));
+  const sim::ProtocolFactory dfsa = core::MakeDfsaFactory(timing);
+
+  // --- 1: scheduler policies, FCAT-2 per reader -------------------------
+  {
+    TextTable table({"grid", "policy", "makespan (s)", "global slots",
+                     "slot eff", "dup reads"});
+    // The floor grows with the grid (20m cells) so larger deployments are
+    // sparser-than-complete interference graphs — the regime where
+    // concurrent schedules pay off. A 1x4 line is a path graph
+    // (2-colorable); a 2x2 over one 40m room is a clique, where coloring
+    // necessarily degenerates to sequential.
+    std::vector<std::pair<std::size_t, std::size_t>> grids{{1, 4}, {2, 2}};
+    if (opts.full) grids.insert(grids.end(), {{2, 4}, {3, 3}});
+    for (const auto& [rows, cols] : grids) {
+      for (const auto policy : {deploy::SchedulerPolicy::kSequential,
+                                deploy::SchedulerPolicy::kColoring,
+                                deploy::SchedulerPolicy::kColorwave}) {
+        deploy::DeploymentConfig config;
+        config.floor = {20.0 * static_cast<double>(cols),
+                        20.0 * static_cast<double>(rows)};
+        config.reader_rows = rows;
+        config.reader_cols = cols;
+        config.policy = policy;
+        const std::string label =
+            std::to_string(rows) + "x" + std::to_string(cols) + "/" +
+            std::string(deploy::SchedulerPolicyName(policy));
+        const auto r = bench::Run(
+            deploy::MakeDeploymentFactory(config, fcat), n_tags, opts,
+            "sched:" + label);
+        table.AddRow({std::to_string(rows) + "x" + std::to_string(cols),
+                      std::string(deploy::SchedulerPolicyName(policy)),
+                      TextTable::Num(r.elapsed_seconds.mean(), 2),
+                      TextTable::Num(r.frames.mean(), 0),
+                      TextTable::Num(SlotEfficiency(r, rows * cols), 2),
+                      TextTable::Num(r.duplicate_receptions.mean(), 0)});
+      }
+    }
+    std::printf("Scheduler policies (FCAT-2 per reader, overlap 0.15):\n%s\n",
+                table.Render().c_str());
+  }
+
+  // --- 2: per-reader protocol under the coloring schedule ---------------
+  {
+    TextTable table({"protocol", "makespan (s)", "global slots", "dup reads"});
+    const std::pair<const char*, const sim::ProtocolFactory*> rows[] = {
+        {"FCAT-2", &fcat}, {"DFSA", &dfsa}};
+    for (const auto& [name, factory] : rows) {
+      deploy::DeploymentConfig config;  // 2x2 coloring, overlap 0.15
+      const auto r =
+          bench::Run(deploy::MakeDeploymentFactory(config, *factory), n_tags,
+                     opts, std::string("proto:") + name);
+      table.AddRow({name, TextTable::Num(r.elapsed_seconds.mean(), 2),
+                    TextTable::Num(r.frames.mean(), 0),
+                    TextTable::Num(r.duplicate_receptions.mean(), 0)});
+    }
+    std::printf("Per-reader protocol (2x2 grid, coloring TDMA):\n%s\n",
+                table.Render().c_str());
+  }
+
+  // --- 3: cross-reader record sharing vs coverage overlap ---------------
+  {
+    TextTable table({"overlap", "makespan off (s)", "makespan on (s)",
+                     "injected IDs", "collision IDs", "dup reads on"});
+    std::vector<double> overlaps{0.1, 0.3, 0.5};
+    if (opts.full) overlaps.push_back(0.7);
+    for (double overlap : overlaps) {
+      char ov[32];
+      std::snprintf(ov, sizeof ov, "%.2f", overlap);
+      deploy::DeploymentConfig config;
+      config.overlap = overlap;
+      const auto off =
+          bench::Run(deploy::MakeDeploymentFactory(config, fcat), n_tags,
+                     opts, std::string("share-off:") + ov);
+      config.share_records = true;
+      const auto on =
+          bench::Run(deploy::MakeDeploymentFactory(config, fcat), n_tags,
+                     opts, std::string("share-on:") + ov);
+      table.AddRow({TextTable::Num(overlap, 2),
+                    TextTable::Num(off.elapsed_seconds.mean(), 2),
+                    TextTable::Num(on.elapsed_seconds.mean(), 2),
+                    TextTable::Num(on.ids_injected.mean(), 1),
+                    TextTable::Num(on.ids_from_collisions.mean(), 1),
+                    TextTable::Num(on.duplicate_receptions.mean(), 0)});
+    }
+    std::printf(
+        "Record sharing (FCAT-2, 2x2 coloring): broadcast resolved IDs to\n"
+        "neighbouring readers so overlap-zone collision records cascade.\n%s\n",
+        table.Render().c_str());
+  }
+
+  std::printf(
+      "Coloring runs non-interfering readers concurrently, so makespan\n"
+      "drops roughly by the number of color classes vs sequential; record\n"
+      "sharing converts duplicate coverage from pure overhead into extra\n"
+      "cascade fuel, helping most at high overlap.\n");
+  return 0;
+}

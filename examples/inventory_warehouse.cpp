@@ -6,13 +6,14 @@
 // reads at several positions and de-duplicates IDs covered by more than
 // one reading (Section II-A) — the anc::multi library module. This
 // example compares the end-to-end inventory time of an ANC-based reader
-// (FCAT-2) against a DFSA reader over the same coverage plan.
+// (FCAT-2) against a DFSA reader over the same coverage plan: first one
+// reported run in detail, then a multi-run aggregate through the shared
+// harness (so --runs/--threads/--json work like the bench binaries).
 //
 //   ./inventory_warehouse [--tags=12000] [--positions=4] [--overlap=0.15]
-#include <cstdio>
+//                         [--runs=3] [--threads=N] [--json=path]
+#include "bench_common.h"
 
-#include "common/cli.h"
-#include "core/factories.h"
 #include "multi/inventory.h"
 #include "sim/population.h"
 
@@ -20,36 +21,33 @@ using namespace anc;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
-  const FlagSpec known[] = {
-      {"tags", "warehouse population (default 12000)"},
-      {"positions", "reader positions (default 4)"},
-      {"overlap", "coverage overlap fraction (default 0.15)"},
-      {"seed", "RNG seed (default 1)"},
-  };
-  DieOnUnknownFlags(args, argv[0], known);
+  bench::RequireKnownFlags(
+      args, argv[0],
+      {{"tags", "warehouse population (default 12000)"},
+       {"positions", "reader positions (default 4)"},
+       {"overlap", "coverage overlap fraction (default 0.15)"}});
+  const auto opts = bench::ParseHarness(args, 3);
   const auto n_tags = static_cast<std::size_t>(args.GetInt("tags", 12000));
   const multi::CoverageModel model{
       static_cast<std::size_t>(args.GetInt("positions", 4)),
       args.GetDouble("overlap", 0.15)};
-  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
 
-  anc::Pcg32 pop_rng(seed);
+  bench::PrintHeader("Warehouse inventory (multi-position)",
+                     "ICDCS'10 Sections I-II", opts);
+  std::printf("%zu tags, %zu reader positions, %.0f%% coverage overlap\n\n",
+              n_tags, model.positions, model.overlap_fraction * 100.0);
+
+  anc::Pcg32 pop_rng(opts.seed);
   const auto warehouse = sim::MakePopulation(n_tags, pop_rng);
   const phy::TimingModel timing = phy::TimingModel::ICode();
-
-  std::printf(
-      "Warehouse inventory: %zu tags, %zu reader positions, %.0f%% "
-      "coverage overlap\n\n",
-      n_tags, model.positions, model.overlap_fraction * 100.0);
 
   core::FcatOptions fcat;
   fcat.lambda = 2;
   fcat.timing = timing;
-  const auto fcat_result = multi::RunInventory(
-      warehouse, model, core::MakeFcatFactory(fcat), seed);
-  const auto dfsa_result = multi::RunInventory(
-      warehouse, model, core::MakeDfsaFactory(timing), seed);
+  const auto fcat_factory = core::MakeFcatFactory(fcat);
+  const auto dfsa_factory = core::MakeDfsaFactory(timing);
 
+  // One run in detail (seed = --seed): the per-position breakdown.
   auto report = [&](const char* name, const multi::InventoryResult& r) {
     std::printf(
         "%-6s  %zu/%zu unique IDs, %zu duplicate reads removed, total air "
@@ -65,16 +63,35 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(m.ids_from_collisions));
     }
   };
+  const auto fcat_result =
+      multi::RunInventory(warehouse, model, fcat_factory, opts.seed);
+  const auto dfsa_result =
+      multi::RunInventory(warehouse, model, dfsa_factory, opts.seed);
   report("FCAT-2", fcat_result);
   report("DFSA", dfsa_result);
-
   if (!fcat_result.complete || !dfsa_result.complete) {
     std::printf("\nERROR: inventory incomplete\n");
     return 1;
   }
+
+  // Multi-run aggregate: whole inventories as one protocol each, so
+  // RunExperiment averages end-to-end inventory time across runs.
+  const auto fcat_agg = bench::Run(
+      multi::MakeMultiPositionFactory(model, fcat_factory), n_tags, opts,
+      "FCAT-2");
+  const auto dfsa_agg = bench::Run(
+      multi::MakeMultiPositionFactory(model, dfsa_factory), n_tags, opts,
+      "DFSA");
   std::printf(
-      "\nANC-based reading finishes the same inventory %.0f%% faster —\n"
+      "\nOver %zu runs: FCAT-2 %.1f +/- %.1f s, DFSA %.1f +/- %.1f s\n",
+      opts.runs, fcat_agg.elapsed_seconds.mean(),
+      fcat_agg.elapsed_seconds.stddev(), dfsa_agg.elapsed_seconds.mean(),
+      dfsa_agg.elapsed_seconds.stddev());
+  std::printf(
+      "ANC-based reading finishes the same inventory %.0f%% faster —\n"
       "the collision slots DFSA discards carried ~40%% of the IDs.\n",
-      100.0 * (dfsa_result.total_seconds / fcat_result.total_seconds - 1.0));
+      100.0 * (dfsa_agg.elapsed_seconds.mean() /
+                   fcat_agg.elapsed_seconds.mean() -
+               1.0));
   return 0;
 }

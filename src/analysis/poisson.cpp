@@ -4,7 +4,17 @@
 
 namespace anc::analysis {
 
-double LogGamma(double x) { return std::lgamma(x); }
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(_GNU_SOURCE) || defined(__APPLE__)
+  // std::lgamma writes the global `signgam` as a side effect, which TSan
+  // flags when protocols are constructed concurrently; lgamma_r is the
+  // reentrant variant.
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 double PoissonPmf(double omega, unsigned k) {
   if (omega < 0.0) return 0.0;

@@ -76,6 +76,7 @@ void CollisionAwareEngine::LearnId(const TagId& id, bool from_collision) {
   }
   read_[tag] = true;
   ++metrics_.tags_read;
+  learned_this_step_.push_back(id);
   if (from_collision) {
     ++metrics_.ids_from_collisions;
   } else {
@@ -134,23 +135,55 @@ void CollisionAwareEngine::SelectTransmitters(
   }
 }
 
+void CollisionAwareEngine::DrainCascade() {
+  // Cascade resolution: every newly learned ID may unlock records, whose
+  // resolved IDs may unlock further records (Fig. 1).
+  while (!cascade_queue_.empty()) {
+    const std::uint32_t tag = cascade_queue_.front();
+    cascade_queue_.pop_front();
+    for (const auto& res : tracker_.OnIdKnown(tag, phy_)) {
+      ++resolved_this_slot_;
+      LearnId(res.id, true);
+    }
+  }
+}
+
+std::span<const TagId> CollisionAwareEngine::InjectKnownId(const TagId& id) {
+  const auto it = digest_to_index_.find(id.Digest());
+  if (it == digest_to_index_.end()) return {};  // outside this reader's range
+  const std::uint32_t tag = it->second;
+  if (read_[tag]) return {};  // already learned locally
+  read_[tag] = true;
+  ++metrics_.ids_injected;
+  Deactivate(tag);
+  const std::size_t before = learned_this_step_.size();
+  cascade_queue_.push_back(tag);
+  DrainCascade();
+  if (finished_) {
+    // A post-termination broadcast can still close leftover records.
+    metrics_.unresolved_records = phy_.OpenRecords();
+  }
+  return std::span<const TagId>(learned_this_step_).subspan(before);
+}
+
 void CollisionAwareEngine::Step() {
   if (finished_) return;
+  learned_this_step_.clear();
 
   if (slot_in_frame_ == 0) {
     // Frame (or, for SCAT, slot) advertisement: index + probability.
     ++metrics_.frames;
     metrics_.elapsed_seconds += config_.timing.AdvertSeconds();
     frame_nc_ = 0;
-    frame_acked_at_start_ = metrics_.tags_read;
+    frame_acked_at_start_ = AccountedTags();
     frame_had_probe_ = false;
     double backlog =
         config_.knows_true_n
             ? std::max<double>(
                   EstimatedTotal() -
-                      static_cast<double>(metrics_.tags_read),
+                      static_cast<double>(AccountedTags()),
                   1.0)
-            : estimator_.EstimatedBacklog(metrics_.tags_read);
+            : estimator_.EstimatedBacklog(AccountedTags());
     backlog = std::max(backlog, collision_boost_);
     frame_backlog_used_ = backlog;
     frame_p_effective_ =
@@ -205,16 +238,7 @@ void CollisionAwareEngine::Step() {
       break;
   }
 
-  // Cascade resolution: every newly learned ID may unlock records, whose
-  // resolved IDs may unlock further records (Fig. 1).
-  while (!cascade_queue_.empty()) {
-    const std::uint32_t tag = cascade_queue_.front();
-    cascade_queue_.pop_front();
-    for (const auto& res : tracker_.OnIdKnown(tag, phy_)) {
-      ++resolved_this_slot_;
-      LearnId(res.id, true);
-    }
-  }
+  DrainCascade();
 
   if (reader_sees_collision) {
     ++frame_nc_;
@@ -245,7 +269,7 @@ void CollisionAwareEngine::Step() {
       // escape hatch for the estimator's small negative bias near the end
       // of the reading process (and for the initial bootstrap).
       if (frame_nc_ >= config_.frame_size && config_.frame_size > 1) {
-        estimator_.RaiseBacklogFloor(metrics_.tags_read,
+        estimator_.RaiseBacklogFloor(AccountedTags(),
                                      std::max(2.0, 2.0 * frame_backlog_used_));
       }
     }
@@ -261,7 +285,7 @@ void CollisionAwareEngine::Step() {
       return;
     }
     if (reader_sees_collision) {
-      estimator_.RaiseBacklogFloor(metrics_.tags_read, 2.0);
+      estimator_.RaiseBacklogFloor(AccountedTags(), 2.0);
     }
   }
   if (consecutive_empties_ >= config_.empty_probe_threshold) {
@@ -269,7 +293,7 @@ void CollisionAwareEngine::Step() {
     consecutive_empties_ = 0;
   }
   if (config_.oracle_termination &&
-      metrics_.tags_read == population_.size()) {
+      AccountedTags() == population_.size()) {
     finished_ = true;
     metrics_.unresolved_records = phy_.OpenRecords();
   }

@@ -54,6 +54,18 @@ class CollisionAwareEngine : public sim::Protocol {
   std::string_view name() const override { return name_; }
   const sim::RunMetrics& metrics() const override { return metrics_; }
 
+  // Deployment hooks (sim::Protocol): the engine records every ID learned
+  // during a Step() for the deployment layer to broadcast, and accepts
+  // neighbour-resolved IDs back. An injected ID silences its tag (the
+  // reader acknowledges from the shared knowledge, without reading it
+  // over the air) and cascades through the record tracker exactly like a
+  // locally learned ID; IDs recovered that way count as
+  // ids_from_collisions, the injected one as ids_injected.
+  std::span<const TagId> LearnedThisStep() const override {
+    return learned_this_step_;
+  }
+  std::span<const TagId> InjectKnownId(const TagId& id) override;
+
   // Introspection for tests and the estimator benches.
   double EstimatedTotal() const;
   std::uint64_t ActiveTags() const { return active_.size(); }
@@ -65,6 +77,13 @@ class CollisionAwareEngine : public sim::Protocol {
   void LearnId(const TagId& id, bool from_collision);
   void Deactivate(std::uint32_t tag);
   void RegisterRecord(phy::RecordHandle handle);
+  void DrainCascade();
+  // Tags the reader no longer expects on the air: read over the air plus
+  // learned from a neighbour's broadcast. This — not tags_read alone — is
+  // what backlog estimation must subtract from the population estimate.
+  std::uint64_t AccountedTags() const {
+    return metrics_.tags_read + metrics_.ids_injected;
+  }
 
   std::string name_;
   std::span<const TagId> population_;
@@ -83,6 +102,7 @@ class CollisionAwareEngine : public sim::Protocol {
   std::deque<std::uint32_t> cascade_queue_;
 
   std::vector<std::uint32_t> participants_;    // reused per slot
+  std::vector<TagId> learned_this_step_;       // cleared each Step()
 
   std::uint64_t slot_index_ = 0;
   std::uint64_t slot_in_frame_ = 0;

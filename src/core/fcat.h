@@ -55,6 +55,12 @@ class Fcat final : public sim::Protocol {
   const sim::RunMetrics& metrics() const override {
     return engine_.metrics();
   }
+  std::span<const TagId> LearnedThisStep() const override {
+    return engine_.LearnedThisStep();
+  }
+  std::span<const TagId> InjectKnownId(const TagId& id) override {
+    return engine_.InjectKnownId(id);
+  }
   const CollisionAwareEngine& engine() const { return engine_; }
 
  private:
@@ -89,6 +95,12 @@ class Scat final : public sim::Protocol {
   bool Finished() const override { return engine_.Finished(); }
   std::string_view name() const override { return engine_.name(); }
   const sim::RunMetrics& metrics() const override;
+  std::span<const TagId> LearnedThisStep() const override {
+    return engine_.LearnedThisStep();
+  }
+  std::span<const TagId> InjectKnownId(const TagId& id) override {
+    return engine_.InjectKnownId(id);
+  }
   const CollisionAwareEngine& engine() const { return engine_; }
   // The pre-step's estimate of N (population size when disabled).
   double assumed_total() const { return assumed_total_; }
@@ -128,6 +140,12 @@ class FcatOnSignal final : public sim::Protocol {
   std::string_view name() const override { return engine_.name(); }
   const sim::RunMetrics& metrics() const override {
     return engine_.metrics();
+  }
+  std::span<const TagId> LearnedThisStep() const override {
+    return engine_.LearnedThisStep();
+  }
+  std::span<const TagId> InjectKnownId(const TagId& id) override {
+    return engine_.InjectKnownId(id);
   }
   const phy::SignalPhy& signal_phy() const { return phy_; }
 

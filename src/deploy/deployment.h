@@ -1,0 +1,141 @@
+// Multi-reader deployment simulation: a 2D floor plan read by a grid of
+// readers under an interference-aware TDMA schedule, with a
+// duplicate-removing global inventory merge and (optionally) the ANC
+// twist unique to this paper — cross-reader record sharing, where a
+// resolved ID is broadcast to neighbouring readers so their overlap-zone
+// collision records cascade too.
+//
+// A whole deployment round is itself a sim::Protocol: Step() advances one
+// global TDMA slot (stepping every reader the scheduler activated), and
+// metrics() reports deployment-level totals (tags_read = merged unique
+// IDs, elapsed_seconds = makespan, frames = global scheduler slots,
+// duplicate_receptions = duplicate reads). That lets the deterministic
+// parallel RunExperiment machinery — and the shared --runs/--threads/
+// --json bench flags — drive multi-run deployment sweeps unmodified.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "deploy/geometry.h"
+#include "deploy/scheduler.h"
+#include "sim/metrics.h"
+#include "sim/protocol.h"
+#include "sim/runner.h"
+
+namespace anc::deploy {
+
+struct DeploymentConfig {
+  FloorPlan floor{};
+  TagLayout layout{};
+  std::size_t reader_rows = 2;
+  std::size_t reader_cols = 2;
+  // Extra coverage-radius fraction beyond the minimal floor-tiling radius
+  // (see GridReaders); more overlap means more duplicate reads and a
+  // denser interference graph, but more sharing opportunities.
+  double overlap = 0.15;
+  SchedulerPolicy policy = SchedulerPolicy::kColoring;
+  // Broadcast resolved IDs to neighbouring readers' record trackers.
+  bool share_records = false;
+  // Per-reader livelock cap, same semantics as sim::ExperimentOptions.
+  std::uint64_t max_slots_per_tag = sim::kDefaultMaxSlotsPerTag;
+};
+
+struct ReaderReport {
+  Reader position;
+  std::size_t covered_tags = 0;
+  std::uint64_t active_slots = 0;  // global slots this reader transmitted in
+  double duty_cycle = 0.0;         // active_slots / global slots
+  bool capped = false;             // hit the livelock cap (never, in tests)
+  sim::RunMetrics metrics;
+};
+
+struct DeploymentResult {
+  std::size_t n_tags = 0;
+  std::size_t n_readers = 0;
+  std::size_t unique_ids = 0;        // merged global inventory
+  std::uint64_t duplicate_reads = 0; // over-the-air reads minus unique IDs
+  std::uint64_t global_slots = 0;    // TDMA slots until every reader done
+  double makespan_seconds = 0.0;     // time-to-full-inventory
+  // Busy reader-slots / (global_slots * n_readers): how much of the
+  // schedule's capacity carried actual reading.
+  double slot_efficiency = 0.0;
+  std::uint64_t ids_from_collisions = 0;  // summed over readers
+  std::uint64_t injected_ids = 0;         // IDs accepted from neighbours
+  std::uint64_t shared_resolutions = 0;   // records closed by a broadcast
+  bool complete = false;                  // every tag in the merged inventory
+  std::vector<ReaderReport> per_reader;
+};
+
+// One deployment inventory round as a protocol (see file comment). The
+// constructor places the tags, lays out the reader grid, and builds one
+// protocol instance per reader through `factory` over the tags that
+// reader covers.
+class DeploymentProtocol final : public sim::Protocol {
+ public:
+  DeploymentProtocol(std::span<const TagId> tags, anc::Pcg32 rng,
+                     const DeploymentConfig& config,
+                     const sim::ProtocolFactory& factory);
+  ~DeploymentProtocol() override;
+
+  void Step() override;
+  bool Finished() const override { return finished_; }
+  std::string_view name() const override { return name_; }
+  const sim::RunMetrics& metrics() const override;
+
+  // Deployment-level view (duty cycles, sharing counters, merge detail).
+  DeploymentResult Result() const;
+  const InterferenceGraph& interference_graph() const { return graph_; }
+
+ private:
+  struct ReaderState;
+
+  bool ReaderDone(const ReaderState& reader) const;
+  void Broadcast(std::uint32_t reader, const TagId& id);
+  void MarkIdentified(const TagId& id);
+
+  std::string name_;
+  std::span<const TagId> tags_;
+  DeploymentConfig config_;
+  std::vector<Point> points_;
+  InterferenceGraph graph_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<std::unique_ptr<ReaderState>> readers_;
+
+  std::vector<bool> identified_;        // global merged inventory, by index
+  std::unordered_map<std::uint64_t, std::uint32_t> digest_to_index_;
+  std::size_t unique_ids_ = 0;
+  std::uint64_t global_slots_ = 0;
+  std::uint64_t busy_reader_slots_ = 0;
+  std::uint64_t shared_resolutions_ = 0;
+  double makespan_seconds_ = 0.0;
+  double last_slot_seconds_ = 0.0;
+  std::uint64_t stall_slots_ = 0;
+  bool finished_ = false;
+
+  // Scratch for Step()/metrics().
+  std::vector<bool> pending_;
+  std::vector<std::pair<std::uint32_t, TagId>> broadcast_queue_;
+  mutable sim::RunMetrics merged_;
+};
+
+// Runs one deployment to completion and returns the deployment-level
+// result. Seeding follows the RunOnce convention so a (seed, config)
+// pair is fully reproducible.
+DeploymentResult RunDeployment(std::span<const TagId> tags,
+                               const DeploymentConfig& config,
+                               const sim::ProtocolFactory& factory,
+                               std::uint64_t seed);
+
+// Wraps a whole deployment as a ProtocolFactory for RunExperiment: each
+// run places fresh tags on the floor and runs the full schedule. All
+// randomness derives from the run's rng, so aggregates stay bit-identical
+// at any --threads value.
+sim::ProtocolFactory MakeDeploymentFactory(DeploymentConfig config,
+                                           sim::ProtocolFactory factory);
+
+}  // namespace anc::deploy

@@ -1,0 +1,112 @@
+#include "deploy/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anc::deploy {
+namespace {
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+}  // namespace
+
+std::vector<Point> PlaceTags(const FloorPlan& floor, std::size_t n_tags,
+                             const TagLayout& layout, anc::Pcg32& rng) {
+  std::vector<Point> points;
+  points.reserve(n_tags);
+  if (layout.placement == TagPlacement::kUniform || layout.clusters == 0) {
+    for (std::size_t i = 0; i < n_tags; ++i) {
+      points.push_back({rng.UniformDouble() * floor.width,
+                        rng.UniformDouble() * floor.height});
+    }
+    return points;
+  }
+
+  std::vector<Point> centres;
+  centres.reserve(layout.clusters);
+  for (std::size_t c = 0; c < layout.clusters; ++c) {
+    centres.push_back({rng.UniformDouble() * floor.width,
+                       rng.UniformDouble() * floor.height});
+  }
+  const double diagonal =
+      std::sqrt(floor.width * floor.width + floor.height * floor.height);
+  const double stddev = layout.cluster_stddev_fraction * diagonal;
+  for (std::size_t i = 0; i < n_tags; ++i) {
+    const Point& centre =
+        centres[rng.UniformBelow(static_cast<std::uint32_t>(centres.size()))];
+    points.push_back(
+        {Clamp(centre.x + rng.Normal() * stddev, 0.0, floor.width),
+         Clamp(centre.y + rng.Normal() * stddev, 0.0, floor.height)});
+  }
+  return points;
+}
+
+std::vector<Reader> GridReaders(const FloorPlan& floor, std::size_t rows,
+                                std::size_t cols, double overlap) {
+  std::vector<Reader> readers;
+  if (rows == 0 || cols == 0) return readers;
+  readers.reserve(rows * cols);
+  const double cell_w = floor.width / static_cast<double>(cols);
+  const double cell_h = floor.height / static_cast<double>(rows);
+  // Circumradius of one grid cell: the farthest any cell point lies from
+  // the cell centre, so radius >= circumradius tiles the floor.
+  const double circumradius =
+      0.5 * std::sqrt(cell_w * cell_w + cell_h * cell_h);
+  const double radius = (1.0 + std::max(overlap, 0.0)) * circumradius;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      readers.push_back({{(static_cast<double>(c) + 0.5) * cell_w,
+                          (static_cast<double>(r) + 0.5) * cell_h},
+                         radius});
+    }
+  }
+  return readers;
+}
+
+std::vector<std::uint32_t> CoveredTags2D(const Reader& reader,
+                                         std::span<const Point> tags) {
+  std::vector<std::uint32_t> covered;
+  const double r2 = reader.radius * reader.radius;
+  for (std::uint32_t i = 0; i < tags.size(); ++i) {
+    const double dx = tags[i].x - reader.center.x;
+    const double dy = tags[i].y - reader.center.y;
+    if (dx * dx + dy * dy <= r2) covered.push_back(i);
+  }
+  return covered;
+}
+
+bool CoverageOverlaps(const Reader& a, const Reader& b) {
+  const double dx = a.center.x - b.center.x;
+  const double dy = a.center.y - b.center.y;
+  const double reach = a.radius + b.radius;
+  return dx * dx + dy * dy < reach * reach;
+}
+
+bool InterferenceGraph::Adjacent(std::uint32_t a, std::uint32_t b) const {
+  const auto& row = adjacency[a];
+  return std::find(row.begin(), row.end(), b) != row.end();
+}
+
+std::size_t InterferenceGraph::MaxDegree() const {
+  std::size_t degree = 0;
+  for (const auto& row : adjacency) degree = std::max(degree, row.size());
+  return degree;
+}
+
+InterferenceGraph BuildInterferenceGraph(std::span<const Reader> readers) {
+  InterferenceGraph graph;
+  graph.adjacency.resize(readers.size());
+  for (std::uint32_t a = 0; a < readers.size(); ++a) {
+    for (std::uint32_t b = a + 1; b < readers.size(); ++b) {
+      if (CoverageOverlaps(readers[a], readers[b])) {
+        graph.adjacency[a].push_back(b);
+        graph.adjacency[b].push_back(a);
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace anc::deploy

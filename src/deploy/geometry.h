@@ -1,0 +1,78 @@
+// 2D deployment geometry (Section II-A, scaled out): when one reader
+// cannot cover the deployment region, a dense grid of readers does — at
+// the price of reader-to-reader interference wherever coverage disks
+// overlap. This header models the floor, the tags on it, the reader
+// layout, and the interference constraint graph the schedulers color.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace anc::deploy {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// Rectangular floor plan; all coordinates live in [0, width] x [0, height].
+struct FloorPlan {
+  double width = 40.0;
+  double height = 40.0;
+};
+
+enum class TagPlacement {
+  kUniform,    // i.i.d. uniform over the floor
+  kClustered,  // Gaussian clusters around uniform centres (pallet stacks)
+};
+
+struct TagLayout {
+  TagPlacement placement = TagPlacement::kUniform;
+  // kClustered only: number of cluster centres and the per-cluster spread
+  // as a fraction of the floor diagonal.
+  std::size_t clusters = 8;
+  double cluster_stddev_fraction = 0.04;
+};
+
+// Positions `n_tags` tags on the floor. Draws from `rng` in tag order, so
+// a fixed seed reproduces the identical layout.
+std::vector<Point> PlaceTags(const FloorPlan& floor, std::size_t n_tags,
+                             const TagLayout& layout, anc::Pcg32& rng);
+
+// A reader with circular coverage of the given radius.
+struct Reader {
+  Point center;
+  double radius = 0.0;
+};
+
+// Lays out rows x cols readers on cell centres of a uniform grid over the
+// floor. The radius is (1 + overlap) times the cell circumradius, so every
+// floor point — hence every tag — is covered for any overlap >= 0, and
+// `overlap` dials how far each disk bleeds into its neighbours'.
+std::vector<Reader> GridReaders(const FloorPlan& floor, std::size_t rows,
+                                std::size_t cols, double overlap);
+
+// Indices of the tags audible from `reader` (Euclidean distance <= radius).
+std::vector<std::uint32_t> CoveredTags2D(const Reader& reader,
+                                         std::span<const Point> tags);
+
+// Two readers interfere when their coverage disks overlap: a tag in the
+// shared lens would hear both queries, so the two must not run the same
+// slot.
+bool CoverageOverlaps(const Reader& a, const Reader& b);
+
+// Undirected interference constraint graph over the readers.
+struct InterferenceGraph {
+  std::vector<std::vector<std::uint32_t>> adjacency;
+
+  std::size_t size() const { return adjacency.size(); }
+  bool Adjacent(std::uint32_t a, std::uint32_t b) const;
+  std::size_t MaxDegree() const;
+};
+
+InterferenceGraph BuildInterferenceGraph(std::span<const Reader> readers);
+
+}  // namespace anc::deploy

@@ -1,7 +1,10 @@
 #include "multi/inventory.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 #include <unordered_set>
+#include <utility>
 
 namespace anc::multi {
 
@@ -66,6 +69,129 @@ InventoryResult RunInventory(std::span<const TagId> warehouse,
   result.unique_ids = inventory.size();
   result.complete = result.unique_ids == warehouse.size();
   return result;
+}
+
+namespace {
+
+// One shelf-line inventory as a single protocol run (see header).
+class MultiPositionProtocol final : public sim::Protocol {
+ public:
+  MultiPositionProtocol(std::span<const TagId> warehouse,
+                        const CoverageModel& model,
+                        const sim::ProtocolFactory& factory, anc::Pcg32 rng,
+                        std::uint64_t max_slots_per_tag) {
+    name_ = "multi";
+    positions_.reserve(model.positions);
+    for (std::size_t position = 0; position < model.positions; ++position) {
+      Position p;
+      for (std::uint32_t i : CoveredTags(model, warehouse.size(), position)) {
+        p.covered.push_back(warehouse[i]);
+      }
+      p.cap = max_slots_per_tag * p.covered.size() + 1000;
+      positions_.push_back(std::move(p));
+    }
+    // Protocols keep a span into the covered vector, so instances are
+    // created only after `positions_` stops reallocating.
+    for (Position& p : positions_) {
+      p.protocol = factory(p.covered, rng.Split());
+    }
+    if (!positions_.empty()) {
+      name_ = "multi(" + std::string(positions_[0].protocol->name()) + ")";
+    }
+    Advance();
+  }
+
+  void Step() override {
+    if (current_ >= positions_.size()) return;
+    positions_[current_].protocol->Step();
+    Advance();
+  }
+
+  bool Finished() const override { return current_ >= positions_.size(); }
+  std::string_view name() const override { return name_; }
+
+  // Called by the runner every slot (for the livelock cap), so the merge
+  // is a cheap O(positions) field sum; the duplicate-removing ID merge
+  // runs once, after the last position finishes.
+  const sim::RunMetrics& metrics() const override {
+    merged_ = {};
+    std::uint64_t read_sum = 0;
+    for (const Position& p : positions_) {
+      const sim::RunMetrics& m = p.protocol->metrics();
+      merged_.empty_slots += m.empty_slots;
+      merged_.singleton_slots += m.singleton_slots;
+      merged_.collision_slots += m.collision_slots;
+      merged_.frames += m.frames;
+      merged_.ids_from_singletons += m.ids_from_singletons;
+      merged_.ids_from_collisions += m.ids_from_collisions;
+      merged_.duplicate_receptions += m.duplicate_receptions;
+      merged_.redundant_resolutions += m.redundant_resolutions;
+      merged_.unresolved_records += m.unresolved_records;
+      merged_.tag_transmissions += m.tag_transmissions;
+      merged_.elapsed_seconds += m.elapsed_seconds;
+      read_sum += m.tags_read;
+    }
+    if (!Finished()) {
+      merged_.tags_read = read_sum;  // positions not yet de-duplicated
+      return merged_;
+    }
+    if (!final_counted_) {
+      std::unordered_set<TagId> inventory;
+      final_duplicates_ = 0;
+      for (const Position& p : positions_) {
+        // The reading collected every covered ID iff the per-position
+        // protocol completed (same completeness rule as RunInventory).
+        if (p.protocol->metrics().tags_read != p.covered.size()) continue;
+        for (const TagId& id : p.covered) {
+          if (!inventory.insert(id).second) ++final_duplicates_;
+        }
+      }
+      final_unique_ = inventory.size();
+      final_counted_ = true;
+    }
+    merged_.tags_read = final_unique_;
+    merged_.duplicate_receptions += final_duplicates_;
+    return merged_;
+  }
+
+ private:
+  struct Position {
+    std::vector<TagId> covered;
+    std::unique_ptr<sim::Protocol> protocol;
+    std::uint64_t cap = 0;
+  };
+
+  // Skips past finished (or livelock-capped) positions.
+  void Advance() {
+    while (current_ < positions_.size()) {
+      const Position& p = positions_[current_];
+      if (!p.protocol->Finished() &&
+          p.protocol->metrics().TotalSlots() < p.cap) {
+        return;
+      }
+      ++current_;
+    }
+  }
+
+  std::string name_;
+  std::vector<Position> positions_;
+  std::size_t current_ = 0;
+  mutable sim::RunMetrics merged_;
+  mutable bool final_counted_ = false;
+  mutable std::uint64_t final_unique_ = 0;
+  mutable std::uint64_t final_duplicates_ = 0;
+};
+
+}  // namespace
+
+sim::ProtocolFactory MakeMultiPositionFactory(CoverageModel model,
+                                              sim::ProtocolFactory factory,
+                                              std::uint64_t max_slots_per_tag) {
+  return [model, factory = std::move(factory), max_slots_per_tag](
+             std::span<const TagId> population, anc::Pcg32 rng) {
+    return std::make_unique<MultiPositionProtocol>(population, model, factory,
+                                                   rng, max_slots_per_tag);
+  };
 }
 
 InventoryAudit AuditInventory(std::span<const TagId> inventoried,

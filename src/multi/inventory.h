@@ -45,7 +45,20 @@ InventoryResult RunInventory(std::span<const TagId> warehouse,
                              const CoverageModel& model,
                              const sim::ProtocolFactory& factory,
                              std::uint64_t seed,
-                             std::uint64_t max_slots_per_tag = 200);
+                             std::uint64_t max_slots_per_tag =
+                                 sim::kDefaultMaxSlotsPerTag);
+
+// Wraps a whole multi-position inventory as a single sim::Protocol: the
+// lone reader walks the shelf line, reading each position to completion
+// with a fresh instance from `factory`; Step() advances the current
+// position by one slot and metrics() reports the position-summed totals
+// (tags_read = merged unique IDs, duplicate_receptions = overlap IDs
+// read more than once). Lets RunExperiment aggregate entire inventories
+// across runs and threads, which is how inventory_warehouse gets the
+// shared --runs/--threads/--json machinery.
+sim::ProtocolFactory MakeMultiPositionFactory(
+    CoverageModel model, sim::ProtocolFactory factory,
+    std::uint64_t max_slots_per_tag = sim::kDefaultMaxSlotsPerTag);
 
 // The point of periodic reading (Section I): comparing the inventory
 // against the expected stock list exposes administration error, vendor

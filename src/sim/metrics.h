@@ -23,6 +23,11 @@ struct RunMetrics {
   // records' slot indices). Distinct from an over-the-air duplicate.
   std::uint64_t redundant_resolutions = 0;
   std::uint64_t unresolved_records = 0;   // records left open at the end
+  // Deployment record sharing (src/deploy): IDs this reader learned from a
+  // neighbouring reader's broadcast instead of over the air. Not part of
+  // tags_read — the neighbour counted the read; this reader only reuses
+  // the ID to resolve its own collision records and silence the tag.
+  std::uint64_t ids_injected = 0;
 
   // Total tag report transmissions over the run: the energy-side metric
   // for battery-powered tags (CRDSA pays ~2x here for its twin copies).

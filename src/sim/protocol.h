@@ -29,6 +29,24 @@ class Protocol {
   virtual bool Finished() const = 0;
 
   virtual const RunMetrics& metrics() const = 0;
+
+  // --- Deployment hooks (src/deploy, cross-reader record sharing) ---
+  //
+  // IDs newly identified during the most recent Step(). The deployment
+  // layer broadcasts these to neighbouring readers whose coverage disks
+  // overlap this reader's. Protocols without sharing support report none.
+  virtual std::span<const TagId> LearnedThisStep() const { return {}; }
+
+  // A neighbouring reader resolved `id` and broadcast it. If this
+  // protocol covers the tag, it may mark the tag identified (silencing
+  // it) and feed the ID into its open collision records; returns any IDs
+  // cascade-resolved as a consequence (excluding `id` itself) so the
+  // deployment can propagate them further. The returned span is only
+  // valid until the next Step()/InjectKnownId() call on this protocol.
+  // Default: sharing unsupported, the broadcast is ignored.
+  virtual std::span<const TagId> InjectKnownId(const TagId& /*id*/) {
+    return {};
+  }
 };
 
 }  // namespace anc::sim

@@ -61,6 +61,10 @@ void Accumulate(AggregateResult& agg, const PerRunResult& r) {
   agg.ids_from_collisions.Add(static_cast<double>(m.ids_from_collisions));
   agg.elapsed_seconds.Add(m.elapsed_seconds);
   agg.unresolved_records.Add(static_cast<double>(m.unresolved_records));
+  agg.tags_read.Add(static_cast<double>(m.tags_read));
+  agg.frames.Add(static_cast<double>(m.frames));
+  agg.duplicate_receptions.Add(static_cast<double>(m.duplicate_receptions));
+  agg.ids_injected.Add(static_cast<double>(m.ids_injected));
 }
 
 }  // namespace
@@ -74,6 +78,10 @@ void AggregateResult::Merge(const AggregateResult& other) {
   ids_from_collisions.Merge(other.ids_from_collisions);
   elapsed_seconds.Merge(other.elapsed_seconds);
   unresolved_records.Merge(other.unresolved_records);
+  tags_read.Merge(other.tags_read);
+  frames.Merge(other.frames);
+  duplicate_receptions.Merge(other.duplicate_receptions);
+  ids_injected.Merge(other.ids_injected);
   runs_capped += other.runs_capped;
 }
 

@@ -22,6 +22,14 @@
 
 namespace anc::sim {
 
+// Livelock safety cap shared by every driver loop (RunExperiment, RunOnce,
+// multi::RunInventory, deploy::RunDeployment): a run aborts after
+// max_slots_per_tag * n_tags + 1000 slots. Healthy protocols need ~1.7-3
+// slots per tag, so the default never binds; keeping a single constant
+// means the cap is consistent across the single-reader, multi-position
+// and deployment paths.
+inline constexpr std::uint64_t kDefaultMaxSlotsPerTag = 100;
+
 // Builds a protocol for one run over `population`; `rng` is an independent
 // stream for that run. The factory is invoked concurrently from worker
 // threads when n_threads > 1, so it must be safe to call from multiple
@@ -39,6 +47,10 @@ struct AggregateResult {
   RunningStats ids_from_collisions;
   RunningStats elapsed_seconds;
   RunningStats unresolved_records;
+  RunningStats tags_read;
+  RunningStats frames;  // frames; for deployments, global scheduler slots
+  RunningStats duplicate_receptions;  // deployments: duplicate reads
+  RunningStats ids_injected;  // deployments: IDs learned via record sharing
   std::uint64_t runs_capped = 0;  // runs that hit the slot safety cap
 
   // Pools another aggregate into this one (Welford-combine per metric).
@@ -54,7 +66,7 @@ struct ExperimentOptions {
   std::uint64_t base_seed = 1;
   // Abort a run after this many slots per tag (detects protocol livelock;
   // tests assert it never triggers).
-  std::uint64_t max_slots_per_tag = 100;
+  std::uint64_t max_slots_per_tag = kDefaultMaxSlotsPerTag;
   // Worker threads for the run loop. 0 = one per hardware core. Any value
   // yields the same aggregate bit-for-bit (see file comment).
   std::size_t n_threads = 1;
@@ -70,6 +82,6 @@ std::size_t EffectiveThreadCount(std::size_t requested);
 // Single run, returning the raw metrics (used by examples and tests).
 RunMetrics RunOnce(const ProtocolFactory& factory, std::size_t n_tags,
                    std::uint64_t seed,
-                   std::uint64_t max_slots_per_tag = 100);
+                   std::uint64_t max_slots_per_tag = kDefaultMaxSlotsPerTag);
 
 }  // namespace anc::sim
