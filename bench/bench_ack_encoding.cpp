@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
     const double overhead =
         result.elapsed_seconds.mean() -
         result.total_slots.mean() * timing.SlotSeconds();
-    table.AddRow({v.name, TextTable::Num(result.throughput.mean(), 1),
+    table.AddRow({v.name, bench::ThroughputCell(result),
                   TextTable::Num(result.total_slots.mean(), 0),
                   TextTable::Num(1000.0 * overhead / static_cast<double>(n),
                                  2)});

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
       const auto agg = run_with(capture, s.lo, s.hi);
       table.AddRow(
           {s.label, capture ? "on" : "off",
-           TextTable::Num(agg.throughput.mean(), 1),
+           bench::ThroughputCell(agg),
            TextTable::Num(agg.ids_from_collisions.mean(), 0),
            TextTable::Num(agg.total_slots.mean() / static_cast<double>(n),
                           2)});

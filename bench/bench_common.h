@@ -21,6 +21,7 @@
 #include "core/factories.h"
 #include "phy/timing.h"
 #include "sim/runner.h"
+#include "trace/recorder.h"
 
 namespace anc::bench {
 
@@ -30,6 +31,7 @@ struct HarnessOptions {
   bool full = false;       // paper-scale sweep
   std::size_t threads = 0;  // workers for the run loop; 0 = all cores
   std::string json_path;   // append per-invocation JSON here ("" = off)
+  std::string trace_path;  // append binary slot-level traces ("" = off)
 };
 
 namespace detail {
@@ -124,6 +126,8 @@ inline void RecordJsonPoint(const std::string& label, std::size_t n_tags,
       {"ids_from_collisions", &result.ids_from_collisions},
       {"elapsed_seconds", &result.elapsed_seconds},
       {"unresolved_records", &result.unresolved_records},
+      {"redundant_resolutions", &result.redundant_resolutions},
+      {"tag_transmissions", &result.tag_transmissions},
       {"tags_read", &result.tags_read},
       {"frames", &result.frames},
       {"duplicate_receptions", &result.duplicate_receptions},
@@ -150,6 +154,7 @@ inline HarnessOptions ParseHarness(const CliArgs& args,
   o.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
   o.threads = static_cast<std::size_t>(args.GetInt("threads", 0));
   o.json_path = args.GetString("json", "");
+  o.trace_path = args.GetString("trace", "");
   return o;
 }
 
@@ -163,6 +168,8 @@ inline void RequireKnownFlags(const CliArgs& args, const std::string& program,
       {"seed", "base RNG seed (default 1); run i uses seed+i"},
       {"threads", "worker threads for the run loop; 0 = all cores"},
       {"json", "append machine-readable results to this JSONL file"},
+      {"trace", "append binary slot-level traces to this file "
+                "(inspect with trace_inspect)"},
   };
   known.insert(known.end(), extra.begin(), extra.end());
   DieOnUnknownFlags(args, program, known);
@@ -177,13 +184,41 @@ inline sim::AggregateResult Run(const sim::ProtocolFactory& factory,
   eo.runs = opts.runs;
   eo.base_seed = opts.seed;
   eo.n_threads = opts.threads;
+  // --trace: record every run's slot-level event stream and append the
+  // run blocks (in run-index order, independent of --threads) to the
+  // file. One bench invocation appends one block per (point, run).
+  std::unique_ptr<trace::MultiRunRecorder> recorder;
+  if (!opts.trace_path.empty()) {
+    recorder = std::make_unique<trace::MultiRunRecorder>(opts.runs);
+    eo.trace_factory = recorder->Factory();
+  }
   const auto start = std::chrono::steady_clock::now();
   auto result = sim::RunExperiment(factory, eo);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  if (recorder) {
+    const std::string err = recorder->AppendToFile(opts.trace_path);
+    if (!err.empty()) {
+      std::fprintf(stderr, "warning: --trace: %s\n", err.c_str());
+    }
+  }
   detail::RecordJsonPoint(json_label, n_tags, eo, result, wall);
   return result;
+}
+
+// Table cell for AggregateResult::throughput: benches print mean reading
+// throughput in tags/second, but a point whose every run finished in zero
+// simulated time (e.g. a zero-cost timing model) has no defined rate —
+// print "n/a" instead of a misleading 0.
+inline std::string ThroughputCell(const sim::AggregateResult& result,
+                                  int digits = 1) {
+  if (result.throughput.count() == 0 || result.elapsed_seconds.mean() <= 0.0) {
+    return "n/a";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, result.throughput.mean());
+  return buf;
 }
 
 inline core::FcatOptions FcatFor(unsigned lambda,

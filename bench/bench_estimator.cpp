@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
                                    static_cast<std::size_t>(n), opts);
     window_table.AddRow({window == 0 ? "all" : TextTable::Int(
                                                    static_cast<long long>(window)),
-                         TextTable::Num(result.throughput.mean(), 1),
+                         bench::ThroughputCell(result),
                          TextTable::Num(result.total_slots.mean(), 0)});
   }
   std::printf("%s\n", window_table.Render().c_str());

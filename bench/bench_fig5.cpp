@@ -36,9 +36,9 @@ int main(int argc, char** argv) {
       auto o = bench::FcatFor(lambda, timing);
       o.omega = w;
       o.initial_estimate = static_cast<double>(n);
-      const double tp =
-          bench::Run(core::MakeFcatFactory(o), n, opts).throughput.mean();
-      row.push_back(TextTable::Num(tp, 1));
+      const auto result = bench::Run(core::MakeFcatFactory(o), n, opts);
+      const double tp = result.throughput.mean();
+      row.push_back(bench::ThroughputCell(result));
       if (tp > peaks[idx].tp) peaks[idx] = {w, tp};
       ++idx;
     }

@@ -32,9 +32,9 @@ int main(int argc, char** argv) {
       auto o = bench::FcatFor(lambda, timing);
       o.frame_size = f;
       o.initial_estimate = static_cast<double>(n);
-      const double tp =
-          bench::Run(core::MakeFcatFactory(o), n, opts).throughput.mean();
-      row.push_back(TextTable::Num(tp, 1));
+      const auto result = bench::Run(core::MakeFcatFactory(o), n, opts);
+      const double tp = result.throughput.mean();
+      row.push_back(bench::ThroughputCell(result));
       if (f == 10) at_f10[idx] = tp;
       if (f == 200) at_f200[idx] = tp;
       ++idx;

@@ -25,12 +25,12 @@ int main(int argc, char** argv) {
   for (unsigned lambda = 2; lambda <= 6; ++lambda) {
     auto o = bench::FcatFor(lambda, timing);
     o.initial_estimate = static_cast<double>(n);
-    const double tp =
-        bench::Run(core::MakeFcatFactory(o), n, opts).throughput.mean();
+    const auto result = bench::Run(core::MakeFcatFactory(o), n, opts);
+    const double tp = result.throughput.mean();
     const double w = analysis::OptimalOmega(lambda);
     table.AddRow({TextTable::Int(lambda), TextTable::Num(w, 3),
                   TextTable::Num(analysis::UsefulSlotProbability(w, lambda), 3),
-                  TextTable::Num(tp, 1),
+                  bench::ThroughputCell(result),
                   prev > 0.0 ? TextTable::Num(tp - prev, 1) : "-"});
     prev = tp;
   }

@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
     o.initial_estimate = static_cast<double>(n);
     const auto result = bench::Run(core::MakeFcatFactory(o), n, opts);
     part1.AddRow({TextTable::Num(prob, 1),
-                  TextTable::Num(result.throughput.mean(), 1),
+                  bench::ThroughputCell(result),
                   TextTable::Num(result.ids_from_collisions.mean(), 0),
                   TextTable::Num(result.total_slots.mean(), 0)});
   }

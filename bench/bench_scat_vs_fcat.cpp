@@ -33,9 +33,9 @@ int main(int argc, char** argv) {
     const auto f = bench::Run(core::MakeFcatFactory(fcat), n, opts, "FCAT-2");
     table.AddRow(
         {TextTable::Int(static_cast<long long>(n)),
-         TextTable::Num(s.throughput.mean(), 1),
-         TextTable::Num(sp.throughput.mean(), 1),
-         TextTable::Num(f.throughput.mean(), 1),
+         bench::ThroughputCell(s),
+         bench::ThroughputCell(sp),
+         bench::ThroughputCell(f),
          TextTable::Num(s.total_slots.mean(), 0),
          TextTable::Num(f.total_slots.mean(), 0),
          TextTable::Num(

@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
       }
       const auto agg = sim::RunExperiment(row.factory, eo);
       table.AddRow({TextTable::Int(static_cast<long long>(n)), row.name,
-                    TextTable::Num(agg.throughput.mean(), 1),
+                    bench::ThroughputCell(agg),
                     TextTable::Num(agg.total_slots.mean() /
                                        static_cast<double>(n),
                                    2),

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
     const auto agg =
         run_with(jitter, 0.0, signal::SubtractionMode::kDirect);
     jitter_table.AddRow(
-        {TextTable::Int(jitter), TextTable::Num(agg.throughput.mean(), 1),
+        {TextTable::Int(jitter), bench::ThroughputCell(agg),
          TextTable::Num(agg.ids_from_collisions.mean(), 0),
          TextTable::Num(agg.total_slots.mean() / static_cast<double>(n),
                         2)});

@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
       }
       const auto result = bench::Run(factory, n, opts, column.name);
       const double throughput = result.throughput.mean();
-      row.push_back(TextTable::Num(throughput, 1));
+      row.push_back(bench::ThroughputCell(result));
       if (column.name == "FCAT-2") fcat2 = throughput;
       if (column.name == "DFSA" || column.name == "EDFSA" ||
           column.name == "ABS" || column.name == "AQS") {

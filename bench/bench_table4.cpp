@@ -45,11 +45,10 @@ int main(int argc, char** argv) {
     }
     auto o = bench::FcatFor(lambda, timing);
     o.initial_estimate = static_cast<double>(n);
-    const double computed_tp =
-        bench::Run(core::MakeFcatFactory(o), n, opts).throughput.mean();
+    const auto computed_result = bench::Run(core::MakeFcatFactory(o), n, opts);
     table.AddRow({TextTable::Int(lambda), TextTable::Num(best_w, 2),
                   TextTable::Num(best_tp, 1), TextTable::Num(computed, 3),
-                  TextTable::Num(computed_tp, 1)});
+                  bench::ThroughputCell(computed_result)});
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf(

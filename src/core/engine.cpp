@@ -71,6 +71,15 @@ void CollisionAwareEngine::LearnId(const TagId& id, bool from_collision) {
     // reader discards the duplicate and acknowledges again (Section
     // IV-E).
     ++metrics_.duplicate_receptions;
+    if (trace_) {
+      trace::TraceEvent e;
+      e.kind = trace::EventKind::kAck;
+      e.slot = slot_index_;
+      e.frame = metrics_.frames;
+      e.ack = trace::AckKind::kReAck;
+      e.id_digest = id.Digest();
+      trace_.Emit(e);
+    }
     if (rng_.UniformDouble() >= config_.ack_loss_prob) Deactivate(tag);
     return;
   }
@@ -82,15 +91,35 @@ void CollisionAwareEngine::LearnId(const TagId& id, bool from_collision) {
   } else {
     ++metrics_.ids_from_singletons;
   }
+  if (trace_) {
+    trace::TraceEvent e;
+    e.kind = trace::EventKind::kAck;
+    e.slot = slot_index_;
+    e.frame = metrics_.frames;
+    e.ack = from_collision ? (config_.ack_with_slot_index
+                                  ? trace::AckKind::kSlotIndex
+                                  : trace::AckKind::kFullId)
+                           : trace::AckKind::kSingletonId;
+    e.id_digest = id.Digest();
+    trace_.Emit(e);
+  }
   // The acknowledgement (positive ack for a singleton, slot-index
   // broadcast for a resolved record) reaches the tag unless the channel
   // corrupts it; until it does, the tag keeps contending.
   if (rng_.UniformDouble() >= config_.ack_loss_prob) Deactivate(tag);
-  cascade_queue_.push_back(tag);
+  cascade_queue_.emplace_back(tag, from_collision);
 }
 
 void CollisionAwareEngine::RegisterRecord(phy::RecordHandle handle) {
   tracker_.Register(handle, participants_);
+  if (trace_) {
+    trace::TraceEvent e;
+    e.kind = trace::EventKind::kRecordOpen;
+    e.slot = slot_index_;
+    e.frame = metrics_.frames;
+    e.record = handle;
+    trace_.Emit(e);
+  }
   if (config_.ack_loss_prob <= 0.0) return;
   // Already-identified tags can appear in fresh records while they wait
   // for a re-acknowledgement; the reader spots them by replaying the hash
@@ -99,6 +128,7 @@ void CollisionAwareEngine::RegisterRecord(phy::RecordHandle handle) {
     if (!read_[tag]) continue;
     if (auto res = tracker_.AddKnownParticipant(handle, tag, phy_)) {
       ++resolved_this_slot_;
+      EmitResolve(*res, /*cascade=*/false);
       LearnId(res->id, true);
     }
   }
@@ -135,14 +165,28 @@ void CollisionAwareEngine::SelectTransmitters(
   }
 }
 
+void CollisionAwareEngine::EmitResolve(
+    const RecordTracker::Resolution& resolution, bool cascade) {
+  if (!trace_) return;
+  trace::TraceEvent e;
+  e.kind = trace::EventKind::kRecordResolve;
+  e.slot = slot_index_;
+  e.frame = metrics_.frames;
+  e.record = resolution.record;
+  e.id_digest = resolution.id.Digest();
+  e.cascade = cascade;
+  trace_.Emit(e);
+}
+
 void CollisionAwareEngine::DrainCascade() {
   // Cascade resolution: every newly learned ID may unlock records, whose
   // resolved IDs may unlock further records (Fig. 1).
   while (!cascade_queue_.empty()) {
-    const std::uint32_t tag = cascade_queue_.front();
+    const auto [tag, via_collision] = cascade_queue_.front();
     cascade_queue_.pop_front();
     for (const auto& res : tracker_.OnIdKnown(tag, phy_)) {
       ++resolved_this_slot_;
+      EmitResolve(res, /*cascade=*/via_collision);
       LearnId(res.id, true);
     }
   }
@@ -156,8 +200,16 @@ std::span<const TagId> CollisionAwareEngine::InjectKnownId(const TagId& id) {
   read_[tag] = true;
   ++metrics_.ids_injected;
   Deactivate(tag);
+  if (trace_) {
+    trace::TraceEvent e;
+    e.kind = trace::EventKind::kInject;
+    e.slot = slot_index_;
+    e.frame = metrics_.frames;
+    e.id_digest = id.Digest();
+    trace_.Emit(e);
+  }
   const std::size_t before = learned_this_step_.size();
-  cascade_queue_.push_back(tag);
+  cascade_queue_.emplace_back(tag, true);
   DrainCascade();
   if (finished_) {
     // A post-termination broadcast can still close leftover records.
@@ -203,6 +255,25 @@ void CollisionAwareEngine::Step() {
   metrics_.tag_transmissions += participants_.size();
   const phy::SlotObservation obs =
       phy_.ObserveSlot(slot_index_, participants_);
+
+  if (trace_) {
+    // Outcome as the reader perceives it: a CRC-failed singleton is
+    // indistinguishable from a collision.
+    trace::TraceEvent e;
+    e.kind = trace::EventKind::kSlot;
+    e.slot = slot_index_;
+    e.frame = metrics_.frames;
+    e.responders = participants_.size();
+    if (obs.type == phy::SlotType::kCollision ||
+        (obs.type == phy::SlotType::kSingleton && !obs.singleton_id)) {
+      e.outcome = trace::SlotOutcome::kCollision;
+    } else if (obs.type == phy::SlotType::kSingleton) {
+      e.outcome = trace::SlotOutcome::kSingleton;
+    } else {
+      e.outcome = trace::SlotOutcome::kEmpty;
+    }
+    trace_.Emit(e);
+  }
 
   bool reader_sees_collision = false;
   resolved_this_slot_ = 0;
@@ -272,6 +343,19 @@ void CollisionAwareEngine::Step() {
         estimator_.RaiseBacklogFloor(AccountedTags(),
                                      std::max(2.0, 2.0 * frame_backlog_used_));
       }
+    }
+    if (trace_) {
+      // Per-frame estimator snapshot, quantized so traces are bit-stable
+      // across compilers.
+      trace::TraceEvent e;
+      e.kind = trace::EventKind::kFrame;
+      e.slot = slot_index_;
+      e.frame = metrics_.frames;
+      e.n_c = frame_nc_;
+      e.record = static_cast<std::uint32_t>(tracker_.open_records());
+      e.estimate_q8 = trace::QuantizeEstimate(EstimatedTotal());
+      e.elapsed_us = trace::QuantizeSeconds(metrics_.elapsed_seconds);
+      trace_.Emit(e);
     }
     slot_in_frame_ = 0;
   }

@@ -30,6 +30,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/fixed_point.h"
@@ -66,6 +67,13 @@ class CollisionAwareEngine : public sim::Protocol {
   }
   std::span<const TagId> InjectKnownId(const TagId& id) override;
 
+  // Slot-level tracing (src/trace): slots, record open/resolve ops, acks,
+  // per-frame estimator snapshots. Emission sites are a null check on the
+  // context, so an unattached engine pays nothing.
+  void AttachTrace(const trace::TraceContext& context) override {
+    trace_ = context;
+  }
+
   // Introspection for tests and the estimator benches.
   double EstimatedTotal() const;
   std::uint64_t ActiveTags() const { return active_.size(); }
@@ -75,6 +83,7 @@ class CollisionAwareEngine : public sim::Protocol {
  private:
   void SelectTransmitters(const QuantizedProbability& prob);
   void LearnId(const TagId& id, bool from_collision);
+  void EmitResolve(const RecordTracker::Resolution& resolution, bool cascade);
   void Deactivate(std::uint32_t tag);
   void RegisterRecord(phy::RecordHandle handle);
   void DrainCascade();
@@ -99,7 +108,11 @@ class CollisionAwareEngine : public sim::Protocol {
 
   RecordTracker tracker_;
   EmbeddedEstimator estimator_;
-  std::deque<std::uint32_t> cascade_queue_;
+  // Pending newly-known tags, with whether each was itself recovered from
+  // a collision record (those mark their downstream resolutions as
+  // cascade ops in the trace).
+  std::deque<std::pair<std::uint32_t, bool>> cascade_queue_;
+  trace::TraceContext trace_;
 
   std::vector<std::uint32_t> participants_;    // reused per slot
   std::vector<TagId> learned_this_step_;       // cleared each Step()

@@ -61,6 +61,9 @@ class Fcat final : public sim::Protocol {
   std::span<const TagId> InjectKnownId(const TagId& id) override {
     return engine_.InjectKnownId(id);
   }
+  void AttachTrace(const trace::TraceContext& context) override {
+    engine_.AttachTrace(context);
+  }
   const CollisionAwareEngine& engine() const { return engine_; }
 
  private:
@@ -100,6 +103,9 @@ class Scat final : public sim::Protocol {
   }
   std::span<const TagId> InjectKnownId(const TagId& id) override {
     return engine_.InjectKnownId(id);
+  }
+  void AttachTrace(const trace::TraceContext& context) override {
+    engine_.AttachTrace(context);
   }
   const CollisionAwareEngine& engine() const { return engine_; }
   // The pre-step's estimate of N (population size when disabled).
@@ -146,6 +152,9 @@ class FcatOnSignal final : public sim::Protocol {
   }
   std::span<const TagId> InjectKnownId(const TagId& id) override {
     return engine_.InjectKnownId(id);
+  }
+  void AttachTrace(const trace::TraceContext& context) override {
+    engine_.AttachTrace(context);
   }
   const phy::SignalPhy& signal_phy() const { return phy_; }
 

@@ -69,6 +69,14 @@ bool DeploymentProtocol::ReaderDone(const ReaderState& reader) const {
   return reader.capped || reader.protocol->Finished();
 }
 
+void DeploymentProtocol::AttachTrace(const trace::TraceContext& context) {
+  trace_ = context;
+  for (std::size_t r = 0; r < readers_.size(); ++r) {
+    readers_[r]->protocol->AttachTrace(
+        context.WithReader(static_cast<std::uint32_t>(r + 1)));
+  }
+}
+
 void DeploymentProtocol::Broadcast(std::uint32_t reader, const TagId& id) {
   broadcast_queue_.emplace_back(reader, id);
 }
@@ -88,6 +96,16 @@ void DeploymentProtocol::Step() {
 
   const std::vector<std::uint32_t> active = scheduler_->NextSlot(pending_);
   ++global_slots_;
+
+  if (trace_) {
+    // The deployment's own timeline entry for this global TDMA slot; the
+    // activated readers' slot events follow with their reader ids.
+    trace::TraceEvent e;
+    e.kind = trace::EventKind::kTdmaSlot;
+    e.slot = global_slots_ - 1;
+    e.responders = active.size();
+    trace_.Emit(e);
+  }
 
   broadcast_queue_.clear();
   double slot_seconds = 0.0;

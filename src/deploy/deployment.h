@@ -87,6 +87,12 @@ class DeploymentProtocol final : public sim::Protocol {
   std::string_view name() const override { return name_; }
   const sim::RunMetrics& metrics() const override;
 
+  // Tracing: the deployment emits one kTdmaSlot event per global slot
+  // (reader 0 = the deployment itself) and re-attaches every per-reader
+  // protocol with reader ids 1..R, so a single sink sees the interleaved
+  // global timeline alongside each reader's own slot stream.
+  void AttachTrace(const trace::TraceContext& context) override;
+
   // Deployment-level view (duty cycles, sharing counters, merge detail).
   DeploymentResult Result() const;
   const InterferenceGraph& interference_graph() const { return graph_; }
@@ -106,6 +112,7 @@ class DeploymentProtocol final : public sim::Protocol {
   std::unique_ptr<Scheduler> scheduler_;
   std::vector<std::unique_ptr<ReaderState>> readers_;
 
+  trace::TraceContext trace_;
   std::vector<bool> identified_;        // global merged inventory, by index
   std::unordered_map<std::uint64_t, std::uint32_t> digest_to_index_;
   std::size_t unique_ids_ = 0;

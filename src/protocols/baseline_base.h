@@ -23,21 +23,42 @@ class BaselineBase : public sim::Protocol {
 
   std::string_view name() const override { return name_; }
   const sim::RunMetrics& metrics() const override { return metrics_; }
+  void AttachTrace(const trace::TraceContext& context) override {
+    trace_ = context;
+  }
 
  protected:
+  // Each Charge* helper accounts one air slot and, when a trace sink is
+  // attached, emits the corresponding kSlot event (responders = how many
+  // tags transmitted, where the protocol knows it).
   void ChargeEmptySlot() {
     ++metrics_.empty_slots;
     metrics_.elapsed_seconds += timing_.SlotSeconds();
+    EmitSlot(trace::SlotOutcome::kEmpty, 0);
   }
   void ChargeSingletonSlot() {
     ++metrics_.singleton_slots;
     ++metrics_.tags_read;
     ++metrics_.ids_from_singletons;
     metrics_.elapsed_seconds += timing_.SlotSeconds();
+    EmitSlot(trace::SlotOutcome::kSingleton, 1);
   }
-  void ChargeCollisionSlot() {
+  void ChargeCollisionSlot(std::uint64_t responders = 2) {
     ++metrics_.collision_slots;
     metrics_.elapsed_seconds += timing_.SlotSeconds();
+    EmitSlot(trace::SlotOutcome::kCollision, responders);
+  }
+  void EmitSlot(trace::SlotOutcome outcome, std::uint64_t responders) {
+    if (trace_) {
+      trace::TraceEvent e;
+      e.kind = trace::EventKind::kSlot;
+      e.slot = slot_index_;
+      e.frame = metrics_.frames;
+      e.outcome = outcome;
+      e.responders = responders;
+      trace_.Emit(e);
+    }
+    ++slot_index_;
   }
 
   std::string_view name_;
@@ -45,6 +66,8 @@ class BaselineBase : public sim::Protocol {
   anc::Pcg32 rng_;
   phy::TimingModel timing_;
   sim::RunMetrics metrics_;
+  trace::TraceContext trace_;
+  std::uint64_t slot_index_ = 0;  // global slot counter across frames
 };
 
 }  // namespace anc::protocols

@@ -44,9 +44,19 @@ void Dfsa::Step() {
     ChargeEmptySlot();
   } else if (occupancy == 1) {
     ChargeSingletonSlot();
-    read_[slot_last_tag_[slot_cursor_]] = true;
+    const std::uint32_t tag = slot_last_tag_[slot_cursor_];
+    read_[tag] = true;
+    if (trace_) {
+      trace::TraceEvent e;
+      e.kind = trace::EventKind::kAck;
+      e.slot = slot_index_ - 1;  // EmitSlot already advanced the counter
+      e.frame = metrics_.frames;
+      e.ack = trace::AckKind::kSingletonId;
+      e.id_digest = population_[tag].Digest();
+      trace_.Emit(e);
+    }
   } else {
-    ChargeCollisionSlot();
+    ChargeCollisionSlot(occupancy);
     ++frame_collisions_;
   }
   ++slot_cursor_;
@@ -54,6 +64,21 @@ void Dfsa::Step() {
   if (slot_cursor_ < frame_size_) return;
 
   // Frame boundary: tags read this frame leave; the rest re-contend.
+  const std::uint64_t backlog =
+      frame_transmissions_ == 0 ? 0 : ChaKimBacklog(frame_collisions_);
+  if (trace_) {
+    trace::TraceEvent e;
+    e.kind = trace::EventKind::kFrame;
+    e.slot = slot_index_;
+    e.frame = metrics_.frames;
+    e.n_c = frame_collisions_;
+    // DFSA's view of the total population: Cha-Kim backlog plus the tags
+    // it has already read.
+    e.estimate_q8 = trace::QuantizeEstimate(
+        static_cast<double>(backlog + metrics_.tags_read));
+    e.elapsed_us = trace::QuantizeSeconds(metrics_.elapsed_seconds);
+    trace_.Emit(e);
+  }
   if (frame_transmissions_ == 0) {
     finished_ = true;
     return;
@@ -61,7 +86,6 @@ void Dfsa::Step() {
   unread_.erase(std::remove_if(unread_.begin(), unread_.end(),
                                [&](std::uint32_t t) { return read_[t]; }),
                 unread_.end());
-  const std::uint64_t backlog = ChaKimBacklog(frame_collisions_);
   frame_size_ = std::clamp<std::uint64_t>(backlog, 1, config_.max_frame_size);
   StartFrame();
 }

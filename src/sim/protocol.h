@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "common/tag_id.h"
 #include "sim/metrics.h"
+#include "trace/sink.h"
 
 namespace anc::sim {
 
@@ -29,6 +30,13 @@ class Protocol {
   virtual bool Finished() const = 0;
 
   virtual const RunMetrics& metrics() const = 0;
+
+  // Attaches a per-slot trace stream (src/trace). Called after
+  // construction and before the first Step(); the sink inside `context`
+  // must outlive the protocol. Instrumented protocols (the collision-aware
+  // engine, DFSA, deployments) override this; the default keeps
+  // uninstrumented protocols valid — they simply emit nothing.
+  virtual void AttachTrace(const trace::TraceContext& /*context*/) {}
 
   // --- Deployment hooks (src/deploy, cross-reader record sharing) ---
   //

@@ -19,35 +19,20 @@ bool Drive(Protocol& protocol, std::uint64_t max_slots) {
   return true;
 }
 
-struct PerRunResult {
-  bool capped = false;
-  RunMetrics metrics;
-};
-
-// Executes run `run` exactly as the original sequential loop did: the RNG
-// streams depend only on base_seed + run, never on which thread ran it.
-PerRunResult ExecuteRun(const ProtocolFactory& factory,
-                        const ExperimentOptions& options, std::size_t run) {
-  anc::Pcg32 master(options.base_seed + run, 0x9E3779B97F4A7C15ULL + run);
-  anc::Pcg32 pop_rng = master.Split();
-  anc::Pcg32 proto_rng = master.Split();
-  const auto population = MakePopulation(options.n_tags, pop_rng);
-
-  auto protocol = factory(population, proto_rng);
-  const std::uint64_t cap = options.max_slots_per_tag * options.n_tags + 1000;
-  PerRunResult result;
-  if (!Drive(*protocol, cap)) {
-    result.capped = true;
-    return result;
-  }
-  result.metrics = protocol->metrics();
-  return result;
+// Executes run `run` with its trace sink (if the options request one).
+// The RNG streams depend only on base_seed + run, never on which thread
+// ran it.
+SingleRunResult ExecuteRun(const ProtocolFactory& factory,
+                           const ExperimentOptions& options, std::size_t run) {
+  std::unique_ptr<trace::TraceSink> sink;
+  if (options.trace_factory) sink = options.trace_factory(run);
+  return RunSingle(factory, options, run, sink.get());
 }
 
 // Folds one run into the aggregate. Called in run-index order regardless
 // of thread count, so the Add() sequence — and hence every mean / stddev
 // bit — matches the sequential path exactly.
-void Accumulate(AggregateResult& agg, const PerRunResult& r) {
+void Accumulate(AggregateResult& agg, const SingleRunResult& r) {
   if (r.capped) {
     ++agg.runs_capped;
     return;
@@ -65,9 +50,42 @@ void Accumulate(AggregateResult& agg, const PerRunResult& r) {
   agg.frames.Add(static_cast<double>(m.frames));
   agg.duplicate_receptions.Add(static_cast<double>(m.duplicate_receptions));
   agg.ids_injected.Add(static_cast<double>(m.ids_injected));
+  agg.redundant_resolutions.Add(static_cast<double>(m.redundant_resolutions));
+  agg.tag_transmissions.Add(static_cast<double>(m.tag_transmissions));
 }
 
 }  // namespace
+
+SingleRunResult RunSingle(const ProtocolFactory& factory,
+                          const ExperimentOptions& options,
+                          std::size_t run_index, trace::TraceSink* sink) {
+  anc::Pcg32 master(options.base_seed + run_index,
+                    0x9E3779B97F4A7C15ULL + run_index);
+  anc::Pcg32 pop_rng = master.Split();
+  anc::Pcg32 proto_rng = master.Split();
+  const auto population = MakePopulation(options.n_tags, pop_rng);
+
+  auto protocol = factory(population, proto_rng);
+  if (sink) {
+    sink->BeginRun(trace::RunHeader{run_index, options.base_seed,
+                                    options.n_tags,
+                                    options.max_slots_per_tag,
+                                    std::string(protocol->name())});
+    protocol->AttachTrace(trace::TraceContext{sink, 0});
+  }
+  const std::uint64_t cap = options.max_slots_per_tag * options.n_tags + 1000;
+  SingleRunResult result;
+  result.capped = !Drive(*protocol, cap);
+  result.metrics = protocol->metrics();
+  if (sink) {
+    const RunMetrics& m = result.metrics;
+    sink->OnEvent(trace::RunEndEvent(m.tags_read, m.TotalSlots(),
+                                     m.unresolved_records, m.elapsed_seconds,
+                                     result.capped));
+    sink->EndRun();
+  }
+  return result;
+}
 
 void AggregateResult::Merge(const AggregateResult& other) {
   throughput.Merge(other.throughput);
@@ -82,6 +100,8 @@ void AggregateResult::Merge(const AggregateResult& other) {
   frames.Merge(other.frames);
   duplicate_receptions.Merge(other.duplicate_receptions);
   ids_injected.Merge(other.ids_injected);
+  redundant_resolutions.Merge(other.redundant_resolutions);
+  tag_transmissions.Merge(other.tag_transmissions);
   runs_capped += other.runs_capped;
 }
 
@@ -107,7 +127,7 @@ AggregateResult RunExperiment(const ProtocolFactory& factory,
   // terminations differ across seeds), so static striping would leave
   // workers idle. Each worker writes only results[i] for the indices it
   // claimed; the buffer is pre-sized, so no locking is needed.
-  std::vector<PerRunResult> results(options.runs);
+  std::vector<SingleRunResult> results(options.runs);
   std::atomic<std::size_t> next_run{0};
   auto worker = [&]() {
     for (;;) {
@@ -122,19 +142,20 @@ AggregateResult RunExperiment(const ProtocolFactory& factory,
   for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
 
-  for (const PerRunResult& r : results) Accumulate(agg, r);
+  for (const SingleRunResult& r : results) Accumulate(agg, r);
   return agg;
 }
 
 RunMetrics RunOnce(const ProtocolFactory& factory, std::size_t n_tags,
                    std::uint64_t seed, std::uint64_t max_slots_per_tag) {
-  anc::Pcg32 master(seed, 0x9E3779B97F4A7C15ULL + seed);
-  anc::Pcg32 pop_rng = master.Split();
-  anc::Pcg32 proto_rng = master.Split();
-  const auto population = MakePopulation(n_tags, pop_rng);
-  auto protocol = factory(population, proto_rng);
-  Drive(*protocol, max_slots_per_tag * n_tags + 1000);
-  return protocol->metrics();
+  // RunOnce at seed s is run index s of a base_seed-0 experiment (both
+  // derive Pcg32(s, GOLDEN_GAMMA + s)) — the identity that lets a trace
+  // header's (base_seed, run_index) pair cover both entry points.
+  ExperimentOptions options;
+  options.n_tags = n_tags;
+  options.base_seed = 0;
+  options.max_slots_per_tag = max_slots_per_tag;
+  return RunSingle(factory, options, static_cast<std::size_t>(seed)).metrics;
 }
 
 }  // namespace anc::sim

@@ -19,6 +19,7 @@
 #include "common/stats.h"
 #include "common/tag_id.h"
 #include "sim/protocol.h"
+#include "trace/sink.h"
 
 namespace anc::sim {
 
@@ -51,6 +52,8 @@ struct AggregateResult {
   RunningStats frames;  // frames; for deployments, global scheduler slots
   RunningStats duplicate_receptions;  // deployments: duplicate reads
   RunningStats ids_injected;  // deployments: IDs learned via record sharing
+  RunningStats redundant_resolutions;  // same-pair records resolving twice
+  RunningStats tag_transmissions;      // energy-side metric (see RunMetrics)
   std::uint64_t runs_capped = 0;  // runs that hit the slot safety cap
 
   // Pools another aggregate into this one (Welford-combine per metric).
@@ -70,10 +73,31 @@ struct ExperimentOptions {
   // Worker threads for the run loop. 0 = one per hardware core. Any value
   // yields the same aggregate bit-for-bit (see file comment).
   std::size_t n_threads = 1;
+  // Per-run trace sink factory (src/trace); null = tracing off. Called
+  // once per run — concurrently from worker threads when n_threads > 1 —
+  // so it must be thread-safe across distinct run indices (the stock
+  // trace::MultiRunRecorder is: each run writes a pre-sized private slot,
+  // and its serialized output is byte-identical at any thread count).
+  trace::TraceSinkFactory trace_factory;
 };
 
 AggregateResult RunExperiment(const ProtocolFactory& factory,
                               const ExperimentOptions& options);
+
+struct SingleRunResult {
+  bool capped = false;  // hit the livelock cap; metrics still populated
+  RunMetrics metrics;
+};
+
+// Executes run `run_index` of the (factory, options) experiment exactly as
+// RunExperiment would — same seed derivation, same cap, same trace framing
+// (BeginRun / events / terminal RunEnd event / EndRun) when `sink` is
+// non-null. Exposed so the trace replay verifier can re-drive one recorded
+// run and compare streams event-for-event.
+SingleRunResult RunSingle(const ProtocolFactory& factory,
+                          const ExperimentOptions& options,
+                          std::size_t run_index,
+                          trace::TraceSink* sink = nullptr);
 
 // Resolves a requested thread count: 0 -> hardware_concurrency (at least
 // 1). Exposed so harnesses can report the count actually used.

@@ -1,0 +1,270 @@
+#include "trace/binary.h"
+
+#include <cstdio>
+
+namespace anc::trace {
+namespace {
+
+constexpr char kRunMarker = 'R';
+constexpr char kEndOfRun = 0x00;
+
+void PutVarint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+void PutByte(std::string& out, std::uint8_t b) {
+  out.push_back(static_cast<char>(b));
+}
+
+// Cursor over the input with error state; decode helpers return 0 on
+// underflow and latch `ok = false` so callers can check once per unit.
+struct Reader {
+  std::string_view bytes;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool AtEnd() const { return pos >= bytes.size(); }
+
+  std::uint8_t Byte() {
+    if (AtEnd()) {
+      ok = false;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(bytes[pos++]);
+  }
+
+  std::uint64_t Varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t b = Byte();
+      if (!ok) return 0;
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    ok = false;  // varint longer than 64 bits
+    return 0;
+  }
+};
+
+void EncodeEvent(std::string& out, const TraceEvent& e) {
+  PutByte(out, static_cast<std::uint8_t>(e.kind));
+  PutVarint(out, e.reader);
+  PutVarint(out, e.slot);
+  PutVarint(out, e.frame);
+  switch (e.kind) {
+    case EventKind::kSlot:
+      PutByte(out, static_cast<std::uint8_t>(e.outcome));
+      PutVarint(out, e.responders);
+      break;
+    case EventKind::kFrame:
+      PutVarint(out, e.n_c);
+      PutVarint(out, e.record);
+      PutVarint(out, e.estimate_q8);
+      PutVarint(out, e.elapsed_us);
+      break;
+    case EventKind::kRecordOpen:
+      PutVarint(out, e.record);
+      break;
+    case EventKind::kRecordResolve:
+      PutVarint(out, e.record);
+      PutVarint(out, e.id_digest);
+      PutByte(out, e.cascade ? 1 : 0);
+      break;
+    case EventKind::kAck:
+      PutByte(out, static_cast<std::uint8_t>(e.ack));
+      PutVarint(out, e.id_digest);
+      break;
+    case EventKind::kInject:
+      PutVarint(out, e.id_digest);
+      break;
+    case EventKind::kTdmaSlot:
+      PutVarint(out, e.responders);
+      break;
+    case EventKind::kRunEnd:
+      PutVarint(out, e.record);
+      PutVarint(out, e.n_c);
+      PutVarint(out, e.estimate_q8);
+      PutVarint(out, e.elapsed_us);
+      break;
+  }
+}
+
+bool DecodeEvent(Reader& r, std::uint8_t kind_byte, TraceEvent* e) {
+  if (kind_byte < 1 || kind_byte > 8) return false;
+  e->kind = static_cast<EventKind>(kind_byte);
+  e->reader = static_cast<std::uint32_t>(r.Varint());
+  e->slot = r.Varint();
+  e->frame = r.Varint();
+  switch (e->kind) {
+    case EventKind::kSlot: {
+      const std::uint8_t outcome = r.Byte();
+      if (outcome > 2) return false;
+      e->outcome = static_cast<SlotOutcome>(outcome);
+      e->responders = static_cast<std::uint32_t>(r.Varint());
+      break;
+    }
+    case EventKind::kFrame:
+      e->n_c = r.Varint();
+      e->record = r.Varint();
+      e->estimate_q8 = r.Varint();
+      e->elapsed_us = r.Varint();
+      break;
+    case EventKind::kRecordOpen:
+      e->record = r.Varint();
+      break;
+    case EventKind::kRecordResolve:
+      e->record = r.Varint();
+      e->id_digest = r.Varint();
+      e->cascade = r.Byte() != 0;
+      break;
+    case EventKind::kAck: {
+      const std::uint8_t ack = r.Byte();
+      if (ack > 5) return false;
+      e->ack = static_cast<AckKind>(ack);
+      e->id_digest = r.Varint();
+      break;
+    }
+    case EventKind::kInject:
+      e->id_digest = r.Varint();
+      break;
+    case EventKind::kTdmaSlot:
+      e->responders = static_cast<std::uint32_t>(r.Varint());
+      break;
+    case EventKind::kRunEnd:
+      e->record = r.Varint();
+      e->n_c = r.Varint();
+      e->estimate_q8 = r.Varint();
+      e->elapsed_us = r.Varint();
+      break;
+  }
+  return r.ok;
+}
+
+std::string FileHeaderBytes() {
+  std::string out(kTraceMagic);
+  PutVarint(out, kTraceVersion);
+  return out;
+}
+
+}  // namespace
+
+std::string EncodeRun(const RunTrace& run) {
+  std::string out;
+  out.push_back(kRunMarker);
+  PutVarint(out, run.header.run_index);
+  PutVarint(out, run.header.base_seed);
+  PutVarint(out, run.header.n_tags);
+  PutVarint(out, run.header.max_slots_per_tag);
+  PutVarint(out, run.header.protocol.size());
+  out += run.header.protocol;
+  for (const TraceEvent& e : run.events) EncodeEvent(out, e);
+  out.push_back(kEndOfRun);
+  return out;
+}
+
+std::string EncodeTrace(const TraceFile& file) {
+  std::string out = FileHeaderBytes();
+  for (const RunTrace& run : file.runs) out += EncodeRun(run);
+  return out;
+}
+
+std::string DecodeTrace(std::string_view bytes, TraceFile* out) {
+  out->runs.clear();
+  if (bytes.size() < kTraceMagic.size() ||
+      bytes.substr(0, kTraceMagic.size()) != kTraceMagic) {
+    return "bad magic: not an ANCTRACE file";
+  }
+  Reader r{bytes, kTraceMagic.size()};
+  const std::uint64_t version = r.Varint();
+  if (!r.ok) return "truncated header";
+  if (version != kTraceVersion) {
+    return "unsupported trace version " + std::to_string(version) +
+           " (this build reads version " + std::to_string(kTraceVersion) + ")";
+  }
+  while (!r.AtEnd()) {
+    if (r.Byte() != kRunMarker) {
+      return "corrupt run marker at offset " + std::to_string(r.pos - 1);
+    }
+    RunTrace run;
+    run.header.run_index = r.Varint();
+    run.header.base_seed = r.Varint();
+    run.header.n_tags = r.Varint();
+    run.header.max_slots_per_tag = r.Varint();
+    const std::uint64_t name_len = r.Varint();
+    if (!r.ok || r.pos + name_len > bytes.size()) {
+      return "truncated run header at offset " + std::to_string(r.pos);
+    }
+    run.header.protocol = std::string(bytes.substr(r.pos, name_len));
+    r.pos += name_len;
+    for (;;) {
+      const std::uint8_t kind = r.Byte();
+      if (!r.ok) return "unterminated run block at offset " +
+                        std::to_string(r.pos);
+      if (kind == static_cast<std::uint8_t>(kEndOfRun)) break;
+      TraceEvent e;
+      if (!DecodeEvent(r, kind, &e)) {
+        return "corrupt event at offset " + std::to_string(r.pos);
+      }
+      run.events.push_back(e);
+    }
+    out->runs.push_back(std::move(run));
+  }
+  return "";
+}
+
+std::string ReadTraceFile(const std::string& path, TraceFile* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return "cannot open " + path;
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  const std::string err = DecodeTrace(bytes, out);
+  return err.empty() ? "" : path + ": " + err;
+}
+
+namespace {
+
+std::string AppendBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (!f) return "cannot open " + path + " for append";
+  // A fresh (or truncated-empty) file needs the versioned header first.
+  std::string payload;
+  if (std::ftell(f) == 0) payload = FileHeaderBytes();
+  payload += bytes;
+  const bool ok =
+      std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+  std::fclose(f);
+  return ok ? "" : "short write to " + path;
+}
+
+}  // namespace
+
+std::string WriteTraceFile(const std::string& path, const TraceFile& file) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return "cannot open " + path + " for write";
+  const std::string bytes = EncodeTrace(file);
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  return ok ? "" : "short write to " + path;
+}
+
+std::string AppendRunsToFile(const std::string& path,
+                             std::span<const RunTrace> runs) {
+  std::string bytes;
+  for (const RunTrace& run : runs) bytes += EncodeRun(run);
+  return AppendBytes(path, bytes);
+}
+
+void BinaryFileSink::EndRun() {
+  const std::string err = AppendBytes(path_, EncodeRun(current_));
+  if (!err.empty()) error_ = err;
+  current_ = RunTrace{};
+}
+
+}  // namespace anc::trace

@@ -1,0 +1,66 @@
+// Compact binary trace format, version 1.
+//
+// Layout:
+//   file   := magic[8]="ANCTRACE" varint(version) runblock*
+//   block  := 'R' varint(run_index) varint(base_seed) varint(n_tags)
+//             varint(max_slots_per_tag) varint(len) name[len] event* 0x00
+//   event  := kind[1] varint(reader) varint(slot) varint(frame)
+//             kind-specific varint fields (see binary.cpp)
+//
+// All integers are unsigned LEB128 varints; the two time-like payloads are
+// already integers (Q8 estimator, microseconds — see trace/event.h), so
+// the format is byte-for-byte deterministic across thread counts, runs and
+// compilers. Run blocks are self-delimiting, which is what lets a bench
+// invocation append one block per run to a growing --trace file.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "trace/sink.h"
+
+namespace anc::trace {
+
+inline constexpr std::string_view kTraceMagic = "ANCTRACE";
+inline constexpr std::uint64_t kTraceVersion = 1;
+
+// In-memory encode/decode. Decode* return "" on success, else a
+// human-readable error ("bad magic", "truncated event at offset N", ...).
+std::string EncodeRun(const RunTrace& run);
+std::string EncodeTrace(const TraceFile& file);  // header + all run blocks
+std::string DecodeTrace(std::string_view bytes, TraceFile* out);
+
+// File round-trip. Read/Write/Append return "" on success, else an error.
+std::string ReadTraceFile(const std::string& path, TraceFile* out);
+std::string WriteTraceFile(const std::string& path, const TraceFile& file);
+// Appends run blocks to `path`, writing the versioned header first when
+// the file is new or empty (how the shared bench --trace flag accumulates
+// one block per run across data points).
+std::string AppendRunsToFile(const std::string& path,
+                             std::span<const RunTrace> runs);
+
+// Streaming sink: buffers the current run in memory and appends its
+// encoded block to `path` on EndRun (header written on first use).
+class BinaryFileSink final : public TraceSink {
+ public:
+  explicit BinaryFileSink(std::string path) : path_(std::move(path)) {}
+
+  void BeginRun(const RunHeader& header) override {
+    current_ = RunTrace{header, {}};
+  }
+  void OnEvent(const TraceEvent& event) override {
+    current_.events.push_back(event);
+  }
+  void EndRun() override;
+
+  // Error from the last flush attempt ("" if none).
+  const std::string& error() const { return error_; }
+
+ private:
+  std::string path_;
+  RunTrace current_;
+  std::string error_;
+};
+
+}  // namespace anc::trace

@@ -1,0 +1,73 @@
+#include "trace/diff.h"
+
+#include <algorithm>
+
+namespace anc::trace {
+namespace {
+
+std::string DescribeHeader(const RunHeader& h) {
+  return "{run=" + std::to_string(h.run_index) +
+         " base_seed=" + std::to_string(h.base_seed) +
+         " n_tags=" + std::to_string(h.n_tags) +
+         " max_slots_per_tag=" + std::to_string(h.max_slots_per_tag) +
+         " protocol=" + h.protocol + "}";
+}
+
+}  // namespace
+
+TraceDiff DiffRuns(const RunTrace& a, const RunTrace& b,
+                   std::size_t run_index) {
+  TraceDiff diff;
+  diff.run_index = run_index;
+  diff.event_index = static_cast<std::size_t>(-1);
+  if (a.header != b.header) {
+    diff.message = "run " + std::to_string(run_index) + ": headers differ:\n  a: " +
+                   DescribeHeader(a.header) + "\n  b: " +
+                   DescribeHeader(b.header);
+    return diff;
+  }
+  const std::size_t common = std::min(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a.events[i] == b.events[i]) continue;
+    diff.event_index = i;
+    diff.message = "run " + std::to_string(run_index) + ": first divergence at event " +
+                   std::to_string(i) + ":\n  a: " + Describe(a.events[i]) +
+                   "\n  b: " + Describe(b.events[i]);
+    return diff;
+  }
+  if (a.events.size() != b.events.size()) {
+    const bool a_longer = a.events.size() > b.events.size();
+    const RunTrace& longer = a_longer ? a : b;
+    diff.event_index = common;
+    diff.message = "run " + std::to_string(run_index) + ": event streams agree for " +
+                   std::to_string(common) + " events, then " +
+                   (a_longer ? "a" : "b") + " continues with:\n  " +
+                   Describe(longer.events[common]) + "\n(a has " +
+                   std::to_string(a.events.size()) + " events, b has " +
+                   std::to_string(b.events.size()) + ")";
+    return diff;
+  }
+  diff.identical = true;
+  return diff;
+}
+
+TraceDiff DiffTraces(const TraceFile& a, const TraceFile& b) {
+  const std::size_t common = std::min(a.runs.size(), b.runs.size());
+  for (std::size_t r = 0; r < common; ++r) {
+    TraceDiff diff = DiffRuns(a.runs[r], b.runs[r], r);
+    if (!diff.identical) return diff;
+  }
+  if (a.runs.size() != b.runs.size()) {
+    TraceDiff diff;
+    diff.run_index = common;
+    diff.event_index = static_cast<std::size_t>(-1);
+    diff.message = "run counts differ: a has " + std::to_string(a.runs.size()) +
+                   " runs, b has " + std::to_string(b.runs.size());
+    return diff;
+  }
+  TraceDiff diff;
+  diff.identical = true;
+  return diff;
+}
+
+}  // namespace anc::trace

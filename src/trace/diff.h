@@ -1,0 +1,27 @@
+// Structural trace comparison with a first-divergence report — the
+// regression primitive behind `trace_inspect diff` (CI compares a fresh
+// smoke trace against a committed golden) and the replay verifier.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "trace/sink.h"
+
+namespace anc::trace {
+
+struct TraceDiff {
+  bool identical = false;
+  // First point of divergence (valid when !identical). event_index is
+  // SIZE_MAX for header- or run-count-level divergence.
+  std::size_t run_index = 0;
+  std::size_t event_index = 0;
+  // Human-readable description of the divergence ("" when identical).
+  std::string message;
+};
+
+TraceDiff DiffRuns(const RunTrace& a, const RunTrace& b,
+                   std::size_t run_index = 0);
+TraceDiff DiffTraces(const TraceFile& a, const TraceFile& b);
+
+}  // namespace anc::trace

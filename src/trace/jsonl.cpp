@@ -1,0 +1,100 @@
+#include "trace/jsonl.h"
+
+namespace anc::trace {
+namespace {
+
+std::string JsonStr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string Num(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::string RunHeaderToJson(const RunHeader& h) {
+  return "{\"type\":\"run_header\",\"run\":" + Num(h.run_index) +
+         ",\"base_seed\":" + Num(h.base_seed) +
+         ",\"n_tags\":" + Num(h.n_tags) +
+         ",\"max_slots_per_tag\":" + Num(h.max_slots_per_tag) +
+         ",\"protocol\":" + JsonStr(h.protocol) + "}";
+}
+
+std::string EventToJson(const TraceEvent& e) {
+  std::string s = "{\"type\":" + JsonStr(KindName(e.kind)) +
+                  ",\"reader\":" + Num(e.reader) +
+                  ",\"slot\":" + Num(e.slot) + ",\"frame\":" + Num(e.frame);
+  switch (e.kind) {
+    case EventKind::kSlot:
+      s += ",\"outcome\":" + JsonStr(OutcomeName(e.outcome)) +
+           ",\"responders\":" + Num(e.responders);
+      break;
+    case EventKind::kFrame: {
+      char estimate[32];
+      std::snprintf(estimate, sizeof estimate, "%.17g",
+                    static_cast<double>(e.estimate_q8) / kEstimateScale);
+      s += ",\"n_c\":" + Num(e.n_c) + ",\"open_records\":" + Num(e.record) +
+           ",\"estimate\":" + estimate + ",\"elapsed_us\":" + Num(e.elapsed_us);
+      break;
+    }
+    case EventKind::kRecordOpen:
+      s += ",\"record\":" + Num(e.record);
+      break;
+    case EventKind::kRecordResolve:
+      s += ",\"record\":" + Num(e.record) + ",\"id\":" + Num(e.id_digest) +
+           ",\"cascade\":" + (e.cascade ? "true" : "false");
+      break;
+    case EventKind::kAck:
+      s += ",\"ack\":" + JsonStr(AckName(e.ack)) + ",\"id\":" + Num(e.id_digest);
+      break;
+    case EventKind::kInject:
+      s += ",\"id\":" + Num(e.id_digest);
+      break;
+    case EventKind::kTdmaSlot:
+      s += ",\"active_readers\":" + Num(e.responders);
+      break;
+    case EventKind::kRunEnd:
+      s += ",\"tags_read\":" + Num(e.record) + ",\"unresolved\":" + Num(e.n_c) +
+           ",\"capped\":" + (e.estimate_q8 ? "true" : "false") +
+           ",\"elapsed_us\":" + Num(e.elapsed_us);
+      break;
+  }
+  s += "}";
+  return s;
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path) {
+  if (path.empty()) return;
+  file_ = std::fopen(path.c_str(), "w");
+  if (!file_) {
+    std::fprintf(stderr, "warning: cannot open trace JSONL file %s\n",
+                 path.c_str());
+  }
+}
+
+JsonlFileSink::~JsonlFileSink() {
+  if (file_) std::fclose(file_);
+}
+
+void JsonlFileSink::BeginRun(const RunHeader& header) {
+  if (!file_) return;
+  const std::string line = RunHeaderToJson(header);
+  std::fprintf(file_, "%s\n", line.c_str());
+}
+
+void JsonlFileSink::OnEvent(const TraceEvent& event) {
+  if (!file_) return;
+  const std::string line = EventToJson(event);
+  std::fprintf(file_, "%s\n", line.c_str());
+}
+
+void JsonlFileSink::EndRun() {
+  if (file_) std::fflush(file_);
+}
+
+}  // namespace anc::trace

@@ -1,0 +1,49 @@
+// Streaming JSONL sink: one JSON object per line, written as events are
+// emitted (no buffering beyond stdio's), so a trace survives a crashed or
+// killed run up to the last flushed line. Line shapes:
+//
+//   {"type":"run_header","run":0,"base_seed":1,"n_tags":200,
+//    "max_slots_per_tag":100,"protocol":"FCAT-2"}
+//   {"type":"slot","reader":0,"slot":12,"frame":1,
+//    "outcome":"collision","responders":3}
+//   {"type":"frame","reader":0,"slot":30,"frame":1,"n_c":7,
+//    "open_records":7,"estimate":812.25,"elapsed_us":91545}
+//   ... (one shape per trace/event.h kind)
+//
+// This is the human/jq-friendly export; the compact replayable format is
+// trace/binary.h.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "trace/sink.h"
+
+namespace anc::trace {
+
+class JsonlFileSink final : public TraceSink {
+ public:
+  // Truncates `path` ("" or an unopenable path disables the sink with a
+  // one-time stderr warning).
+  explicit JsonlFileSink(const std::string& path);
+  ~JsonlFileSink() override;
+
+  JsonlFileSink(const JsonlFileSink&) = delete;
+  JsonlFileSink& operator=(const JsonlFileSink&) = delete;
+
+  void BeginRun(const RunHeader& header) override;
+  void OnEvent(const TraceEvent& event) override;
+  void EndRun() override;
+
+  bool ok() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+// The JSONL rendering of one event (shared with `trace_inspect filter
+// --format=jsonl`). No trailing newline.
+std::string EventToJson(const TraceEvent& event);
+std::string RunHeaderToJson(const RunHeader& header);
+
+}  // namespace anc::trace

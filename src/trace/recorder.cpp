@@ -1,0 +1,33 @@
+#include "trace/recorder.h"
+
+#include "trace/binary.h"
+
+namespace anc::trace {
+
+// Writes one run's stream straight into its pre-sized recorder slot.
+class MultiRunRecorder::SlotSink final : public TraceSink {
+ public:
+  explicit SlotSink(RunTrace* slot) : slot_(slot) {}
+
+  void BeginRun(const RunHeader& header) override { slot_->header = header; }
+  void OnEvent(const TraceEvent& event) override {
+    slot_->events.push_back(event);
+  }
+  void EndRun() override {}
+
+ private:
+  RunTrace* slot_;
+};
+
+TraceSinkFactory MultiRunRecorder::Factory() {
+  return [this](std::size_t run) -> std::unique_ptr<TraceSink> {
+    if (run >= slots_.size()) return std::make_unique<NullSink>();
+    return std::make_unique<SlotSink>(&slots_[run]);
+  };
+}
+
+std::string MultiRunRecorder::AppendToFile(const std::string& path) const {
+  return AppendRunsToFile(path, slots_);
+}
+
+}  // namespace anc::trace

@@ -1,0 +1,45 @@
+// Per-run trace collection for multi-run experiments.
+//
+// RunExperiment executes runs on a worker pool; a shared sink would
+// interleave events nondeterministically. MultiRunRecorder instead hands
+// each run its own sink writing into a pre-sized per-run slot — workers
+// touch disjoint slots, so no locking and no ordering dependence — and
+// exposes the completed runs in run-index order, exactly the discipline
+// AggregateResult uses for metrics. Consequence (asserted by tests): the
+// serialized trace is byte-identical at any --threads value.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/sink.h"
+
+namespace anc::trace {
+
+class MultiRunRecorder {
+ public:
+  // `runs` must match ExperimentOptions::runs: sinks are only issued for
+  // run indices below it (indices beyond get a discarding sink).
+  explicit MultiRunRecorder(std::size_t runs) : slots_(runs) {}
+
+  // The factory to install as ExperimentOptions::trace_factory. Safe to
+  // invoke concurrently for distinct run indices. The recorder must
+  // outlive the experiment.
+  TraceSinkFactory Factory();
+
+  // Completed runs in run-index order. Valid once RunExperiment returned.
+  const std::vector<RunTrace>& runs() const { return slots_; }
+  TraceFile File() const { return TraceFile{slots_}; }
+
+  // Appends all runs to a binary trace file (versioned header written when
+  // the file is new). Returns "" on success, else an error message.
+  std::string AppendToFile(const std::string& path) const;
+
+ private:
+  class SlotSink;
+
+  std::vector<RunTrace> slots_;
+};
+
+}  // namespace anc::trace

@@ -1,0 +1,54 @@
+#include "trace/replay.h"
+
+namespace anc::trace {
+
+ReplayReport VerifyReplay(const RunTrace& recorded,
+                          const sim::ProtocolFactory& factory) {
+  sim::ExperimentOptions options;
+  options.n_tags = recorded.header.n_tags;
+  options.base_seed = recorded.header.base_seed;
+  options.max_slots_per_tag = recorded.header.max_slots_per_tag;
+
+  MemorySink sink;
+  sim::RunSingle(factory, options,
+                 static_cast<std::size_t>(recorded.header.run_index), &sink);
+
+  ReplayReport report;
+  if (sink.runs().size() != 1) {
+    report.message = "replay produced " + std::to_string(sink.runs().size()) +
+                     " runs (expected 1)";
+    return report;
+  }
+  report.diff = DiffRuns(recorded, sink.runs()[0],
+                         static_cast<std::size_t>(recorded.header.run_index));
+  report.ok = report.diff.identical;
+  report.message =
+      report.ok
+          ? "replay identical: " + std::to_string(recorded.events.size()) +
+                " events reproduced (run " +
+                std::to_string(recorded.header.run_index) + ", protocol " +
+                recorded.header.protocol + ")"
+          : "replay diverged: " + report.diff.message;
+  return report;
+}
+
+ReplayReport VerifyReplay(const TraceFile& recorded,
+                          const sim::ProtocolFactory& factory) {
+  ReplayReport report;
+  if (recorded.runs.empty()) {
+    report.message = "trace contains no runs";
+    return report;
+  }
+  std::size_t events = 0;
+  for (const RunTrace& run : recorded.runs) {
+    report = VerifyReplay(run, factory);
+    if (!report.ok) return report;
+    events += run.events.size();
+  }
+  report.message = "replay identical: " + std::to_string(events) +
+                   " events across " + std::to_string(recorded.runs.size()) +
+                   " runs";
+  return report;
+}
+
+}  // namespace anc::trace

@@ -1,0 +1,34 @@
+// Replay verification: re-drives a protocol from a trace's recorded
+// seeding (RunHeader) and asserts the regenerated event stream is
+// identical, event for event, to the recorded one — the determinism
+// contract that makes a trace a debugging artifact rather than a log.
+// A divergence means either the build changed behaviour since the trace
+// was recorded (a regression, localized to the first divergent slot) or
+// the supplied factory does not match the recorded protocol.
+#pragma once
+
+#include <string>
+
+#include "sim/runner.h"
+#include "trace/diff.h"
+#include "trace/sink.h"
+
+namespace anc::trace {
+
+struct ReplayReport {
+  bool ok = false;
+  // When !ok: the first divergence (see TraceDiff) and a description.
+  TraceDiff diff;
+  std::string message;  // verdict summary, always set
+};
+
+// Re-runs the recorded run through `factory` (which must construct the
+// same protocol configuration that produced the trace) and compares.
+ReplayReport VerifyReplay(const RunTrace& recorded,
+                          const sim::ProtocolFactory& factory);
+
+// Verifies every run of a trace file; stops at the first failure.
+ReplayReport VerifyReplay(const TraceFile& recorded,
+                          const sim::ProtocolFactory& factory);
+
+}  // namespace anc::trace

@@ -1,0 +1,95 @@
+#include "trace/timeseries.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace anc::trace {
+
+std::vector<FramePoint> ExtractFrameSeries(const RunTrace& run,
+                                           std::uint32_t reader) {
+  std::vector<FramePoint> series;
+  std::uint64_t tags_read = 0;
+  // Open-record birth slots, keyed by handle; std::map keeps the oldest
+  // (smallest slot is not guaranteed by handle order, so scan on demand).
+  std::map<std::uint64_t, std::uint64_t> open_since;
+
+  for (const TraceEvent& e : run.events) {
+    if (e.reader != reader) continue;
+    switch (e.kind) {
+      case EventKind::kAck:
+        // New over-the-air reads only: re-acks are duplicates and
+        // injections are a neighbour's read.
+        if (e.ack == AckKind::kSingletonId || e.ack == AckKind::kSlotIndex ||
+            e.ack == AckKind::kFullId) {
+          ++tags_read;
+        }
+        break;
+      case EventKind::kRecordOpen:
+        open_since.emplace(e.record, e.slot);
+        break;
+      case EventKind::kRecordResolve:
+        open_since.erase(e.record);
+        break;
+      case EventKind::kFrame: {
+        FramePoint p;
+        p.frame = e.frame;
+        p.end_slot = e.slot;
+        p.tags_read = tags_read;
+        p.elapsed_seconds = static_cast<double>(e.elapsed_us) / 1e6;
+        p.throughput_so_far =
+            p.elapsed_seconds > 0.0
+                ? static_cast<double>(tags_read) / p.elapsed_seconds
+                : 0.0;
+        p.n_c = e.n_c;
+        p.open_records = e.record;
+        std::uint64_t oldest = e.slot;
+        for (const auto& [handle, born] : open_since) {
+          if (born < oldest) oldest = born;
+        }
+        p.oldest_record_age = open_since.empty() ? 0 : e.slot - oldest;
+        p.estimate = static_cast<double>(e.estimate_q8) / kEstimateScale;
+        p.estimate_abs_error =
+            std::abs(p.estimate - static_cast<double>(run.header.n_tags));
+        series.push_back(p);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return series;
+}
+
+std::string FrameSeriesCsv(const std::vector<FramePoint>& series) {
+  std::string csv =
+      "frame,end_slot,tags_read,elapsed_seconds,throughput_so_far,"
+      "n_c,open_records,oldest_record_age,estimate,estimate_abs_error\n";
+  char line[256];
+  for (const FramePoint& p : series) {
+    std::snprintf(line, sizeof line,
+                  "%llu,%llu,%llu,%.6f,%.3f,%llu,%llu,%llu,%.3f,%.3f\n",
+                  static_cast<unsigned long long>(p.frame),
+                  static_cast<unsigned long long>(p.end_slot),
+                  static_cast<unsigned long long>(p.tags_read),
+                  p.elapsed_seconds, p.throughput_so_far,
+                  static_cast<unsigned long long>(p.n_c),
+                  static_cast<unsigned long long>(p.open_records),
+                  static_cast<unsigned long long>(p.oldest_record_age),
+                  p.estimate, p.estimate_abs_error);
+    csv += line;
+  }
+  return csv;
+}
+
+std::string WriteFrameSeriesCsv(const std::vector<FramePoint>& series,
+                                const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return "cannot open " + path + " for write";
+  const std::string csv = FrameSeriesCsv(series);
+  const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+  std::fclose(f);
+  return ok ? "" : "short write to " + path;
+}
+
+}  // namespace anc::trace

@@ -1,0 +1,42 @@
+// Time-series extraction over a traced run: turns the flat event stream
+// into the per-frame dynamics the end-of-run aggregates hide — throughput
+// so far, record-store occupancy and age, and the embedded estimator's
+// convergence toward the true population (the Eq. 12/16/25 quantities).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/sink.h"
+
+namespace anc::trace {
+
+// One row per kFrame event of the selected reader.
+struct FramePoint {
+  std::uint64_t frame = 0;
+  std::uint64_t end_slot = 0;       // protocol slot index at the boundary
+  std::uint64_t tags_read = 0;      // cumulative over-the-air reads
+  double elapsed_seconds = 0.0;     // cumulative air time
+  double throughput_so_far = 0.0;   // tags_read / elapsed_seconds
+  std::uint64_t n_c = 0;            // collision slots in this frame
+  std::uint64_t open_records = 0;   // record-store occupancy
+  // Slots since the oldest still-open record was stored (0 when empty):
+  // a growing age means the cascade is starving.
+  std::uint64_t oldest_record_age = 0;
+  double estimate = 0.0;            // estimator snapshot N-hat
+  double estimate_abs_error = 0.0;  // |N-hat - n_tags| (header truth)
+};
+
+// Extracts the series for one reader (0 = a single-reader run; deployment
+// traces carry readers 1..R).
+std::vector<FramePoint> ExtractFrameSeries(const RunTrace& run,
+                                           std::uint32_t reader = 0);
+
+// CSV rendering, one header line + one row per frame.
+std::string FrameSeriesCsv(const std::vector<FramePoint>& series);
+
+// Writes the CSV to `path`. Returns "" on success, else an error message.
+std::string WriteFrameSeriesCsv(const std::vector<FramePoint>& series,
+                                const std::string& path);
+
+}  // namespace anc::trace

@@ -1,0 +1,326 @@
+// trace_inspect — command-line companion to the src/trace subsystem.
+//
+//   trace_inspect summarize <file>              per-run event inventory
+//   trace_inspect filter <file> [--run=] [--kind=] [--reader=] [--limit=]
+//                  [--format=text|jsonl]        print matching events
+//   trace_inspect diff <a> <b>                  first divergence; exit 1
+//   trace_inspect timeseries <file> [--run=] [--reader=] [--csv=path]
+//   trace_inspect replay <file>                 re-drive + verify each run
+//   trace_inspect record --out=<file> [--protocol=fcat|scat|dfsa]
+//                  [--lambda=] [--n=] [--runs=] [--seed=]
+//
+// `record` produces the small golden traces CI diffs against; `replay`
+// re-drives each run from its recorded (base_seed, run_index) header and
+// asserts event-for-event identity. Factories are reconstructed from the
+// recorded protocol name (FCAT-<lambda> / SCAT-<lambda> / DFSA at default
+// options); traces of other protocols summarize and diff fine but cannot
+// be replayed here.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "core/factories.h"
+#include "trace/binary.h"
+#include "trace/diff.h"
+#include "trace/jsonl.h"
+#include "trace/recorder.h"
+#include "trace/replay.h"
+#include "trace/timeseries.h"
+
+namespace {
+
+using namespace anc;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: trace_inspect <command> ...\n"
+      "  summarize <file>                     per-run event inventory\n"
+      "  filter <file> [--run=I] [--kind=K] [--reader=R] [--limit=N]\n"
+      "         [--format=text|jsonl]         print matching events\n"
+      "  diff <a> <b>                         compare; exit 1 + first "
+      "divergence\n"
+      "  timeseries <file> [--run=I] [--reader=R] [--csv=path]\n"
+      "                                       per-frame series (CSV)\n"
+      "  replay <file>                        re-drive runs, verify "
+      "identity\n"
+      "  record --out=<file> [--protocol=fcat|scat|dfsa] [--lambda=L]\n"
+      "         [--n=TAGS] [--runs=R] [--seed=S]\n"
+      "                                       record a reference trace\n");
+  return 2;
+}
+
+trace::TraceFile Load(const std::string& path) {
+  trace::TraceFile file;
+  const std::string err = trace::ReadTraceFile(path, &file);
+  if (!err.empty()) {
+    std::fprintf(stderr, "trace_inspect: %s: %s\n", path.c_str(),
+                 err.c_str());
+    std::exit(2);
+  }
+  return file;
+}
+
+// Rebuilds the factory a recorded run used from its header's protocol
+// name. Returns a null factory (and sets *error) for names this tool
+// cannot reconstruct.
+sim::ProtocolFactory FactoryFor(const std::string& protocol,
+                                std::string* error) {
+  if (protocol == "DFSA") return core::MakeDfsaFactory();
+  const auto lambda_of = [](const std::string& name) {
+    return static_cast<unsigned>(std::atoi(name.c_str() + 5));
+  };
+  if (protocol.rfind("FCAT-", 0) == 0 && lambda_of(protocol) >= 2) {
+    core::FcatOptions o;
+    o.lambda = lambda_of(protocol);
+    return core::MakeFcatFactory(o);
+  }
+  if (protocol.rfind("SCAT-", 0) == 0 && lambda_of(protocol) >= 2) {
+    core::ScatOptions o;
+    o.lambda = lambda_of(protocol);
+    return core::MakeScatFactory(o);
+  }
+  *error = "cannot reconstruct a factory for protocol '" + protocol +
+           "' (supported: FCAT-<lambda>, SCAT-<lambda>, DFSA at default "
+           "options)";
+  return {};
+}
+
+int Summarize(const CliArgs& args) {
+  DieOnUnknownFlags(args, "trace_inspect summarize", std::vector<FlagSpec>{});
+  if (args.positional().size() != 2) return Usage();
+  const trace::TraceFile file = Load(args.positional()[1]);
+  std::printf("%s: %zu run%s\n", args.positional()[1].c_str(),
+              file.runs.size(), file.runs.size() == 1 ? "" : "s");
+  for (const trace::RunTrace& run : file.runs) {
+    std::uint64_t counts[9] = {};
+    const trace::TraceEvent* end = nullptr;
+    for (const trace::TraceEvent& e : run.events) {
+      const auto k = static_cast<std::size_t>(e.kind);
+      if (k < 9) ++counts[k];
+      if (e.kind == trace::EventKind::kRunEnd) end = &e;
+    }
+    std::printf(
+        "run %llu: protocol=%s n_tags=%llu base_seed=%llu events=%zu\n",
+        static_cast<unsigned long long>(run.header.run_index),
+        run.header.protocol.c_str(),
+        static_cast<unsigned long long>(run.header.n_tags),
+        static_cast<unsigned long long>(run.header.base_seed),
+        run.events.size());
+    std::printf("  ");
+    bool first = true;
+    for (std::size_t k = 1; k < 9; ++k) {
+      if (counts[k] == 0) continue;
+      std::printf("%s%s=%llu", first ? "" : " ",
+                  trace::KindName(static_cast<trace::EventKind>(k)),
+                  static_cast<unsigned long long>(counts[k]));
+      first = false;
+    }
+    std::printf("\n");
+    if (end != nullptr) {
+      std::printf("  %s\n", trace::Describe(*end).c_str());
+    }
+  }
+  return 0;
+}
+
+int Filter(const CliArgs& args) {
+  DieOnUnknownFlags(
+      args, "trace_inspect filter",
+      std::vector<FlagSpec>{
+          {"run", "only this run index"},
+          {"kind", "only this event kind (slot, frame, record_open, "
+                   "record_resolve, ack, inject, tdma_slot, run_end)"},
+          {"reader", "only this reader id (deployments: 1..R)"},
+          {"limit", "stop after this many events (default 100; 0 = all)"},
+          {"format", "text (default) or jsonl"},
+      });
+  if (args.positional().size() != 2) return Usage();
+  const trace::TraceFile file = Load(args.positional()[1]);
+
+  const std::int64_t want_run = args.GetInt("run", -1);
+  const std::int64_t want_reader = args.GetInt("reader", -1);
+  const std::string want_kind = args.GetString("kind", "");
+  const std::int64_t limit = args.GetInt("limit", 100);
+  const std::string format = args.GetString("format", "text");
+  if (format != "text" && format != "jsonl") {
+    std::fprintf(stderr, "trace_inspect: bad --format=%s\n", format.c_str());
+    return 2;
+  }
+
+  std::int64_t printed = 0;
+  for (const trace::RunTrace& run : file.runs) {
+    if (want_run >= 0 &&
+        run.header.run_index != static_cast<std::uint64_t>(want_run)) {
+      continue;
+    }
+    if (format == "jsonl") {
+      std::printf("%s\n", trace::RunHeaderToJson(run.header).c_str());
+    } else {
+      std::printf("# run %llu (%s, n_tags=%llu)\n",
+                  static_cast<unsigned long long>(run.header.run_index),
+                  run.header.protocol.c_str(),
+                  static_cast<unsigned long long>(run.header.n_tags));
+    }
+    for (const trace::TraceEvent& e : run.events) {
+      if (!want_kind.empty() && want_kind != trace::KindName(e.kind)) continue;
+      if (want_reader >= 0 &&
+          e.reader != static_cast<std::uint32_t>(want_reader)) {
+        continue;
+      }
+      if (format == "jsonl") {
+        std::printf("%s\n", trace::EventToJson(e).c_str());
+      } else {
+        std::printf("%s\n", trace::Describe(e).c_str());
+      }
+      if (limit > 0 && ++printed >= limit) {
+        std::printf("... (--limit=%lld reached)\n",
+                    static_cast<long long>(limit));
+        return 0;
+      }
+    }
+  }
+  return 0;
+}
+
+int Diff(const CliArgs& args) {
+  DieOnUnknownFlags(args, "trace_inspect diff", std::vector<FlagSpec>{});
+  if (args.positional().size() != 3) return Usage();
+  const trace::TraceFile a = Load(args.positional()[1]);
+  const trace::TraceFile b = Load(args.positional()[2]);
+  const trace::TraceDiff diff = trace::DiffTraces(a, b);
+  if (diff.identical) {
+    std::printf("identical: %zu runs\n", a.runs.size());
+    return 0;
+  }
+  std::printf("divergent at run %zu", diff.run_index);
+  if (diff.event_index != static_cast<std::size_t>(-1)) {
+    std::printf(", event %zu", diff.event_index);
+  }
+  std::printf(":\n%s\n", diff.message.c_str());
+  return 1;
+}
+
+int TimeSeries(const CliArgs& args) {
+  DieOnUnknownFlags(args, "trace_inspect timeseries",
+                    std::vector<FlagSpec>{
+                        {"run", "run index to extract (default 0)"},
+                        {"reader", "reader id (default 0)"},
+                        {"csv", "write CSV here instead of stdout"},
+                    });
+  if (args.positional().size() != 2) return Usage();
+  const trace::TraceFile file = Load(args.positional()[1]);
+  const auto want_run = static_cast<std::uint64_t>(args.GetInt("run", 0));
+  const auto reader = static_cast<std::uint32_t>(args.GetInt("reader", 0));
+  for (const trace::RunTrace& run : file.runs) {
+    if (run.header.run_index != want_run) continue;
+    const auto series = trace::ExtractFrameSeries(run, reader);
+    const std::string csv_path = args.GetString("csv", "");
+    if (csv_path.empty()) {
+      std::fputs(trace::FrameSeriesCsv(series).c_str(), stdout);
+      return 0;
+    }
+    const std::string err = trace::WriteFrameSeriesCsv(series, csv_path);
+    if (!err.empty()) {
+      std::fprintf(stderr, "trace_inspect: %s\n", err.c_str());
+      return 2;
+    }
+    std::printf("wrote %zu frames to %s\n", series.size(), csv_path.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "trace_inspect: no run %llu in %s\n",
+               static_cast<unsigned long long>(want_run),
+               args.positional()[1].c_str());
+  return 2;
+}
+
+int Replay(const CliArgs& args) {
+  DieOnUnknownFlags(args, "trace_inspect replay", std::vector<FlagSpec>{});
+  if (args.positional().size() != 2) return Usage();
+  const trace::TraceFile file = Load(args.positional()[1]);
+  for (const trace::RunTrace& run : file.runs) {
+    std::string err;
+    const sim::ProtocolFactory factory = FactoryFor(run.header.protocol, &err);
+    if (!factory) {
+      std::fprintf(stderr, "trace_inspect: %s\n", err.c_str());
+      return 2;
+    }
+    const trace::ReplayReport report = trace::VerifyReplay(run, factory);
+    std::printf("run %llu: %s\n",
+                static_cast<unsigned long long>(run.header.run_index),
+                report.message.c_str());
+    if (!report.ok) return 1;
+  }
+  return 0;
+}
+
+int Record(const CliArgs& args) {
+  DieOnUnknownFlags(args, "trace_inspect record",
+                    std::vector<FlagSpec>{
+                        {"out", "output trace file (truncated)"},
+                        {"protocol", "fcat (default), scat or dfsa"},
+                        {"lambda", "FCAT/SCAT lambda (default 2)"},
+                        {"n", "population size (default 200)"},
+                        {"runs", "runs to record (default 1)"},
+                        {"seed", "base seed (default 1)"},
+                    });
+  const std::string out = args.GetString("out", "");
+  if (out.empty() || args.positional().size() != 1) return Usage();
+  const std::string protocol = args.GetString("protocol", "fcat");
+  const auto lambda = static_cast<unsigned>(args.GetInt("lambda", 2));
+
+  sim::ProtocolFactory factory;
+  if (protocol == "fcat") {
+    core::FcatOptions o;
+    o.lambda = lambda;
+    factory = core::MakeFcatFactory(o);
+  } else if (protocol == "scat") {
+    core::ScatOptions o;
+    o.lambda = lambda;
+    factory = core::MakeScatFactory(o);
+  } else if (protocol == "dfsa") {
+    factory = core::MakeDfsaFactory();
+  } else {
+    std::fprintf(stderr, "trace_inspect: bad --protocol=%s\n",
+                 protocol.c_str());
+    return 2;
+  }
+
+  sim::ExperimentOptions eo;
+  eo.n_tags = static_cast<std::size_t>(args.GetInt("n", 200));
+  eo.runs = static_cast<std::size_t>(args.GetInt("runs", 1));
+  eo.base_seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  trace::MultiRunRecorder recorder(eo.runs);
+  eo.trace_factory = recorder.Factory();
+  sim::RunExperiment(factory, eo);
+
+  const std::string err = trace::WriteTraceFile(out, recorder.File());
+  if (!err.empty()) {
+    std::fprintf(stderr, "trace_inspect: %s\n", err.c_str());
+    return 2;
+  }
+  std::size_t events = 0;
+  for (const auto& run : recorder.runs()) events += run.events.size();
+  std::printf("recorded %zu run%s (%zu events) to %s\n", eo.runs,
+              eo.runs == 1 ? "" : "s", events, out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.positional().empty()) return Usage();
+  const std::string& command = args.positional()[0];
+  if (command == "summarize") return Summarize(args);
+  if (command == "filter") return Filter(args);
+  if (command == "diff") return Diff(args);
+  if (command == "timeseries") return TimeSeries(args);
+  if (command == "replay") return Replay(args);
+  if (command == "record") return Record(args);
+  std::fprintf(stderr, "trace_inspect: unknown command '%s'\n",
+               command.c_str());
+  return Usage();
+}
