@@ -105,10 +105,14 @@ inline void FlushJson() {
   std::fclose(f);
 }
 
+// `fault_metrics` appends the fault-layer aggregates (evictions,
+// abandonments, crashes). Opt-in so pre-existing benches keep their JSON
+// output byte-identical with faults off.
 inline void RecordJsonPoint(const std::string& label, std::size_t n_tags,
                             const sim::ExperimentOptions& eo,
                             const sim::AggregateResult& result,
-                            double wall_seconds) {
+                            double wall_seconds,
+                            bool fault_metrics = false) {
   JsonState& j = Json();
   if (j.path.empty()) return;
   std::string point =
@@ -138,6 +142,11 @@ inline void RecordJsonPoint(const std::string& label, std::size_t n_tags,
     if (!first) point += ',';
     first = false;
     point += std::string("\"") + name + "\":" + JsonStats(*stats);
+  }
+  if (fault_metrics) {
+    point += ",\"records_evicted\":" + JsonStats(result.records_evicted);
+    point += ",\"records_abandoned\":" + JsonStats(result.records_abandoned);
+    point += ",\"reader_crashes\":" + JsonStats(result.reader_crashes);
   }
   point += "}}";
   j.points.push_back(std::move(point));
@@ -178,7 +187,8 @@ inline void RequireKnownFlags(const CliArgs& args, const std::string& program,
 inline sim::AggregateResult Run(const sim::ProtocolFactory& factory,
                                 std::size_t n_tags,
                                 const HarnessOptions& opts,
-                                const std::string& json_label = "") {
+                                const std::string& json_label = "",
+                                bool fault_metrics = false) {
   sim::ExperimentOptions eo;
   eo.n_tags = n_tags;
   eo.runs = opts.runs;
@@ -203,7 +213,8 @@ inline sim::AggregateResult Run(const sim::ProtocolFactory& factory,
       std::fprintf(stderr, "warning: --trace: %s\n", err.c_str());
     }
   }
-  detail::RecordJsonPoint(json_label, n_tags, eo, result, wall);
+  detail::RecordJsonPoint(json_label, n_tags, eo, result, wall,
+                          fault_metrics);
   return result;
 }
 

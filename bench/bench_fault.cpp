@@ -1,0 +1,148 @@
+// Degradation envelope: FCAT-2 under the fault-injection subsystem
+// (src/fault). Sweeps bounded record-store capacity x burst-error
+// channels x a mid-run reader crash and reports throughput, completeness
+// and the fault-lifecycle counters — how gracefully the protocol sheds
+// performance as the store shrinks and the channel worsens.
+//
+// Faults cost throughput, never correctness: every cell must read 100% of
+// the tags (evicted/abandoned records only send their constituents back
+// to re-contention; a crash only drops volatile reader state).
+//
+//   --n=N          population per run (default 500)
+//   --capacity=C   record-store cap; 0 = unbounded, -1 = sweep {0, 32, 8}
+//   --burst=MODE   off | heavy | sweep (default sweep)
+//   --crash=K      0 = never, 1 = one mid-run crash, -1 = sweep {0, 1}
+//   --policy=P     eviction policy: oldest | lru | largest | random
+#include "bench_common.h"
+
+#include <cstring>
+
+#include "common/table.h"
+#include "fault/injector.h"
+
+namespace {
+
+anc::fault::GilbertElliottParams HeavyBurst(double error_bad) {
+  anc::fault::GilbertElliottParams ge;
+  ge.p_good_to_bad = 0.05;
+  ge.p_bad_to_good = 0.25;
+  ge.error_good = 0.0;
+  ge.error_bad = error_bad;
+  return ge;
+}
+
+anc::fault::EvictionPolicy ParsePolicy(const std::string& name) {
+  using anc::fault::EvictionPolicy;
+  if (name == "oldest") return EvictionPolicy::kOldestFirst;
+  if (name == "lru") return EvictionPolicy::kLruProgress;
+  if (name == "largest") return EvictionPolicy::kLargestK;
+  if (name == "random") return EvictionPolicy::kRandom;
+  std::fprintf(stderr,
+               "unknown --policy=%s (oldest | lru | largest | random)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace anc;
+  const CliArgs args(argc, argv);
+  bench::RequireKnownFlags(
+      args, argv[0],
+      {{"n", "population per run (default 500)"},
+       {"capacity", "record-store cap; 0 = unbounded, -1 = sweep {0,32,8}"},
+       {"burst", "burst-error channels: off | heavy | sweep"},
+       {"crash", "mid-run reader crash: 0 | 1 | -1 = sweep"},
+       {"policy", "eviction policy: oldest | lru | largest | random"}});
+  const auto opts = bench::ParseHarness(args, 10);
+  bench::PrintHeader("Degradation envelope: FCAT-2 under faults",
+                     "fault subsystem, no paper analogue", opts);
+
+  const auto n_tags = static_cast<std::size_t>(args.GetInt("n", 500));
+  const auto capacity_flag = args.GetInt("capacity", -1);
+  const std::string burst_flag = args.GetString("burst", "sweep");
+  const auto crash_flag = args.GetInt("crash", -1);
+  const fault::EvictionPolicy policy =
+      ParsePolicy(args.GetString("policy", "oldest"));
+
+  std::vector<std::size_t> capacities;
+  if (capacity_flag < 0) {
+    capacities = {0, 32, 8};
+  } else {
+    capacities = {static_cast<std::size_t>(capacity_flag)};
+  }
+  std::vector<bool> bursts;
+  if (burst_flag == "sweep") {
+    bursts = {false, true};
+  } else if (burst_flag == "heavy") {
+    bursts = {true};
+  } else if (burst_flag == "off") {
+    bursts = {false};
+  } else {
+    std::fprintf(stderr, "unknown --burst=%s (off | heavy | sweep)\n",
+                 burst_flag.c_str());
+    return 2;
+  }
+  std::vector<bool> crashes;
+  if (crash_flag < 0) {
+    crashes = {false, true};
+  } else {
+    crashes = {crash_flag != 0};
+  }
+
+  const phy::TimingModel timing = phy::TimingModel::ICode();
+  TextTable table({"capacity", "burst", "crash", "tags/sec", "read %",
+                   "evicted", "abandoned", "open@end"});
+
+  for (std::size_t capacity : capacities) {
+    for (bool burst : bursts) {
+      for (bool crash : crashes) {
+        fault::FaultConfig f;
+        f.store.capacity = capacity;
+        f.store.eviction = policy;
+        if (capacity > 0) {
+          f.store.max_resolve_failures = 6;
+          f.store.max_open_frames = 64;
+        }
+        if (burst) {
+          f.advert_corruption = HeavyBurst(0.35);
+          f.ack_loss = HeavyBurst(0.5);
+          f.record_bitrot = HeavyBurst(0.1);
+          f.record_bitrot.p_good_to_bad = 0.02;
+          f.record_bitrot.p_bad_to_good = 0.5;
+        }
+        if (crash) {
+          // Roughly mid-inventory for the default population/frame size.
+          f.crash.crash_at_slot = n_tags / 2;
+          f.crash.restart_delay_slots = 8;
+        }
+        std::string label = "cap" + std::to_string(capacity);
+        label += burst ? "+burst" : "";
+        label += crash ? "+crash" : "";
+        f.label = f.Any() ? label : "";
+
+        core::FcatOptions o = bench::FcatFor(2, timing);
+        o.fault = f;
+        const auto result = bench::Run(core::MakeFcatFactory(o), n_tags,
+                                       opts, label, /*fault_metrics=*/true);
+        const double read_pct =
+            100.0 * result.tags_read.mean() / static_cast<double>(n_tags);
+        table.AddRow({capacity == 0 ? "unbounded" : std::to_string(capacity),
+                      burst ? "heavy" : "off", crash ? "1" : "0",
+                      bench::ThroughputCell(result),
+                      TextTable::Num(read_pct, 2),
+                      TextTable::Num(result.records_evicted.mean(), 1),
+                      TextTable::Num(result.records_abandoned.mean(), 1),
+                      TextTable::Num(result.unresolved_records.mean(), 1)});
+      }
+    }
+  }
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Every cell must report read %% == 100: faults shed throughput, "
+      "never tags (profiles: %s).\n",
+      fault::FaultProfileList().c_str());
+  return 0;
+}

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "fault/fault_config.h"
 #include "phy/timing.h"
 
 namespace anc::core {
@@ -65,6 +66,12 @@ struct CollisionAwareConfig {
   // tag that misses its ack keeps transmitting until positively
   // confirmed; the reader discards the duplicate receptions and re-acks.
   double ack_loss_prob = 0.0;
+
+  // Fault-injection model (src/fault): bounded record store + eviction,
+  // resolve retry/TTL budgets, Gilbert-Elliott burst channels, scheduled
+  // crash. Default-constructed = everything off; the engine then builds
+  // no fault state and draws no extra randomness (zero-cost-off).
+  fault::FaultConfig fault{};
 
   phy::TimingModel timing{};
 };

@@ -37,6 +37,87 @@ CollisionAwareEngine::CollisionAwareEngine(std::string name,
     pos_in_active_[i] = i;
     digest_to_index_.emplace(population[i].Digest(), i);
   }
+  if (config_.fault.Any()) {
+    fault_ = std::make_unique<fault::FaultInjector>(config_.fault,
+                                                    rng_.Split());
+    tracker_.AttachFaultLedger(&fault_->ledger());
+  }
+}
+
+void CollisionAwareEngine::EmitFault(trace::FaultKind kind,
+                                     phy::RecordHandle record,
+                                     std::uint64_t aux) {
+  if (!trace_) return;
+  trace::TraceEvent e;
+  e.kind = trace::EventKind::kFault;
+  e.slot = slot_index_;
+  e.frame = metrics_.frames;
+  e.fault = kind;
+  e.record = record;
+  e.n_c = aux;
+  trace_.Emit(e);
+}
+
+void CollisionAwareEngine::HandleEviction(phy::RecordHandle victim) {
+  if (victim == phy::kInvalidRecord) return;
+  tracker_.Abandon(victim, phy_,
+                   fault::RecordLedger::CloseReason::kEvicted);
+  ++metrics_.records_evicted;
+  EmitFault(trace::FaultKind::kEviction, victim, 0);
+}
+
+void CollisionAwareEngine::DrainRetryAbandoned() {
+  if (!fault_) return;
+  for (phy::RecordHandle handle : tracker_.TakeRetryAbandoned()) {
+    ++metrics_.records_abandoned;
+    EmitFault(trace::FaultKind::kAbandonRetry, handle, 0);
+  }
+}
+
+void CollisionAwareEngine::Finish() {
+  finished_ = true;
+  // unresolved_records is sampled before the terminal sweep so the metric
+  // (and the RunEnd trace payload) still reports what the protocol left
+  // unresolved; the sweep then returns those signals to the phy store.
+  metrics_.unresolved_records = phy_.OpenRecords();
+  tracker_.ReleaseAll(phy_,
+                      fault::RecordLedger::CloseReason::kReleasedAtEnd);
+}
+
+void CollisionAwareEngine::Shutdown() {
+  if (!finished_) Finish();
+}
+
+void CollisionAwareEngine::PowerCycle() {
+  const std::size_t dropped = tracker_.ReleaseAll(
+      phy_, fault::RecordLedger::CloseReason::kCrashDropped);
+  ++metrics_.reader_crashes;
+  cascade_queue_.clear();
+  // Volatile reader state is gone: the estimator reboots from its cold
+  // bootstrap and the frame machinery restarts at a frame boundary. Tags
+  // (and read_ / active_, i.e. which tags already fell silent) are
+  // external to the reader and survive.
+  estimator_ = EmbeddedEstimator(
+      config_.frame_size, omega_,
+      config_.initial_estimate > 0.0
+          ? config_.initial_estimate
+          : static_cast<double>(config_.frame_size),
+      config_.estimator_window);
+  slot_in_frame_ = 0;
+  frame_nc_ = 0;
+  frame_had_probe_ = false;
+  frame_p_effective_ = 0.0;
+  frame_backlog_used_ = 1.0;
+  probe_pending_ = false;
+  consecutive_empties_ = 0;
+  consecutive_collisions_ = 0;
+  collision_boost_ = 1.0;
+  // The outage itself costs air time: the restart delay passes with no
+  // slots scheduled.
+  metrics_.elapsed_seconds +=
+      static_cast<double>(fault_->config().crash.restart_delay_slots) *
+      config_.timing.SlotSeconds();
+  EmitFault(trace::FaultKind::kCrash, phy::kInvalidRecord, dropped);
 }
 
 double CollisionAwareEngine::EstimatedTotal() const {
@@ -80,7 +161,11 @@ void CollisionAwareEngine::LearnId(const TagId& id, bool from_collision) {
       e.id_digest = id.Digest();
       trace_.Emit(e);
     }
-    if (rng_.UniformDouble() >= config_.ack_loss_prob) Deactivate(tag);
+    if (fault_ && fault_->AckChannelEnabled()) {
+      if (!fault_->AckLost()) Deactivate(tag);
+    } else if (rng_.UniformDouble() >= config_.ack_loss_prob) {
+      Deactivate(tag);
+    }
     return;
   }
   read_[tag] = true;
@@ -105,13 +190,18 @@ void CollisionAwareEngine::LearnId(const TagId& id, bool from_collision) {
   }
   // The acknowledgement (positive ack for a singleton, slot-index
   // broadcast for a resolved record) reaches the tag unless the channel
-  // corrupts it; until it does, the tag keeps contending.
-  if (rng_.UniformDouble() >= config_.ack_loss_prob) Deactivate(tag);
+  // corrupts it; until it does, the tag keeps contending. The GE burst
+  // channel, when configured, supersedes the flat ack_loss_prob draw.
+  if (fault_ && fault_->AckChannelEnabled()) {
+    if (!fault_->AckLost()) Deactivate(tag);
+  } else if (rng_.UniformDouble() >= config_.ack_loss_prob) {
+    Deactivate(tag);
+  }
   cascade_queue_.emplace_back(tag, from_collision);
 }
 
 void CollisionAwareEngine::RegisterRecord(phy::RecordHandle handle) {
-  tracker_.Register(handle, participants_);
+  const phy::RecordHandle victim = tracker_.Register(handle, participants_);
   if (trace_) {
     trace::TraceEvent e;
     e.kind = trace::EventKind::kRecordOpen;
@@ -120,7 +210,15 @@ void CollisionAwareEngine::RegisterRecord(phy::RecordHandle handle) {
     e.record = handle;
     trace_.Emit(e);
   }
-  if (config_.ack_loss_prob <= 0.0) return;
+  // Bounded store over capacity: the ledger picked a victim (possibly the
+  // record just opened); its signal is released and its constituents fall
+  // back to re-contention — they are still active, so nothing is lost
+  // beyond the stored mixture.
+  HandleEviction(victim);
+  if (config_.ack_loss_prob <= 0.0 &&
+      !(fault_ && fault_->AckChannelEnabled())) {
+    return;
+  }
   // Already-identified tags can appear in fresh records while they wait
   // for a re-acknowledgement; the reader spots them by replaying the hash
   // rule over its known IDs and feeds their signals in immediately.
@@ -190,6 +288,9 @@ void CollisionAwareEngine::DrainCascade() {
       LearnId(res.id, true);
     }
   }
+  // Records whose retry budget ran out during the cascade were already
+  // closed by the tracker; surface them in the metrics and the trace.
+  DrainRetryAbandoned();
 }
 
 std::span<const TagId> CollisionAwareEngine::InjectKnownId(const TagId& id) {
@@ -211,16 +312,14 @@ std::span<const TagId> CollisionAwareEngine::InjectKnownId(const TagId& id) {
   const std::size_t before = learned_this_step_.size();
   cascade_queue_.emplace_back(tag, true);
   DrainCascade();
-  if (finished_) {
-    // A post-termination broadcast can still close leftover records.
-    metrics_.unresolved_records = phy_.OpenRecords();
-  }
   return std::span<const TagId>(learned_this_step_).subspan(before);
 }
 
 void CollisionAwareEngine::Step() {
   if (finished_) return;
   learned_this_step_.clear();
+
+  if (fault_ && fault_->ShouldCrash(slot_index_)) PowerCycle();
 
   if (slot_in_frame_ == 0) {
     // Frame (or, for SCAT, slot) advertisement: index + probability.
@@ -237,12 +336,43 @@ void CollisionAwareEngine::Step() {
                   1.0)
             : estimator_.EstimatedBacklog(AccountedTags());
     backlog = std::max(backlog, collision_boost_);
-    frame_backlog_used_ = backlog;
-    frame_p_effective_ =
-        QuantizedProbability(std::min(1.0, omega_ / backlog), config_.l_bits)
-            .effective();
+    if (fault_ && fault_->AdvertChannelEnabled() &&
+        fault_->AdvertCorrupted()) {
+      // The burst channel garbled the frame advertisement: tags keep the
+      // last probability they decoded (frame_p_effective_ is left stale;
+      // its initial 0.0 makes pre-first-advert frames silent). The
+      // estimator below is fed the stale p — consistent with what the
+      // tags actually did. Probes are exempt: the p = 1 probe is a short
+      // robust command (Section IV-A), so termination stays sound.
+      EmitFault(trace::FaultKind::kAdvertCorrupt, phy::kInvalidRecord, 0);
+    } else {
+      frame_backlog_used_ = backlog;
+      frame_p_effective_ =
+          QuantizedProbability(std::min(1.0, omega_ / backlog),
+                               config_.l_bits)
+              .effective();
+    }
+    if (fault_ && fault_->ledger().TtlEnabled()) {
+      expired_.clear();
+      fault_->ledger().ExpireTtl(&expired_);
+      for (phy::RecordHandle handle : expired_) {
+        tracker_.Abandon(handle, phy_,
+                         fault::RecordLedger::CloseReason::kAbandonedTtl);
+        ++metrics_.records_abandoned;
+        EmitFault(trace::FaultKind::kAbandonTtl, handle, 0);
+      }
+    }
   } else if (config_.per_slot_advert) {
     metrics_.elapsed_seconds += config_.timing.AdvertSeconds();
+  }
+  if (fault_) {
+    fault_->ledger().Tick(slot_index_, metrics_.frames);
+    if (fault_->BitrotChannelEnabled()) {
+      const phy::RecordHandle rotted = fault_->SampleBitrot();
+      if (rotted != phy::kInvalidRecord) {
+        EmitFault(trace::FaultKind::kBitRot, rotted, 0);
+      }
+    }
   }
 
   const bool probe = probe_pending_;
@@ -364,8 +494,7 @@ void CollisionAwareEngine::Step() {
   // an empty probe proves every tag has been acknowledged.
   if (probe) {
     if (obs.type == phy::SlotType::kEmpty) {
-      finished_ = true;
-      metrics_.unresolved_records = phy_.OpenRecords();
+      Finish();
       return;
     }
     if (reader_sees_collision) {
@@ -378,8 +507,7 @@ void CollisionAwareEngine::Step() {
   }
   if (config_.oracle_termination &&
       AccountedTags() == population_.size()) {
-    finished_ = true;
-    metrics_.unresolved_records = phy_.OpenRecords();
+    Finish();
   }
 }
 

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -38,6 +39,7 @@
 #include "core/config.h"
 #include "core/estimator.h"
 #include "core/record_tracker.h"
+#include "fault/injector.h"
 #include "phy/phy.h"
 #include "sim/protocol.h"
 
@@ -74,11 +76,20 @@ class CollisionAwareEngine : public sim::Protocol {
     trace_ = context;
   }
 
+  // Fault hooks (sim::Protocol): records still held in the phy store, and
+  // the permanent power-off used when a deployment reader dies.
+  std::size_t OpenPhyRecords() const override { return phy_.OpenRecords(); }
+  void Shutdown() override;
+
   // Introspection for tests and the estimator benches.
   double EstimatedTotal() const;
   std::uint64_t ActiveTags() const { return active_.size(); }
   const EmbeddedEstimator& estimator() const { return estimator_; }
   double omega() const { return omega_; }
+  // Fault-layer counters; null when no fault channel is configured.
+  const fault::FaultCounters* fault_counters() const {
+    return fault_ ? &fault_->counters() : nullptr;
+  }
 
  private:
   void SelectTransmitters(const QuantizedProbability& prob);
@@ -87,6 +98,19 @@ class CollisionAwareEngine : public sim::Protocol {
   void Deactivate(std::uint32_t tag);
   void RegisterRecord(phy::RecordHandle handle);
   void DrainCascade();
+  // Terminal sweep: marks the run finished, captures unresolved_records,
+  // then releases every still-open record back to the phy (the leak fix —
+  // a completed run must leave OpenRecords() == 0).
+  void Finish();
+  // Crash/recovery: drops the volatile record store and estimator state,
+  // then restarts the inventory from a fresh bootstrap (FCAT re-estimates
+  // from frame_size, exactly like a cold start over the residual backlog).
+  void PowerCycle();
+  void EmitFault(trace::FaultKind kind, phy::RecordHandle record,
+                 std::uint64_t aux);
+  // Drains eviction/TTL/retry fallout produced by the tracker this slot.
+  void HandleEviction(phy::RecordHandle victim);
+  void DrainRetryAbandoned();
   // Tags the reader no longer expects on the air: read over the air plus
   // learned from a neighbour's broadcast. This — not tags_read alone — is
   // what backlog estimation must subtract from the population estimate.
@@ -108,6 +132,11 @@ class CollisionAwareEngine : public sim::Protocol {
 
   RecordTracker tracker_;
   EmbeddedEstimator estimator_;
+  // Constructed (and the extra rng split taken) only when config_.fault
+  // requests at least one channel — the zero-cost-off guarantee that keeps
+  // unfaulted runs bit-identical to pre-fault builds.
+  std::unique_ptr<fault::FaultInjector> fault_;
+  std::vector<phy::RecordHandle> expired_;  // TTL scratch, reused per frame
   // Pending newly-known tags, with whether each was itself recovered from
   // a collision record (those mark their downstream resolutions as
   // cascade ops in the trace).

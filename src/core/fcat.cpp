@@ -20,6 +20,7 @@ CollisionAwareConfig EngineConfig(const FcatOptions& o) {
   c.empty_probe_threshold = o.empty_probe_threshold;
   c.oracle_termination = o.oracle_termination;
   c.ack_loss_prob = o.ack_loss_prob;
+  c.fault = o.fault;
   c.timing = o.timing;
   return c;
 }
@@ -37,6 +38,7 @@ CollisionAwareConfig EngineConfig(const ScatOptions& o) {
   c.empty_probe_threshold = o.empty_probe_threshold;
   c.oracle_termination = o.oracle_termination;
   c.ack_loss_prob = o.ack_loss_prob;
+  c.fault = o.fault;
   c.timing = o.timing;
   return c;
 }
@@ -53,12 +55,19 @@ CollisionAwareConfig EngineConfig(const FcatSignalOptions& o) {
   c.hash_mode = false;
   c.empty_probe_threshold = o.empty_probe_threshold;
   c.oracle_termination = o.oracle_termination;
+  c.fault = o.fault;
   c.timing = o.timing;
   return c;
 }
 
 std::string FcatName(unsigned lambda) {
   return "FCAT-" + std::to_string(lambda);
+}
+
+// "@label" marks a faulted run in the protocol name; trace_inspect's
+// replay factory parses the suffix back into the matching fault profile.
+std::string FaultSuffix(const fault::FaultConfig& f) {
+  return f.label.empty() ? std::string() : "@" + f.label;
 }
 
 }  // namespace
@@ -70,8 +79,8 @@ Fcat::Fcat(std::span<const TagId> population, anc::Pcg32 rng,
                                options.resolution_success_prob,
                                options.singleton_corrupt_prob},
            rng.Split()),
-      engine_(FcatName(options.lambda), population, phy_,
-              EngineConfig(options), rng) {}
+      engine_(FcatName(options.lambda) + FaultSuffix(options.fault),
+              population, phy_, EngineConfig(options), rng) {}
 
 CollisionAwareConfig Scat::BuildConfig(std::span<const TagId> population,
                                        anc::Pcg32& rng,
@@ -106,7 +115,9 @@ Scat::Scat(std::span<const TagId> population, anc::Pcg32 rng,
                                options.resolution_success_prob,
                                options.singleton_corrupt_prob},
            rng.Split()),
-      engine_("SCAT-" + std::to_string(options.lambda), population, phy_,
+      engine_("SCAT-" + std::to_string(options.lambda) +
+                  FaultSuffix(options.fault),
+              population, phy_,
               BuildConfig(population, rng, options, &prestep_metrics_,
                           &assumed_total_),
               rng) {}
@@ -129,7 +140,8 @@ FcatOnSignal::FcatOnSignal(std::span<const TagId> population, anc::Pcg32 rng,
              return cfg;
            }(),
            rng.Split()),
-      engine_(FcatName(options.lambda) + "-signal", population, phy_,
-              EngineConfig(options), rng) {}
+      engine_(FcatName(options.lambda) + "-signal" +
+                  FaultSuffix(options.fault),
+              population, phy_, EngineConfig(options), rng) {}
 
 }  // namespace anc::core

@@ -41,6 +41,10 @@ struct FcatOptions {
   double resolution_success_prob = 1.0;
   double singleton_corrupt_prob = 0.0;
   double ack_loss_prob = 0.0;
+  // Fault injection (src/fault). Default-constructed = everything off; a
+  // labelled config suffixes the protocol name ("FCAT-2@chaos") so trace
+  // replay can rebuild the fault schedule from the run header.
+  fault::FaultConfig fault{};
   phy::TimingModel timing{};
 };
 
@@ -64,6 +68,10 @@ class Fcat final : public sim::Protocol {
   void AttachTrace(const trace::TraceContext& context) override {
     engine_.AttachTrace(context);
   }
+  std::size_t OpenPhyRecords() const override {
+    return engine_.OpenPhyRecords();
+  }
+  void Shutdown() override { engine_.Shutdown(); }
   const CollisionAwareEngine& engine() const { return engine_; }
 
  private:
@@ -81,6 +89,7 @@ struct ScatOptions {
   double resolution_success_prob = 1.0;
   double singleton_corrupt_prob = 0.0;
   double ack_loss_prob = 0.0;
+  fault::FaultConfig fault{};
   // Run the Section IV-C estimation pre-step explicitly (Kodialam-style
   // zero estimator) instead of assuming a free, perfect estimate of N.
   // Its air time and slot counts are merged into the protocol metrics.
@@ -107,6 +116,10 @@ class Scat final : public sim::Protocol {
   void AttachTrace(const trace::TraceContext& context) override {
     engine_.AttachTrace(context);
   }
+  std::size_t OpenPhyRecords() const override {
+    return engine_.OpenPhyRecords();
+  }
+  void Shutdown() override { engine_.Shutdown(); }
   const CollisionAwareEngine& engine() const { return engine_; }
   // The pre-step's estimate of N (population size when disabled).
   double assumed_total() const { return assumed_total_; }
@@ -132,6 +145,7 @@ struct FcatSignalOptions {
   int l_bits = 24;
   bool oracle_termination = false;
   int empty_probe_threshold = 8;
+  fault::FaultConfig fault{};
   phy::SignalPhyConfig signal{};
   phy::TimingModel timing{};
 };
@@ -156,6 +170,10 @@ class FcatOnSignal final : public sim::Protocol {
   void AttachTrace(const trace::TraceContext& context) override {
     engine_.AttachTrace(context);
   }
+  std::size_t OpenPhyRecords() const override {
+    return engine_.OpenPhyRecords();
+  }
+  void Shutdown() override { engine_.Shutdown(); }
   const phy::SignalPhy& signal_phy() const { return phy_; }
 
  private:

@@ -1,5 +1,7 @@
 #include "core/record_tracker.h"
 
+#include <utility>
+
 namespace anc::core {
 
 RecordTracker::RecordTracker(std::size_t n_tags) : tag_records_(n_tags) {}
@@ -10,8 +12,8 @@ void RecordTracker::EnsureSlot(phy::RecordHandle handle) {
   }
 }
 
-void RecordTracker::Register(phy::RecordHandle handle,
-                             std::span<const std::uint32_t> participants) {
+phy::RecordHandle RecordTracker::Register(
+    phy::RecordHandle handle, std::span<const std::uint32_t> participants) {
   EnsureSlot(handle);
   RecordState& state = records_[handle];
   state.open = true;
@@ -19,6 +21,28 @@ void RecordTracker::Register(phy::RecordHandle handle,
   for (std::uint32_t tag : participants) {
     tag_records_[tag].push_back(handle);
   }
+  if (ledger_ == nullptr) return phy::kInvalidRecord;
+  return ledger_->Open(handle, participants.size());
+}
+
+std::optional<TagId> RecordTracker::TryResolveWithFaults(
+    phy::RecordHandle handle, RecordState& state, phy::PhyInterface& phy) {
+  if (ledger_ == nullptr) return phy.TryResolve(handle, state.knowns);
+  // A bit-rotted record fails its CRC check at resolve time regardless of
+  // how many constituents are known.
+  std::optional<TagId> id;
+  if (!ledger_->IsCorrupt(handle)) id = phy.TryResolve(handle, state.knowns);
+  if (id) return id;
+  if (ledger_->OnResolveFailed(handle)) {
+    // Retry budget spent: drop the record here and now. The engine picks
+    // the handle up through TakeRetryAbandoned() for tracing/metrics.
+    state.open = false;
+    --open_records_;
+    phy.ReleaseRecord(handle);
+    ledger_->Close(handle, fault::RecordLedger::CloseReason::kAbandonedRetry);
+    retry_abandoned_.push_back(handle);
+  }
+  return std::nullopt;
 }
 
 std::optional<RecordTracker::Resolution> RecordTracker::AddKnownParticipant(
@@ -27,10 +51,14 @@ std::optional<RecordTracker::Resolution> RecordTracker::AddKnownParticipant(
   RecordState& state = records_[handle];
   if (!state.open) return std::nullopt;
   state.knowns.push_back(tag);
-  if (auto id = phy.TryResolve(handle, state.knowns)) {
+  if (ledger_ != nullptr) ledger_->OnProgress(handle);
+  if (auto id = TryResolveWithFaults(handle, state, phy)) {
     state.open = false;
     --open_records_;
     phy.ReleaseRecord(handle);
+    if (ledger_ != nullptr) {
+      ledger_->Close(handle, fault::RecordLedger::CloseReason::kResolved);
+    }
     return Resolution{*id, handle};
   }
   return std::nullopt;
@@ -43,14 +71,44 @@ std::vector<RecordTracker::Resolution> RecordTracker::OnIdKnown(
     RecordState& state = records_[handle];
     if (!state.open) continue;
     state.knowns.push_back(tag);
-    if (auto id = phy.TryResolve(handle, state.knowns)) {
+    if (ledger_ != nullptr) ledger_->OnProgress(handle);
+    if (auto id = TryResolveWithFaults(handle, state, phy)) {
       state.open = false;
       --open_records_;
       phy.ReleaseRecord(handle);
+      if (ledger_ != nullptr) {
+        ledger_->Close(handle, fault::RecordLedger::CloseReason::kResolved);
+      }
       resolved.push_back({*id, handle});
     }
   }
   return resolved;
+}
+
+void RecordTracker::Abandon(phy::RecordHandle handle, phy::PhyInterface& phy,
+                            fault::RecordLedger::CloseReason reason) {
+  if (handle >= records_.size()) return;
+  RecordState& state = records_[handle];
+  if (!state.open) return;
+  state.open = false;
+  --open_records_;
+  phy.ReleaseRecord(handle);
+  if (ledger_ != nullptr) ledger_->Close(handle, reason);
+}
+
+std::size_t RecordTracker::ReleaseAll(
+    phy::PhyInterface& phy, fault::RecordLedger::CloseReason reason) {
+  std::size_t released = 0;
+  for (phy::RecordHandle handle = 0; handle < records_.size(); ++handle) {
+    if (!records_[handle].open) continue;
+    Abandon(handle, phy, reason);
+    ++released;
+  }
+  return released;
+}
+
+std::vector<phy::RecordHandle> RecordTracker::TakeRetryAbandoned() {
+  return std::exchange(retry_abandoned_, {});
 }
 
 }  // namespace anc::core

@@ -12,6 +12,13 @@
 // identical information; the log is just O(1) per lookup). The tag's
 // signal is added to each record's known set and a resolution is
 // attempted; successes are returned so the engine can cascade.
+//
+// Fault coupling (src/fault): when a RecordLedger is attached, the
+// tracker reports every open/progress/close to it, refuses to resolve
+// bit-rotted records (their CRC fails), and abandons a record on the spot
+// when the ledger says its resolve-failure budget is spent — callers
+// collect those through TakeRetryAbandoned() so the engine can trace and
+// count them.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +27,7 @@
 #include <vector>
 
 #include "common/tag_id.h"
+#include "fault/record_ledger.h"
 #include "phy/phy.h"
 
 namespace anc::core {
@@ -28,9 +36,17 @@ class RecordTracker {
  public:
   explicit RecordTracker(std::size_t n_tags);
 
+  // Attaches fault bookkeeping; `ledger` must outlive the tracker (it
+  // lives in the engine's FaultInjector). Null (the default) keeps the
+  // paper's unbounded, incorruptible store.
+  void AttachFaultLedger(fault::RecordLedger* ledger) { ledger_ = ledger; }
+
   // A new collision record was observed with the given transmitters.
-  void Register(phy::RecordHandle handle,
-                std::span<const std::uint32_t> participants);
+  // Returns the record the bounded store must evict to make room
+  // (phy::kInvalidRecord when the store is unbounded or within capacity);
+  // the caller abandons the victim via Abandon().
+  phy::RecordHandle Register(phy::RecordHandle handle,
+                             std::span<const std::uint32_t> participants);
 
   struct Resolution {
     TagId id;
@@ -51,6 +67,23 @@ class RecordTracker {
                                                 std::uint32_t tag,
                                                 phy::PhyInterface& phy);
 
+  // Closes a still-open record without resolving it and releases its
+  // stored signal (eviction, TTL expiry, or any other fault path). No-op
+  // on already-closed records.
+  void Abandon(phy::RecordHandle handle, phy::PhyInterface& phy,
+               fault::RecordLedger::CloseReason reason);
+
+  // Closes and releases every still-open record; returns how many. Used
+  // by the engine's termination sweep (the open-record leak fix) and by
+  // the crash path (volatile store lost at power-off).
+  std::size_t ReleaseAll(phy::PhyInterface& phy,
+                         fault::RecordLedger::CloseReason reason);
+
+  // Records abandoned inside OnIdKnown/AddKnownParticipant because their
+  // resolve-failure budget ran out, since the last call. The engine
+  // drains this each step to emit trace events and metrics.
+  std::vector<phy::RecordHandle> TakeRetryAbandoned();
+
   std::size_t open_records() const { return open_records_; }
 
  private:
@@ -60,10 +93,17 @@ class RecordTracker {
   };
 
   void EnsureSlot(phy::RecordHandle handle);
+  // Shared resolve attempt: consults the ledger's corruption mark, counts
+  // failures, abandons over-budget records.
+  std::optional<TagId> TryResolveWithFaults(phy::RecordHandle handle,
+                                            RecordState& state,
+                                            phy::PhyInterface& phy);
 
   std::vector<RecordState> records_;
   std::vector<std::vector<phy::RecordHandle>> tag_records_;
   std::size_t open_records_ = 0;
+  fault::RecordLedger* ledger_ = nullptr;
+  std::vector<phy::RecordHandle> retry_abandoned_;
 };
 
 }  // namespace anc::core

@@ -23,6 +23,7 @@ struct DeploymentProtocol::ReaderState {
   std::uint64_t slot_cap = 0;
   std::uint64_t active_slots = 0;
   bool capped = false;
+  bool dead = false;
   bool final_merged = false;
 };
 
@@ -49,6 +50,7 @@ DeploymentProtocol::DeploymentProtocol(std::span<const TagId> tags,
     readers_.push_back(std::move(state));
   }
   scheduler_ = MakeScheduler(config.policy, graph_, rng.Split());
+  if (config.reader_death.enabled) resched_rng_ = rng.Split();
 
   identified_.assign(tags.size(), false);
   digest_to_index_.reserve(tags.size());
@@ -66,7 +68,42 @@ DeploymentProtocol::DeploymentProtocol(std::span<const TagId> tags,
 DeploymentProtocol::~DeploymentProtocol() = default;
 
 bool DeploymentProtocol::ReaderDone(const ReaderState& reader) const {
-  return reader.capped || reader.protocol->Finished();
+  return reader.dead || reader.capped || reader.protocol->Finished();
+}
+
+void DeploymentProtocol::KillReader(std::size_t victim) {
+  ReaderState& reader = *readers_[victim];
+  reader.dead = true;
+  reader.protocol->Shutdown();
+  if (trace_) {
+    trace::TraceEvent e;
+    e.kind = trace::EventKind::kFault;
+    e.slot = global_slots_;
+    e.fault = trace::FaultKind::kReaderDead;
+    e.record = static_cast<std::uint32_t>(victim);
+    trace_.Emit(e);
+  }
+  // The dead reader stops transmitting, so its interference edges vanish;
+  // rebuild the TDMA plan over the residual graph so its slot share is
+  // redistributed across the survivors instead of cycling empty.
+  InterferenceGraph residual = graph_;
+  for (std::uint32_t nb : residual.adjacency[victim]) {
+    auto& back = residual.adjacency[nb];
+    back.erase(std::remove(back.begin(), back.end(),
+                           static_cast<std::uint32_t>(victim)),
+               back.end());
+  }
+  residual.adjacency[victim].clear();
+  scheduler_ = MakeScheduler(config_.policy, residual, resched_rng_.Split());
+  if (trace_) {
+    trace::TraceEvent e;
+    e.kind = trace::EventKind::kFault;
+    e.slot = global_slots_;
+    e.fault = trace::FaultKind::kReschedule;
+    e.record = static_cast<std::uint32_t>(victim);
+    e.n_c = readers_.size() - 1;
+    trace_.Emit(e);
+  }
 }
 
 void DeploymentProtocol::AttachTrace(const trace::TraceContext& context) {
@@ -83,6 +120,13 @@ void DeploymentProtocol::Broadcast(std::uint32_t reader, const TagId& id) {
 
 void DeploymentProtocol::Step() {
   if (finished_) return;
+
+  if (config_.reader_death.enabled &&
+      config_.reader_death.reader < readers_.size() &&
+      !readers_[config_.reader_death.reader]->dead &&
+      global_slots_ >= config_.reader_death.at_global_slot) {
+    KillReader(config_.reader_death.reader);
+  }
 
   bool any_pending = false;
   for (std::size_t r = 0; r < readers_.size(); ++r) {
@@ -174,6 +218,14 @@ void DeploymentProtocol::Step() {
   }
 }
 
+std::size_t DeploymentProtocol::OpenPhyRecords() const {
+  std::size_t open = 0;
+  for (const auto& reader : readers_) {
+    open += reader->protocol->OpenPhyRecords();
+  }
+  return open;
+}
+
 void DeploymentProtocol::MarkIdentified(const TagId& id) {
   const auto it = digest_to_index_.find(id.Digest());
   if (it == digest_to_index_.end()) return;
@@ -197,6 +249,9 @@ const sim::RunMetrics& DeploymentProtocol::metrics() const {
     merged_.unresolved_records += m.unresolved_records;
     merged_.ids_injected += m.ids_injected;
     merged_.tag_transmissions += m.tag_transmissions;
+    merged_.records_evicted += m.records_evicted;
+    merged_.records_abandoned += m.records_abandoned;
+    merged_.reader_crashes += m.reader_crashes;
     read_sum += m.tags_read;
   }
   merged_.frames = global_slots_;  // deployment view: global TDMA slots
@@ -233,6 +288,8 @@ DeploymentResult DeploymentProtocol::Result() const {
                                 static_cast<double>(global_slots_)
                           : 0.0;
     report.capped = reader->capped;
+    report.dead = reader->dead;
+    if (reader->dead) ++result.dead_readers;
     report.metrics = reader->protocol->metrics();
     result.ids_from_collisions += report.metrics.ids_from_collisions;
     result.injected_ids += report.metrics.ids_injected;

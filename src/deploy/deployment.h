@@ -43,6 +43,19 @@ struct DeploymentConfig {
   bool share_records = false;
   // Per-reader livelock cap, same semantics as sim::ExperimentOptions.
   std::uint64_t max_slots_per_tag = sim::kDefaultMaxSlotsPerTag;
+  // Mid-run reader failure (src/fault): reader `reader` dies permanently
+  // once the global TDMA clock reaches `at_global_slot`. Its protocol is
+  // shut down (stored signals released), it leaves the schedule, and the
+  // TDMA plan is rebuilt over the residual interference graph, so the
+  // dead reader's slot share is redistributed across the survivors. Tags
+  // in its exclusive zone become unreachable; `complete` then reports
+  // whether the overlap zones covered everything.
+  struct ReaderFaultPlan {
+    bool enabled = false;
+    std::size_t reader = 0;
+    std::uint64_t at_global_slot = 0;
+  };
+  ReaderFaultPlan reader_death{};
 };
 
 struct ReaderReport {
@@ -51,6 +64,7 @@ struct ReaderReport {
   std::uint64_t active_slots = 0;  // global slots this reader transmitted in
   double duty_cycle = 0.0;         // active_slots / global slots
   bool capped = false;             // hit the livelock cap (never, in tests)
+  bool dead = false;               // killed by the reader_death fault plan
   sim::RunMetrics metrics;
 };
 
@@ -67,6 +81,7 @@ struct DeploymentResult {
   std::uint64_t ids_from_collisions = 0;  // summed over readers
   std::uint64_t injected_ids = 0;         // IDs accepted from neighbours
   std::uint64_t shared_resolutions = 0;   // records closed by a broadcast
+  std::size_t dead_readers = 0;           // readers lost to the fault plan
   bool complete = false;                  // every tag in the merged inventory
   std::vector<ReaderReport> per_reader;
 };
@@ -97,12 +112,17 @@ class DeploymentProtocol final : public sim::Protocol {
   DeploymentResult Result() const;
   const InterferenceGraph& interference_graph() const { return graph_; }
 
+  // Records still held across every reader's phy store (the leak-check
+  // hook: 0 after a completed deployment, dead readers included).
+  std::size_t OpenPhyRecords() const override;
+
  private:
   struct ReaderState;
 
   bool ReaderDone(const ReaderState& reader) const;
   void Broadcast(std::uint32_t reader, const TagId& id);
   void MarkIdentified(const TagId& id);
+  void KillReader(std::size_t victim);
 
   std::string name_;
   std::span<const TagId> tags_;
@@ -111,6 +131,10 @@ class DeploymentProtocol final : public sim::Protocol {
   InterferenceGraph graph_;
   std::unique_ptr<Scheduler> scheduler_;
   std::vector<std::unique_ptr<ReaderState>> readers_;
+  // Split off only when a reader_death plan is configured, so unfaulted
+  // deployments keep their exact pre-fault RNG stream (bit-identical
+  // bench_deploy output).
+  anc::Pcg32 resched_rng_;
 
   trace::TraceContext trace_;
   std::vector<bool> identified_;        // global merged inventory, by index

@@ -1,0 +1,134 @@
+// Fault-injection configuration (src/fault): the knobs that turn the
+// idealized reader of the paper into one with real-world failure modes —
+// a bounded, evictable collision-record store; retry/TTL budgets on
+// record resolution; Gilbert-Elliott burst errors on the advertisement,
+// acknowledgement and record-storage paths; and a scheduled mid-inventory
+// power cycle.
+//
+// Design contract: a default-constructed FaultConfig is *zero-cost off*.
+// The engine only constructs fault state (and only forks RNG streams)
+// when Any() is true, so an unfaulted run consumes exactly the same
+// random numbers — and therefore produces bit-identical metrics and
+// traces — as a build without this subsystem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace anc::fault {
+
+// Which open collision record a full store sacrifices (Section IV-B's
+// store, bounded as on an I-Code-class reader with KBs of record memory).
+// Evicted records release their stored signal; their constituent tags
+// were never acknowledged, so they silently fall back to re-contention.
+enum class EvictionPolicy : std::uint8_t {
+  kOldestFirst = 0,   // FIFO: evict the record opened longest ago
+  kLruProgress = 1,   // evict the record whose known-set grew least recently
+  kLargestK = 2,      // evict the record with the most constituents
+  kRandom = 3,        // uniform over open records (deterministic per seed)
+};
+
+inline const char* EvictionPolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kOldestFirst: return "oldest";
+    case EvictionPolicy::kLruProgress: return "lru";
+    case EvictionPolicy::kLargestK: return "largest_k";
+    case EvictionPolicy::kRandom: return "random";
+  }
+  return "?";
+}
+
+// Two-state Markov burst-error channel (Gilbert-Elliott): a good state
+// with a low error probability and a bad state with a high one, with
+// geometric dwell times. The flat Bernoulli loss of Section IV-E is the
+// special case p_good_to_bad = 0, error_good = p.
+struct GilbertElliottParams {
+  double p_good_to_bad = 0.0;  // per-sample transition probability
+  double p_bad_to_good = 1.0;
+  double error_good = 0.0;     // error probability while in the good state
+  double error_bad = 0.0;      // error probability while in the bad state
+
+  bool Enabled() const {
+    return error_good > 0.0 || (p_good_to_bad > 0.0 && error_bad > 0.0);
+  }
+};
+
+// Bounded record store + resolution budgets.
+struct RecordStorePolicy {
+  // Maximum simultaneously open collision records; 0 = unbounded (the
+  // paper's model). Opening a record past the cap evicts one per
+  // `eviction`.
+  std::size_t capacity = 0;
+  EvictionPolicy eviction = EvictionPolicy::kOldestFirst;
+  // Retry budget R: a record whose TryResolve fails more than this many
+  // times is abandoned and released. 0 = unlimited.
+  std::uint32_t max_resolve_failures = 0;
+  // TTL budget T: a record open for more than this many frames is
+  // abandoned at the next frame boundary. 0 = unlimited.
+  std::uint64_t max_open_frames = 0;
+
+  bool Enabled() const {
+    return capacity > 0 || max_resolve_failures > 0 || max_open_frames > 0;
+  }
+};
+
+// A scheduled mid-inventory power cycle: the reader loses its volatile
+// record store and estimator state and re-bootstraps (FCAT from its
+// estimator ramp). Already-acknowledged IDs survive in non-volatile
+// inventory memory.
+struct CrashPlan {
+  // Protocol-local slot index before which the reader power-cycles;
+  // 0 = no crash.
+  std::uint64_t crash_at_slot = 0;
+  // Dead-air slots charged to elapsed time while the reader reboots.
+  std::uint64_t restart_delay_slots = 0;
+
+  bool Enabled() const { return crash_at_slot > 0; }
+};
+
+struct FaultConfig {
+  RecordStorePolicy store{};
+  GilbertElliottParams advert_corruption{};  // sampled once per frame advert
+  GilbertElliottParams ack_loss{};  // per ack; supersedes flat ack_loss_prob
+  GilbertElliottParams record_bitrot{};  // per slot; corrupts stored records
+  CrashPlan crash{};
+  // Canned-profile label (see fault::FaultProfile). A labelled config
+  // suffixes the protocol name ("FCAT-2@chaos") so trace replay can
+  // reconstruct the exact fault schedule from the run header alone.
+  std::string label;
+
+  bool Any() const {
+    return store.Enabled() || advert_corruption.Enabled() ||
+           ack_loss.Enabled() || record_bitrot.Enabled() || crash.Enabled();
+  }
+};
+
+// Record-store lifecycle accounting. Every record that ever opened leaves
+// through exactly one gate, so `Reconciles()` is the store's conservation
+// law (asserted by the fault property tests).
+struct FaultCounters {
+  std::uint64_t records_opened = 0;
+  std::uint64_t records_resolved = 0;
+  std::uint64_t records_evicted = 0;           // capacity pressure
+  std::uint64_t records_abandoned_retry = 0;   // resolve-failure budget
+  std::uint64_t records_abandoned_ttl = 0;     // open-frames budget
+  std::uint64_t records_dropped_on_crash = 0;  // power-cycle loss
+  std::uint64_t records_released_at_end = 0;   // protocol termination sweep
+  std::uint64_t records_corrupted = 0;         // bit-rot strikes
+  std::uint64_t adverts_corrupted = 0;
+  std::uint64_t acks_lost = 0;
+  std::uint64_t reader_crashes = 0;
+  std::uint64_t max_open_records = 0;  // store-occupancy high-water mark
+
+  std::uint64_t RecordsAbandoned() const {
+    return records_abandoned_retry + records_abandoned_ttl;
+  }
+
+  bool Reconciles() const {
+    return records_opened ==
+           records_resolved + records_evicted + RecordsAbandoned() +
+               records_dropped_on_crash + records_released_at_end;
+  }
+};
+
+}  // namespace anc::fault

@@ -1,0 +1,45 @@
+// Gilbert-Elliott burst-error channel: a two-state Markov chain whose
+// states carry different error probabilities, reproducing the clustered
+// losses real reader links exhibit (flat Bernoulli loss is the
+// p_good_to_bad = 0 special case; see fault_config.h).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "fault/fault_config.h"
+
+namespace anc::fault {
+
+class GilbertElliottChannel {
+ public:
+  GilbertElliottChannel() = default;
+  explicit GilbertElliottChannel(const GilbertElliottParams& params)
+      : params_(params), enabled_(params.Enabled()) {}
+
+  bool enabled() const { return enabled_; }
+  bool in_bad_state() const { return bad_; }
+
+  // Samples one channel use: advances the state chain, then draws the
+  // error for the current state. Two RNG draws per sample when enabled
+  // (state + error), zero when disabled — a disabled channel never
+  // touches `rng`, preserving the zero-cost-off stream contract.
+  bool Sample(anc::Pcg32& rng) {
+    if (!enabled_) return false;
+    const double flip = rng.UniformDouble();
+    if (bad_) {
+      if (flip < params_.p_bad_to_good) bad_ = false;
+    } else {
+      if (flip < params_.p_good_to_bad) bad_ = true;
+    }
+    const double err = bad_ ? params_.error_bad : params_.error_good;
+    return rng.UniformDouble() < err;
+  }
+
+ private:
+  GilbertElliottParams params_{};
+  bool enabled_ = false;
+  bool bad_ = false;  // chains start in the good state
+};
+
+}  // namespace anc::fault

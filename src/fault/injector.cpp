@@ -1,0 +1,57 @@
+#include "fault/injector.h"
+
+namespace anc::fault {
+namespace {
+
+FaultConfig Bounded8() {
+  FaultConfig f;
+  f.store.capacity = 8;
+  f.store.eviction = EvictionPolicy::kOldestFirst;
+  f.store.max_resolve_failures = 4;
+  f.store.max_open_frames = 32;
+  f.label = "bounded8";
+  return f;
+}
+
+FaultConfig Burst() {
+  FaultConfig f;
+  f.advert_corruption = {0.05, 0.25, 0.0, 0.35};
+  f.ack_loss = {0.05, 0.25, 0.005, 0.5};
+  f.record_bitrot = {0.02, 0.5, 0.0, 0.1};
+  f.label = "burst";
+  return f;
+}
+
+FaultConfig Crash() {
+  FaultConfig f;
+  f.crash.crash_at_slot = 150;
+  f.crash.restart_delay_slots = 8;
+  f.label = "crash";
+  return f;
+}
+
+FaultConfig Chaos() {
+  FaultConfig f = Bounded8();
+  const FaultConfig burst = Burst();
+  f.advert_corruption = burst.advert_corruption;
+  f.ack_loss = burst.ack_loss;
+  f.record_bitrot = burst.record_bitrot;
+  f.crash = Crash().crash;
+  f.label = "chaos";
+  return f;
+}
+
+}  // namespace
+
+std::optional<FaultConfig> FaultProfile(const std::string& name) {
+  if (name == "off") return FaultConfig{};
+  if (name == "bounded8") return Bounded8();
+  if (name == "burst") return Burst();
+  if (name == "crash") return Crash();
+  if (name == "chaos") return Chaos();
+  return std::nullopt;
+}
+
+std::string FaultProfileList() { return "off, bounded8, burst, crash, chaos"; }
+
+}  // namespace anc::fault

@@ -33,6 +33,11 @@ struct RunMetrics {
   // for battery-powered tags (CRDSA pays ~2x here for its twin copies).
   std::uint64_t tag_transmissions = 0;
 
+  // Fault-injection accounting (src/fault). All zero on unfaulted runs.
+  std::uint64_t records_evicted = 0;    // bounded store capacity pressure
+  std::uint64_t records_abandoned = 0;  // retry/TTL budgets exhausted
+  std::uint64_t reader_crashes = 0;     // mid-inventory power cycles
+
   // Wall-clock air time, including protocol-specific overheads.
   double elapsed_seconds = 0.0;
 

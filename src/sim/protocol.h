@@ -55,6 +55,19 @@ class Protocol {
   virtual std::span<const TagId> InjectKnownId(const TagId& /*id*/) {
     return {};
   }
+
+  // --- Fault hooks (src/fault, reader crash/recovery) ---
+  //
+  // Collision records currently held in the protocol's phy store. Tests
+  // assert this is 0 after every completed run (the open-record leak
+  // fix); protocols without a record store report none.
+  virtual std::size_t OpenPhyRecords() const { return 0; }
+
+  // Permanent power-off (a deployment reader dying mid-inventory): the
+  // protocol releases every stored signal; the caller stops scheduling it
+  // regardless (the deployment keeps its own dead flag). Record-holding
+  // protocols override; the default has no state to drop.
+  virtual void Shutdown() {}
 };
 
 }  // namespace anc::sim

@@ -52,6 +52,9 @@ void Accumulate(AggregateResult& agg, const SingleRunResult& r) {
   agg.ids_injected.Add(static_cast<double>(m.ids_injected));
   agg.redundant_resolutions.Add(static_cast<double>(m.redundant_resolutions));
   agg.tag_transmissions.Add(static_cast<double>(m.tag_transmissions));
+  agg.records_evicted.Add(static_cast<double>(m.records_evicted));
+  agg.records_abandoned.Add(static_cast<double>(m.records_abandoned));
+  agg.reader_crashes.Add(static_cast<double>(m.reader_crashes));
 }
 
 }  // namespace
@@ -102,6 +105,9 @@ void AggregateResult::Merge(const AggregateResult& other) {
   ids_injected.Merge(other.ids_injected);
   redundant_resolutions.Merge(other.redundant_resolutions);
   tag_transmissions.Merge(other.tag_transmissions);
+  records_evicted.Merge(other.records_evicted);
+  records_abandoned.Merge(other.records_abandoned);
+  reader_crashes.Merge(other.reader_crashes);
   runs_capped += other.runs_capped;
 }
 

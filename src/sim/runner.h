@@ -54,6 +54,9 @@ struct AggregateResult {
   RunningStats ids_injected;  // deployments: IDs learned via record sharing
   RunningStats redundant_resolutions;  // same-pair records resolving twice
   RunningStats tag_transmissions;      // energy-side metric (see RunMetrics)
+  RunningStats records_evicted;    // fault layer: bounded-store evictions
+  RunningStats records_abandoned;  // fault layer: retry/TTL abandonments
+  RunningStats reader_crashes;     // fault layer: mid-inventory crashes
   std::uint64_t runs_capped = 0;  // runs that hit the slot safety cap
 
   // Pools another aggregate into this one (Welford-combine per metric).

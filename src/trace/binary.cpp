@@ -90,11 +90,16 @@ void EncodeEvent(std::string& out, const TraceEvent& e) {
       PutVarint(out, e.estimate_q8);
       PutVarint(out, e.elapsed_us);
       break;
+    case EventKind::kFault:
+      PutByte(out, static_cast<std::uint8_t>(e.fault));
+      PutVarint(out, e.record);
+      PutVarint(out, e.n_c);
+      break;
   }
 }
 
 bool DecodeEvent(Reader& r, std::uint8_t kind_byte, TraceEvent* e) {
-  if (kind_byte < 1 || kind_byte > 8) return false;
+  if (kind_byte < 1 || kind_byte > 9) return false;
   e->kind = static_cast<EventKind>(kind_byte);
   e->reader = static_cast<std::uint32_t>(r.Varint());
   e->slot = r.Varint();
@@ -140,6 +145,14 @@ bool DecodeEvent(Reader& r, std::uint8_t kind_byte, TraceEvent* e) {
       e->estimate_q8 = r.Varint();
       e->elapsed_us = r.Varint();
       break;
+    case EventKind::kFault: {
+      const std::uint8_t fault = r.Byte();
+      if (fault > 8) return false;
+      e->fault = static_cast<FaultKind>(fault);
+      e->record = r.Varint();
+      e->n_c = r.Varint();
+      break;
+    }
   }
   return r.ok;
 }

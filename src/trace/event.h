@@ -45,6 +45,24 @@ enum class EventKind : std::uint8_t {
   // Run terminated (emitted by the driver, after the protocol finished or
   // hit the livelock cap).
   kRunEnd = 8,
+  // A fault-injection event (src/fault): eviction, abandonment,
+  // corruption, reader crash, deployment reader death / reschedule. The
+  // `fault` field carries the sub-kind.
+  kFault = 9,
+};
+
+// Sub-kind of a kFault event (the fault layer's own taxonomy; see
+// src/fault/fault_config.h for the model behind each).
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kEviction = 1,       // bounded store evicted an open record
+  kAbandonRetry = 2,   // resolve-failure budget exhausted
+  kAbandonTtl = 3,     // open-frames TTL budget exhausted
+  kBitRot = 4,         // a stored record was corrupted in place
+  kAdvertCorrupt = 5,  // a frame advertisement never reached the tags
+  kCrash = 6,          // reader power-cycled mid-inventory
+  kReaderDead = 7,     // deployment reader permanently powered off
+  kReschedule = 8,     // TDMA schedule rebuilt over the survivors
 };
 
 // Reader-observed slot outcome. A corrupted singleton is traced as a
@@ -111,6 +129,9 @@ struct TraceEvent {
   std::uint64_t estimate_q8 = 0;
   // kFrame/kRunEnd: cumulative elapsed air time, microseconds.
   std::uint64_t elapsed_us = 0;
+  // kFault: the fault sub-kind (record = affected record handle or reader
+  // index; n_c = auxiliary count, e.g. records dropped by a crash).
+  FaultKind fault = FaultKind::kNone;
 
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
@@ -139,6 +160,22 @@ inline const char* KindName(EventKind kind) {
     case EventKind::kInject: return "inject";
     case EventKind::kTdmaSlot: return "tdma_slot";
     case EventKind::kRunEnd: return "run_end";
+    case EventKind::kFault: return "fault";
+  }
+  return "?";
+}
+
+inline const char* FaultName(FaultKind fault) {
+  switch (fault) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kEviction: return "eviction";
+    case FaultKind::kAbandonRetry: return "abandon_retry";
+    case FaultKind::kAbandonTtl: return "abandon_ttl";
+    case FaultKind::kBitRot: return "bit_rot";
+    case FaultKind::kAdvertCorrupt: return "advert_corrupt";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kReaderDead: return "reader_dead";
+    case FaultKind::kReschedule: return "reschedule";
   }
   return "?";
 }
@@ -204,6 +241,11 @@ inline std::string Describe(const TraceEvent& e) {
            " unresolved=" + std::to_string(e.n_c) +
            " capped=" + std::to_string(e.estimate_q8) +
            " elapsed_us=" + std::to_string(e.elapsed_us);
+      break;
+    case EventKind::kFault:
+      s += std::string(" fault=") + FaultName(e.fault) +
+           " record=" + std::to_string(e.record) +
+           " aux=" + std::to_string(e.n_c);
       break;
   }
   return s;

@@ -63,6 +63,10 @@ std::string EventToJson(const TraceEvent& e) {
            ",\"capped\":" + (e.estimate_q8 ? "true" : "false") +
            ",\"elapsed_us\":" + Num(e.elapsed_us);
       break;
+    case EventKind::kFault:
+      s += ",\"fault\":" + JsonStr(FaultName(e.fault)) +
+           ",\"record\":" + Num(e.record) + ",\"aux\":" + Num(e.n_c);
+      break;
   }
   s += "}";
   return s;

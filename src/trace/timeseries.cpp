@@ -31,6 +31,17 @@ std::vector<FramePoint> ExtractFrameSeries(const RunTrace& run,
       case EventKind::kRecordResolve:
         open_since.erase(e.record);
         break;
+      case EventKind::kFault:
+        // Fault-path closes: evictions/abandonments end one record
+        // without a resolve event; a crash drops the whole store.
+        if (e.fault == FaultKind::kEviction ||
+            e.fault == FaultKind::kAbandonRetry ||
+            e.fault == FaultKind::kAbandonTtl) {
+          open_since.erase(e.record);
+        } else if (e.fault == FaultKind::kCrash) {
+          open_since.clear();
+        }
+        break;
       case EventKind::kFrame: {
         FramePoint p;
         p.frame = e.frame;

@@ -21,6 +21,34 @@ TEST(AckLoss, DuplicatesAppearAndAreDiscarded) {
   EXPECT_EQ(m.ids_from_singletons + m.ids_from_collisions, 1000u);
 }
 
+TEST(AckLoss, DuplicateReceptionsBoundedAndCountedOnce) {
+  // Regression: a re-transmission after a lost ack must count once in
+  // duplicate_receptions and never again in the identification tallies.
+  // With loss p, each read needs Geometric(1-p) acks, so duplicates
+  // concentrate around n * p / (1 - p); a double-count would blow far
+  // past that bound, a miss would leave the counter at 0.
+  FcatOptions o;
+  o.ack_loss_prob = 0.25;
+  const auto m = sim::RunOnce(MakeFcatFactory(o), 1500, 17, 300);
+  EXPECT_EQ(m.tags_read, 1500u);
+  EXPECT_EQ(m.ids_from_singletons + m.ids_from_collisions, 1500u);
+  const double expected = 1500.0 * 0.25 / 0.75;
+  EXPECT_GT(m.duplicate_receptions, expected / 3.0);
+  EXPECT_LT(m.duplicate_receptions, expected * 3.0);
+}
+
+TEST(AckLoss, GilbertElliottAckChannelRecoversLikeFlatLoss) {
+  // The fault layer's GE ack channel with p_good_to_bad = 0 degenerates
+  // to the flat Bernoulli channel of Section IV-E: same completeness
+  // guarantees, duplicates appear and are discarded.
+  FcatOptions o;
+  o.fault.ack_loss.error_good = 0.3;
+  const auto m = sim::RunOnce(MakeFcatFactory(o), 1000, 3, 300);
+  EXPECT_EQ(m.tags_read, 1000u);
+  EXPECT_GT(m.duplicate_receptions, 0u);
+  EXPECT_EQ(m.ids_from_singletons + m.ids_from_collisions, 1000u);
+}
+
 TEST(AckLoss, NoLossMeansNoDuplicates) {
   const auto m = sim::RunOnce(MakeFcatFactory({}), 1000, 3, 300);
   EXPECT_EQ(m.duplicate_receptions, 0u);

@@ -141,6 +141,22 @@ TEST(Deployment, DuplicateReadsGrowWithOverlap) {
   EXPECT_GT(large.duplicate_reads, small.duplicate_reads);
 }
 
+TEST(Deployment, FinishedDeploymentHoldsNoStoredSignals) {
+  // Leak check across every reader's phy store: a completed deployment
+  // (sharing on, so records close via broadcasts too) ends with zero
+  // open collision records anywhere in the grid.
+  const auto tags = Tags(250);
+  DeploymentConfig config;
+  config.share_records = true;
+  anc::Pcg32 rng(21);
+  DeploymentProtocol deployment(tags, rng.Split(), config, Fcat2());
+  std::uint64_t guard = 0;
+  while (!deployment.Finished() && ++guard < 1000000) deployment.Step();
+  ASSERT_TRUE(deployment.Finished());
+  EXPECT_TRUE(deployment.Result().complete);
+  EXPECT_EQ(deployment.OpenPhyRecords(), 0u);
+}
+
 TEST(Deployment, AggregatesAreBitIdenticalAcrossThreadCounts) {
   // A deployment is a sim::Protocol, so the deterministic parallel
   // RunExperiment contract extends to it: any --threads value folds to

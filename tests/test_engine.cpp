@@ -58,6 +58,7 @@ TEST(Engine, OracleTerminationStopsAtLastTag) {
   CollisionAwareEngine engine("e", pop, phy, config, anc::Pcg32(2));
   while (!engine.Finished()) engine.Step();
   EXPECT_EQ(engine.metrics().tags_read, 200u);
+  EXPECT_EQ(engine.OpenPhyRecords(), 0u);
   // Faithful termination needs extra probe slots; oracle must not.
   const auto faithful = [&] {
     phy::IdealPhy phy2(pop, {2, 1.0, 0.0}, anc::Pcg32(1));
@@ -91,6 +92,7 @@ TEST(Engine, KnowsTrueNSkipsEstimation) {
   EXPECT_DOUBLE_EQ(engine.EstimatedTotal(), 500.0);
   while (!engine.Finished()) engine.Step();
   EXPECT_EQ(engine.metrics().tags_read, 500u);
+  EXPECT_EQ(engine.OpenPhyRecords(), 0u);  // termination released the store
 }
 
 TEST(Engine, FrameAccounting) {

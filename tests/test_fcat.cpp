@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/factories.h"
+#include "sim/population.h"
 #include "sim/runner.h"
 
 namespace anc::core {
@@ -138,6 +139,20 @@ TEST(Fcat, NoOpenRecordsLeakUnaccounted) {
   // constituents learned elsewhere); they are reported, not leaked.
   EXPECT_GT(m.unresolved_records, 0u);
   EXPECT_LT(m.unresolved_records, m.collision_slots);
+}
+
+TEST(Fcat, TerminationReleasesEveryStoredSignal) {
+  // The unresolved records above are reported, then released: after the
+  // protocol finishes, the phy's record store must be empty (the seed
+  // leaked these signals until the reader object died).
+  anc::Pcg32 master(8, 0x9E3779B97F4A7C15ULL + 8);
+  anc::Pcg32 pop_rng = master.Split();
+  anc::Pcg32 proto_rng = master.Split();
+  const auto population = sim::MakePopulation(3000, pop_rng);
+  Fcat protocol(population, proto_rng, FcatOptions{});
+  while (!protocol.Finished()) protocol.Step();
+  EXPECT_GT(protocol.metrics().unresolved_records, 0u);
+  EXPECT_EQ(protocol.OpenPhyRecords(), 0u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "core/factories.h"
 #include "core/fcat.h"
+#include "sim/population.h"
 #include "sim/runner.h"
 
 namespace anc::core {
@@ -129,6 +130,21 @@ TEST(FcatSignal, CaptureTradesResolutionForDirectReads) {
   // Net slot effect stays within a band (seed noise at this scale): the
   // quantitative sweep lives in bench_capture.
   EXPECT_LT(on.total_slots.mean(), off.total_slots.mean() * 1.25);
+}
+
+TEST(FcatSignal, TerminationReleasesEveryStoredWaveform) {
+  // Signal-phy records hold sampled waveforms, so a leak here is real
+  // memory, not just bookkeeping: the store must be empty at the end.
+  anc::Pcg32 master(5, 0x9E3779B97F4A7C15ULL + 5);
+  anc::Pcg32 pop_rng = master.Split();
+  anc::Pcg32 proto_rng = master.Split();
+  const auto population = sim::MakePopulation(100, pop_rng);
+  FcatOnSignal protocol(population, proto_rng, CleanChannel());
+  std::uint64_t guard = 0;
+  while (!protocol.Finished() && ++guard < 100000) protocol.Step();
+  ASSERT_TRUE(protocol.Finished());
+  EXPECT_EQ(protocol.metrics().tags_read, 100u);
+  EXPECT_EQ(protocol.OpenPhyRecords(), 0u);
 }
 
 TEST(FcatSignal, LambdaThreeResolvesTripleCollisions) {

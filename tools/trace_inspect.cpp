@@ -22,6 +22,7 @@
 
 #include "common/cli.h"
 #include "core/factories.h"
+#include "fault/injector.h"
 #include "trace/binary.h"
 #include "trace/diff.h"
 #include "trace/jsonl.h"
@@ -47,7 +48,7 @@ int Usage() {
       "  replay <file>                        re-drive runs, verify "
       "identity\n"
       "  record --out=<file> [--protocol=fcat|scat|dfsa] [--lambda=L]\n"
-      "         [--n=TAGS] [--runs=R] [--seed=S]\n"
+      "         [--n=TAGS] [--runs=R] [--seed=S] [--faults=PROFILE]\n"
       "                                       record a reference trace\n");
   return 2;
 }
@@ -69,22 +70,40 @@ trace::TraceFile Load(const std::string& path) {
 sim::ProtocolFactory FactoryFor(const std::string& protocol,
                                 std::string* error) {
   if (protocol == "DFSA") return core::MakeDfsaFactory();
+  // An "@label" suffix marks a faulted run; the label names the fault
+  // profile the recording used, which (plus the run seed) is the entire
+  // fault schedule — replay just reapplies the same profile.
+  std::string base = protocol;
+  fault::FaultConfig fault_config;
+  if (const auto at = protocol.find('@'); at != std::string::npos) {
+    base = protocol.substr(0, at);
+    const std::string label = protocol.substr(at + 1);
+    const auto profile = fault::FaultProfile(label);
+    if (!profile) {
+      *error = "unknown fault profile '" + label + "' in protocol '" +
+               protocol + "' (known: " + fault::FaultProfileList() + ")";
+      return {};
+    }
+    fault_config = *profile;
+  }
   const auto lambda_of = [](const std::string& name) {
     return static_cast<unsigned>(std::atoi(name.c_str() + 5));
   };
-  if (protocol.rfind("FCAT-", 0) == 0 && lambda_of(protocol) >= 2) {
+  if (base.rfind("FCAT-", 0) == 0 && lambda_of(base) >= 2) {
     core::FcatOptions o;
-    o.lambda = lambda_of(protocol);
+    o.lambda = lambda_of(base);
+    o.fault = fault_config;
     return core::MakeFcatFactory(o);
   }
-  if (protocol.rfind("SCAT-", 0) == 0 && lambda_of(protocol) >= 2) {
+  if (base.rfind("SCAT-", 0) == 0 && lambda_of(base) >= 2) {
     core::ScatOptions o;
-    o.lambda = lambda_of(protocol);
+    o.lambda = lambda_of(base);
+    o.fault = fault_config;
     return core::MakeScatFactory(o);
   }
   *error = "cannot reconstruct a factory for protocol '" + protocol +
            "' (supported: FCAT-<lambda>, SCAT-<lambda>, DFSA at default "
-           "options)";
+           "options, each optionally @<fault-profile>)";
   return {};
 }
 
@@ -95,11 +114,11 @@ int Summarize(const CliArgs& args) {
   std::printf("%s: %zu run%s\n", args.positional()[1].c_str(),
               file.runs.size(), file.runs.size() == 1 ? "" : "s");
   for (const trace::RunTrace& run : file.runs) {
-    std::uint64_t counts[9] = {};
+    std::uint64_t counts[10] = {};
     const trace::TraceEvent* end = nullptr;
     for (const trace::TraceEvent& e : run.events) {
       const auto k = static_cast<std::size_t>(e.kind);
-      if (k < 9) ++counts[k];
+      if (k < 10) ++counts[k];
       if (e.kind == trace::EventKind::kRunEnd) end = &e;
     }
     std::printf(
@@ -111,7 +130,7 @@ int Summarize(const CliArgs& args) {
         run.events.size());
     std::printf("  ");
     bool first = true;
-    for (std::size_t k = 1; k < 9; ++k) {
+    for (std::size_t k = 1; k < 10; ++k) {
       if (counts[k] == 0) continue;
       std::printf("%s%s=%llu", first ? "" : " ",
                   trace::KindName(static_cast<trace::EventKind>(k)),
@@ -132,7 +151,8 @@ int Filter(const CliArgs& args) {
       std::vector<FlagSpec>{
           {"run", "only this run index"},
           {"kind", "only this event kind (slot, frame, record_open, "
-                   "record_resolve, ack, inject, tdma_slot, run_end)"},
+                   "record_resolve, ack, inject, tdma_slot, run_end, "
+                   "fault)"},
           {"reader", "only this reader id (deployments: 1..R)"},
           {"limit", "stop after this many events (default 100; 0 = all)"},
           {"format", "text (default) or jsonl"},
@@ -265,20 +285,35 @@ int Record(const CliArgs& args) {
                         {"n", "population size (default 200)"},
                         {"runs", "runs to record (default 1)"},
                         {"seed", "base seed (default 1)"},
+                        {"faults", "fault profile to inject (fcat/scat)"},
                     });
   const std::string out = args.GetString("out", "");
   if (out.empty() || args.positional().size() != 1) return Usage();
   const std::string protocol = args.GetString("protocol", "fcat");
   const auto lambda = static_cast<unsigned>(args.GetInt("lambda", 2));
+  const std::string faults = args.GetString("faults", "");
+  fault::FaultConfig fault_config;
+  if (!faults.empty()) {
+    const auto profile = fault::FaultProfile(faults);
+    if (!profile) {
+      std::fprintf(stderr,
+                   "trace_inspect: unknown --faults=%s (known: %s)\n",
+                   faults.c_str(), fault::FaultProfileList().c_str());
+      return 2;
+    }
+    fault_config = *profile;
+  }
 
   sim::ProtocolFactory factory;
   if (protocol == "fcat") {
     core::FcatOptions o;
     o.lambda = lambda;
+    o.fault = fault_config;
     factory = core::MakeFcatFactory(o);
   } else if (protocol == "scat") {
     core::ScatOptions o;
     o.lambda = lambda;
+    o.fault = fault_config;
     factory = core::MakeScatFactory(o);
   } else if (protocol == "dfsa") {
     factory = core::MakeDfsaFactory();
