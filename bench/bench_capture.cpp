@@ -12,25 +12,20 @@
 int main(int argc, char** argv) {
   using namespace anc;
   const CliArgs args(argc, argv);
-  bench::RequireKnownFlags(args, argv[0],
-                           {{"tags", "population size (default 150)"}});
+  bench::RequireKnownFlags(args, argv[0], bench::SignalFlagSpecs());
   const auto opts = bench::ParseHarness(args, 4);
-  const auto n = static_cast<std::size_t>(args.GetInt("tags", 150));
+  const bench::SignalBenchSetup base = bench::SignalSetupFromFlags(args, opts);
+  const std::size_t n = base.n_tags;
   bench::PrintHeader("Ablation: capture effect on the waveform phy",
                      "beyond ICDCS'10 (power-diverse channels)", opts);
 
   auto run_with = [&](bool capture, double min_gain, double max_gain) {
-    core::FcatSignalOptions o;
-    o.signal.snr_db = 25.0;
+    core::FcatSignalOptions o = base.options;
     o.signal.enable_capture = capture;
     o.signal.min_gain = min_gain;
     o.signal.max_gain = max_gain;
-    sim::ExperimentOptions eo;
-    eo.n_tags = n;
-    eo.runs = opts.runs;
-    eo.base_seed = opts.seed;
-    eo.max_slots_per_tag = 600;
-    return sim::RunExperiment(core::MakeFcatSignalFactory(o), eo);
+    return sim::RunExperiment(core::MakeFcatSignalFactory(o),
+                              base.experiment);
   };
 
   TextTable table({"gain spread", "capture", "tags/sec",

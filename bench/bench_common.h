@@ -105,14 +105,32 @@ inline void FlushJson() {
   std::fclose(f);
 }
 
+// One data point for a raw signal-chain kernel: how many samples per
+// second the kernel sustains (throughput of the inner loop, not of the
+// protocol). bench_signal emits these next to its end-to-end point so one
+// JSONL line captures both views of a build's speed.
+inline void RecordKernelJsonPoint(const std::string& label,
+                                  double samples_per_sec,
+                                  double wall_seconds) {
+  JsonState& j = Json();
+  if (j.path.empty()) return;
+  j.points.push_back("{\"label\":" + JsonStr(label) +
+                     ",\"kind\":\"kernel\",\"samples_per_sec\":" +
+                     JsonNum(samples_per_sec) +
+                     ",\"wall_seconds\":" + JsonNum(wall_seconds) + "}");
+}
+
 // `fault_metrics` appends the fault-layer aggregates (evictions,
 // abandonments, crashes). Opt-in so pre-existing benches keep their JSON
-// output byte-identical with faults off.
+// output byte-identical with faults off. `slots_per_sec` >= 0 adds the
+// simulator-rate field (simulated slots per wall second) used by the
+// bench_signal smoke check.
 inline void RecordJsonPoint(const std::string& label, std::size_t n_tags,
                             const sim::ExperimentOptions& eo,
                             const sim::AggregateResult& result,
                             double wall_seconds,
-                            bool fault_metrics = false) {
+                            bool fault_metrics = false,
+                            double slots_per_sec = -1.0) {
   JsonState& j = Json();
   if (j.path.empty()) return;
   std::string point =
@@ -120,7 +138,11 @@ inline void RecordJsonPoint(const std::string& label, std::size_t n_tags,
       ",\"n_tags\":" + std::to_string(n_tags) +
       ",\"runs\":" + std::to_string(eo.runs) +
       ",\"runs_capped\":" + std::to_string(result.runs_capped) +
-      ",\"wall_seconds\":" + JsonNum(wall_seconds) + ",\"metrics\":{";
+      ",\"wall_seconds\":" + JsonNum(wall_seconds);
+  if (slots_per_sec >= 0.0) {
+    point += ",\"slots_per_sec\":" + JsonNum(slots_per_sec);
+  }
+  point += ",\"metrics\":{";
   const std::pair<const char*, const RunningStats*> metrics[] = {
       {"throughput", &result.throughput},
       {"total_slots", &result.total_slots},
@@ -170,7 +192,7 @@ inline HarnessOptions ParseHarness(const CliArgs& args,
 // Rejects any --flag not in the shared harness set or `extra`; prints the
 // supported-flag list and exits(2) on violation.
 inline void RequireKnownFlags(const CliArgs& args, const std::string& program,
-                              std::initializer_list<FlagSpec> extra = {}) {
+                              const std::vector<FlagSpec>& extra = {}) {
   std::vector<FlagSpec> known = {
       {"runs", "runs per data point (harness default; --full => 100)"},
       {"full", "paper-scale sweep (100 runs, full grids)"},
@@ -238,6 +260,57 @@ inline core::FcatOptions FcatFor(unsigned lambda,
   o.lambda = lambda;
   o.timing = timing;
   return o;
+}
+
+// ---- Waveform-phy harness helpers ----------------------------------------
+//
+// The signal benches (bench_sync, bench_capture, bench_signal) all drive
+// FCAT over SignalPhy with the same knobs; the flag list and the
+// flags-to-options plumbing live here once. Each bench takes the returned
+// base, copies it per data point and overrides the swept axis.
+
+inline std::vector<FlagSpec> SignalFlagSpecs() {
+  return {
+      {"tags", "population size (default 150)"},
+      {"snr", "reader front-end SNR in dB (default 25)"},
+      {"jitter", "max timing jitter in samples (default 0)"},
+      {"cfo", "max carrier frequency offset, rad/sample (default 0)"},
+      {"capture", "enable the capture effect"},
+      {"least-squares", "least-squares subtraction instead of direct"},
+      {"demod-pool", "worker threads for batched demodulation; 0 = caller"},
+  };
+}
+
+// Base FcatSignalOptions + experiment options for one data point. The
+// experiment knobs mirror what every signal bench used inline before:
+// waveform runs are slow, so populations are modest and runaway runs are
+// cut at 600 slots per tag.
+struct SignalBenchSetup {
+  std::size_t n_tags = 150;
+  core::FcatSignalOptions options{};
+  sim::ExperimentOptions experiment{};
+};
+
+inline SignalBenchSetup SignalSetupFromFlags(const CliArgs& args,
+                                             const HarnessOptions& opts) {
+  SignalBenchSetup s;
+  s.n_tags = static_cast<std::size_t>(args.GetInt("tags", 150));
+  s.options.signal.snr_db = args.GetDouble("snr", 25.0);
+  s.options.signal.max_timing_jitter_samples =
+      static_cast<unsigned>(args.GetInt("jitter", 0));
+  s.options.signal.max_cfo_per_sample = args.GetDouble("cfo", 0.0);
+  s.options.signal.enable_capture = args.GetBool("capture");
+  s.options.signal.subtraction = args.GetBool("least-squares")
+                                     ? signal::SubtractionMode::kLeastSquares
+                                     : signal::SubtractionMode::kDirect;
+  s.options.signal.demod_pool_threads =
+      static_cast<unsigned>(args.GetInt("demod-pool", 0));
+  s.experiment.n_tags = s.n_tags;
+  s.experiment.runs = opts.runs;
+  s.experiment.base_seed = opts.seed;
+  s.experiment.n_threads = opts.threads;
+  s.experiment.max_slots_per_tag = 600;
+  return s;
 }
 
 inline void PrintHeader(const char* title, const char* paper_ref,

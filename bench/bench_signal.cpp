@@ -1,11 +1,18 @@
-// Microbenchmarks of the signal-processing substrate (google-benchmark):
-// the per-slot costs a reader implementation would pay — MSK modulation,
-// demodulation, mixing, amplitude estimation, and full ANC resolution.
-#include <benchmark/benchmark.h>
+// Microbenchmarks of the signal-processing substrate: the per-slot
+// kernels a reader implementation pays for — MSK encode, channel
+// application, AWGN, demodulate+decode, mixing, amplitude estimation and
+// full ANC resolution — plus the end-to-end rate of FCAT-2 over the
+// waveform phy. Kernel rows report samples/second of the inner loop;
+// the end-to-end row reports simulated slots per wall second, the number
+// the batched-phy redesign is accountable for. With --json each kernel
+// becomes a {"kind":"kernel","samples_per_sec":...} point and the
+// end-to-end point carries "slots_per_sec", which CI schema-checks.
+#include "bench_common.h"
 
-#include "common/rng.h"
+#include <chrono>
+
+#include "common/table.h"
 #include "common/tag_id.h"
-#include "core/factories.h"
 #include "signal/anc_resolver.h"
 #include "signal/channel.h"
 #include "signal/energy_estimator.h"
@@ -17,126 +24,133 @@ namespace {
 
 using namespace anc;
 
+template <typename T>
+inline void Keep(T&& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
 TagId RandomId(Pcg32& rng) {
   return TagId::FromPayload(static_cast<std::uint16_t>(rng() & 0xFFFF),
                             (std::uint64_t(rng()) << 32) | rng());
 }
 
-void BM_MskModulate(benchmark::State& state) {
-  Pcg32 rng(1);
-  const signal::WaveformCodec codec(static_cast<int>(state.range(0)), 8);
-  const TagId id = RandomId(rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(codec.Encode(id));
+// Runs `body` with doubling iteration counts until one timed block takes
+// at least 50 ms, then reports that block. `samples_per_op` converts the
+// per-op time into kernel throughput.
+template <typename F>
+void TimeKernel(const char* label, std::size_t samples_per_op,
+                TextTable* table, F&& body) {
+  using clock = std::chrono::steady_clock;
+  body();  // warm-up: touch caches, fill scratch capacity
+  double seconds = 0.0;
+  std::size_t iters = 1;
+  for (;; iters *= 2) {
+    const auto start = clock::now();
+    for (std::size_t i = 0; i < iters; ++i) body();
+    seconds = std::chrono::duration<double>(clock::now() - start).count();
+    if (seconds >= 0.05 || iters >= (std::size_t{1} << 24)) break;
   }
-  state.SetItemsProcessed(state.iterations());
+  const double us_per_op = seconds * 1e6 / static_cast<double>(iters);
+  const double samples_per_sec =
+      static_cast<double>(iters) * static_cast<double>(samples_per_op) /
+      seconds;
+  table->AddRow({label, TextTable::Num(us_per_op, 2),
+                 TextTable::Num(samples_per_sec / 1e6, 1)});
+  bench::detail::RecordKernelJsonPoint(label, samples_per_sec, seconds);
 }
-BENCHMARK(BM_MskModulate)->Arg(4)->Arg(8)->Arg(16);
-
-void BM_MskDemodulateDecode(benchmark::State& state) {
-  Pcg32 rng(2);
-  const signal::WaveformCodec codec(8, 8);
-  const TagId id = RandomId(rng);
-  auto wave = signal::ApplyChannel(codec.Encode(id),
-                                   signal::RandomChannel(rng));
-  signal::AddAwgn(wave, signal::NoisePowerForSnrDb(1.0, 20.0), rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(codec.Decode(wave));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_MskDemodulateDecode);
-
-void BM_MixKSignals(benchmark::State& state) {
-  Pcg32 rng(3);
-  const signal::WaveformCodec codec(8, 8);
-  std::vector<signal::Buffer> waves;
-  for (int i = 0; i < state.range(0); ++i) {
-    waves.push_back(signal::ApplyChannel(codec.Encode(RandomId(rng)),
-                                         signal::RandomChannel(rng)));
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(signal::MixSignals(waves));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_MixKSignals)->Arg(2)->Arg(4)->Arg(8);
-
-void BM_EnergyAmplitudeEstimate(benchmark::State& state) {
-  Pcg32 rng(4);
-  const signal::WaveformCodec codec(8, 8);
-  const signal::Buffer waves[] = {
-      signal::ApplyChannel(codec.Encode(RandomId(rng)),
-                           signal::RandomChannel(rng)),
-      signal::ApplyChannel(codec.Encode(RandomId(rng)),
-                           signal::RandomChannel(rng))};
-  const signal::Buffer mixed = signal::MixSignals(waves);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(signal::EstimateTwoAmplitudes(mixed));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_EnergyAmplitudeEstimate);
-
-void BM_AncResolve(benchmark::State& state) {
-  Pcg32 rng(5);
-  const signal::WaveformCodec codec(8, 8);
-  const auto mode = static_cast<signal::SubtractionMode>(state.range(0));
-  const signal::AncResolver resolver(mode, 8);
-  const signal::Buffer waves[] = {
-      signal::ApplyChannel(codec.Encode(RandomId(rng)),
-                           signal::RandomChannel(rng)),
-      signal::ApplyChannel(codec.Encode(RandomId(rng)),
-                           signal::RandomChannel(rng))};
-  signal::Buffer mixed = signal::MixSignals(waves);
-  signal::AddAwgn(mixed, signal::NoisePowerForSnrDb(1.0, 25.0), rng);
-  signal::Buffer ref = waves[0];
-  signal::AddAwgn(ref, signal::NoisePowerForSnrDb(1.0, 25.0), rng);
-  const signal::Buffer refs[] = {ref};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        resolver.ResolveLast(mixed, refs, codec.frame_bits()));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_AncResolve)
-    ->Arg(static_cast<int>(signal::SubtractionMode::kDirect))
-    ->Arg(static_cast<int>(signal::SubtractionMode::kLeastSquares))
-    ->Arg(static_cast<int>(signal::SubtractionMode::kEnergy));
-
-// Simulator-side costs: a full reading process per iteration. These are
-// what make the paper-scale sweeps (100 runs x 20 populations) cheap.
-void BM_FcatFullRead(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Pcg32 pop_rng(42);
-  const auto population = anc::sim::MakePopulation(n, pop_rng);
-  std::uint64_t seed = 0;
-  for (auto _ : state) {
-    anc::core::FcatOptions options;
-    options.initial_estimate = static_cast<double>(n);
-    anc::core::Fcat fcat(population, Pcg32(++seed), options);
-    while (!fcat.Finished()) fcat.Step();
-    benchmark::DoNotOptimize(fcat.metrics().tags_read);
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
-}
-BENCHMARK(BM_FcatFullRead)->Arg(1000)->Arg(10000);
-
-void BM_DfsaFullRead(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Pcg32 pop_rng(42);
-  const auto population = anc::sim::MakePopulation(n, pop_rng);
-  std::uint64_t seed = 0;
-  const auto factory = anc::core::MakeDfsaFactory();
-  for (auto _ : state) {
-    auto protocol = factory(population, Pcg32(++seed));
-    while (!protocol->Finished()) protocol->Step();
-    benchmark::DoNotOptimize(protocol->metrics().tags_read);
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
-}
-BENCHMARK(BM_DfsaFullRead)->Arg(1000)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace anc;
+  const CliArgs args(argc, argv);
+  bench::RequireKnownFlags(args, argv[0], bench::SignalFlagSpecs());
+  const auto opts = bench::ParseHarness(args, 4);
+  const bench::SignalBenchSetup base = bench::SignalSetupFromFlags(args, opts);
+  bench::PrintHeader("Signal-chain microbenchmarks",
+                     "per-slot kernel costs, ICDCS'10 Section II-B", opts);
+
+  Pcg32 rng(opts.seed);
+  const signal::WaveformCodec codec(8, 8);
+  const std::size_t frame_samples =
+      codec.frame_bits() * static_cast<std::size_t>(codec.samples_per_bit());
+  const double noise25 = signal::NoisePowerForSnrDb(1.0, 25.0);
+
+  // Shared fixtures: two channel-transformed frames, their mixture, and a
+  // noisy reference — the exact shapes SignalPhy runs per slot.
+  const TagId id_a = RandomId(rng), id_b = RandomId(rng);
+  const signal::Buffer clean = codec.Encode(id_a);
+  const signal::ChannelParams ch_a = signal::RandomChannel(rng);
+  const signal::Buffer waves[] = {
+      signal::ApplyChannel(clean, ch_a),
+      signal::ApplyChannel(codec.Encode(id_b), signal::RandomChannel(rng))};
+  signal::Buffer received = waves[0];
+  signal::AddAwgn(received, noise25, rng);
+  signal::Buffer mixed = signal::MixSignals(waves);
+  signal::AddAwgn(mixed, noise25, rng);
+  signal::Buffer ref = waves[0];
+  signal::AddAwgn(ref, noise25, rng);
+  const signal::Buffer refs[] = {ref};
+  const std::span<const signal::Sample> mix_views[] = {
+      std::span<const signal::Sample>(waves[0]),
+      std::span<const signal::Sample>(waves[1])};
+
+  std::printf("Kernels (one %zu-sample report frame per op):\n\n",
+              frame_samples);
+  TextTable kernels({"kernel", "us/op", "Msamples/s"});
+  signal::Buffer scratch;
+  std::vector<std::uint8_t> bits_scratch;
+  TimeKernel("msk_encode", frame_samples, &kernels,
+             [&] { Keep(codec.Encode(id_a)); });
+  TimeKernel("apply_channel", frame_samples, &kernels,
+             [&] { signal::ApplyChannelInto(clean, ch_a, &scratch); });
+  TimeKernel("add_awgn", frame_samples, &kernels, [&] {
+    scratch.assign(waves[0].begin(), waves[0].end());
+    signal::AddAwgn(scratch, noise25, rng);
+  });
+  TimeKernel("demod_decode", frame_samples, &kernels,
+             [&] { Keep(codec.DecodeInto(received, &bits_scratch)); });
+  TimeKernel("mix_2", 2 * frame_samples, &kernels,
+             [&] { signal::MixInto(mix_views, {}, &scratch); });
+  TimeKernel("estimate_amplitudes", 2 * frame_samples, &kernels,
+             [&] { Keep(signal::EstimateTwoAmplitudes(mixed)); });
+  for (const auto& [label, mode] :
+       {std::pair{"anc_resolve_direct", signal::SubtractionMode::kDirect},
+        std::pair{"anc_resolve_lsq", signal::SubtractionMode::kLeastSquares},
+        std::pair{"anc_resolve_energy", signal::SubtractionMode::kEnergy}}) {
+    const signal::AncResolver resolver(mode, 8);
+    TimeKernel(label, 2 * frame_samples, &kernels, [&] {
+      Keep(resolver.ResolveLast(mixed, refs, codec.frame_bits()));
+    });
+  }
+  std::printf("%s\n", kernels.Render().c_str());
+
+  // End-to-end: a full FCAT-2 reading process on the waveform phy. The
+  // slots/sec figure is the one BENCH_signal.json tracks across builds.
+  std::printf(
+      "End-to-end FCAT-2 over SignalPhy (N = %zu, %zu runs, snr %.0f dB,\n"
+      "demod pool %u):\n\n",
+      base.n_tags, opts.runs, base.options.signal.snr_db,
+      base.options.signal.demod_pool_threads);
+  const auto start = std::chrono::steady_clock::now();
+  const auto agg = sim::RunExperiment(
+      core::MakeFcatSignalFactory(base.options), base.experiment);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double sim_slots =
+      agg.total_slots.mean() * static_cast<double>(agg.total_slots.count());
+  const double slots_per_sec = wall > 0.0 ? sim_slots / wall : 0.0;
+  TextTable e2e({"metric", "value"});
+  e2e.AddRow({"tags read / run", TextTable::Num(agg.tags_read.mean(), 1)});
+  e2e.AddRow({"slots / run", TextTable::Num(agg.total_slots.mean(), 0)});
+  e2e.AddRow({"IDs from collisions",
+              TextTable::Num(agg.ids_from_collisions.mean(), 0)});
+  e2e.AddRow({"wall seconds", TextTable::Num(wall, 2)});
+  e2e.AddRow({"slots / sec", TextTable::Num(slots_per_sec, 0)});
+  std::printf("%s\n", e2e.Render().c_str());
+  bench::detail::RecordJsonPoint("fcat2_signal_e2e", base.n_tags,
+                                 base.experiment, agg, wall,
+                                 /*fault_metrics=*/false, slots_per_sec);
+  return 0;
+}

@@ -15,26 +15,21 @@
 int main(int argc, char** argv) {
   using namespace anc;
   const CliArgs args(argc, argv);
-  bench::RequireKnownFlags(args, argv[0],
-                           {{"tags", "population size (default 150)"}});
+  bench::RequireKnownFlags(args, argv[0], bench::SignalFlagSpecs());
   const auto opts = bench::ParseHarness(args, 4);
-  const auto n = static_cast<std::size_t>(args.GetInt("tags", 150));
+  const bench::SignalBenchSetup base = bench::SignalSetupFromFlags(args, opts);
+  const std::size_t n = base.n_tags;
   bench::PrintHeader("Ablation: synchronization sensitivity of ANC",
                      "ICDCS'10 Section II-B", opts);
 
   auto run_with = [&](unsigned jitter, double cfo,
                       signal::SubtractionMode mode) {
-    core::FcatSignalOptions o;
-    o.signal.snr_db = 25.0;
+    core::FcatSignalOptions o = base.options;
     o.signal.max_timing_jitter_samples = jitter;
     o.signal.max_cfo_per_sample = cfo;
     o.signal.subtraction = mode;
-    sim::ExperimentOptions eo;
-    eo.n_tags = n;
-    eo.runs = opts.runs;
-    eo.base_seed = opts.seed;
-    eo.max_slots_per_tag = 600;
-    return sim::RunExperiment(core::MakeFcatSignalFactory(o), eo);
+    return sim::RunExperiment(core::MakeFcatSignalFactory(o),
+                              base.experiment);
   };
 
   std::printf("Timing jitter (samples @ 8 samples/bit), N = %zu:\n\n", n);

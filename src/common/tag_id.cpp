@@ -15,7 +15,7 @@ void AppendBitsMsbFirst(std::vector<std::uint8_t>& bits, std::uint64_t value,
   }
 }
 
-std::uint64_t ReadBitsMsbFirst(const std::vector<std::uint8_t>& bits,
+std::uint64_t ReadBitsMsbFirst(std::span<const std::uint8_t> bits,
                                std::size_t offset, int width) {
   std::uint64_t value = 0;
   for (int i = 0; i < width; ++i) {
@@ -38,7 +38,7 @@ TagId TagId::FromPayload(std::uint16_t payload_hi, std::uint64_t payload_lo) {
   return id;
 }
 
-bool TagId::FromBits(const std::vector<std::uint8_t>& bits, TagId* out) {
+bool TagId::FromBits(std::span<const std::uint8_t> bits, TagId* out) {
   if (bits.size() != static_cast<std::size_t>(kTotalBits)) return false;
   if (!Crc16BitsValid(bits)) return false;
   const auto hi = static_cast<std::uint16_t>(ReadBitsMsbFirst(bits, 0, 16));

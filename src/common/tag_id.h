@@ -11,6 +11,7 @@
 #include <compare>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,7 +31,7 @@ class TagId {
 
   // Reconstructs a TagId from a 96-bit stream (MSB first). Returns false if
   // the trailing CRC does not match the payload (channel-corrupted ID).
-  static bool FromBits(const std::vector<std::uint8_t>& bits, TagId* out);
+  static bool FromBits(std::span<const std::uint8_t> bits, TagId* out);
 
   std::uint16_t payload_hi() const { return payload_hi_; }
   std::uint64_t payload_lo() const { return payload_lo_; }

@@ -62,15 +62,14 @@ struct CollisionAwareConfig {
   // termination probing (not protocol-faithful; default off).
   bool oracle_termination = false;
 
-  // Channel error on the reader -> tag acknowledgement (Section IV-E): a
-  // tag that misses its ack keeps transmitting until positively
-  // confirmed; the reader discards the duplicate receptions and re-acks.
-  double ack_loss_prob = 0.0;
-
   // Fault-injection model (src/fault): bounded record store + eviction,
   // resolve retry/TTL budgets, Gilbert-Elliott burst channels, scheduled
   // crash. Default-constructed = everything off; the engine then builds
   // no fault state and draws no extra randomness (zero-cost-off).
+  //
+  // Acknowledgement loss (Section IV-E) lives here too: fault.ack_loss is
+  // a Gilbert-Elliott channel whose degenerate case (p_good_to_bad = 0,
+  // error_good = p) is the old flat ack_loss_prob knob, which it replaced.
   fault::FaultConfig fault{};
 
   phy::TimingModel timing{};

@@ -53,13 +53,13 @@ void CollisionAwareEngine::EmitFault(trace::FaultKind kind,
   e.slot = slot_index_;
   e.frame = metrics_.frames;
   e.fault = kind;
-  e.record = record;
+  e.record = record.index();
   e.n_c = aux;
   trace_.Emit(e);
 }
 
 void CollisionAwareEngine::HandleEviction(phy::RecordHandle victim) {
-  if (victim == phy::kInvalidRecord) return;
+  if (!victim.valid()) return;
   tracker_.Abandon(victim, phy_,
                    fault::RecordLedger::CloseReason::kEvicted);
   ++metrics_.records_evicted;
@@ -163,7 +163,11 @@ void CollisionAwareEngine::LearnId(const TagId& id, bool from_collision) {
     }
     if (fault_ && fault_->AckChannelEnabled()) {
       if (!fault_->AckLost()) Deactivate(tag);
-    } else if (rng_.UniformDouble() >= config_.ack_loss_prob) {
+    } else {
+      // The unfaulted ack always lands, but the draw is kept so the RNG
+      // stream (and therefore every committed golden trace) matches the
+      // builds that had the flat ack_loss_prob knob this position fed.
+      rng_.UniformDouble();
       Deactivate(tag);
     }
     return;
@@ -189,12 +193,14 @@ void CollisionAwareEngine::LearnId(const TagId& id, bool from_collision) {
     trace_.Emit(e);
   }
   // The acknowledgement (positive ack for a singleton, slot-index
-  // broadcast for a resolved record) reaches the tag unless the channel
-  // corrupts it; until it does, the tag keeps contending. The GE burst
-  // channel, when configured, supersedes the flat ack_loss_prob draw.
+  // broadcast for a resolved record) reaches the tag unless the
+  // Gilbert-Elliott ack channel (fault.ack_loss) corrupts it; until it
+  // does, the tag keeps contending.
   if (fault_ && fault_->AckChannelEnabled()) {
     if (!fault_->AckLost()) Deactivate(tag);
-  } else if (rng_.UniformDouble() >= config_.ack_loss_prob) {
+  } else {
+    // See the re-ack path above: the draw survives the knob it served.
+    rng_.UniformDouble();
     Deactivate(tag);
   }
   cascade_queue_.emplace_back(tag, from_collision);
@@ -207,7 +213,7 @@ void CollisionAwareEngine::RegisterRecord(phy::RecordHandle handle) {
     e.kind = trace::EventKind::kRecordOpen;
     e.slot = slot_index_;
     e.frame = metrics_.frames;
-    e.record = handle;
+    e.record = handle.index();
     trace_.Emit(e);
   }
   // Bounded store over capacity: the ledger picked a victim (possibly the
@@ -215,10 +221,10 @@ void CollisionAwareEngine::RegisterRecord(phy::RecordHandle handle) {
   // back to re-contention — they are still active, so nothing is lost
   // beyond the stored mixture.
   HandleEviction(victim);
-  if (config_.ack_loss_prob <= 0.0 &&
-      !(fault_ && fault_->AckChannelEnabled())) {
-    return;
-  }
+  // Re-contention only happens when acknowledgements can be lost, i.e.
+  // when the GE ack channel is live; otherwise no already-read tag is
+  // ever on the air and the scan below would be dead work.
+  if (!(fault_ && fault_->AckChannelEnabled())) return;
   // Already-identified tags can appear in fresh records while they wait
   // for a re-acknowledgement; the reader spots them by replaying the hash
   // rule over its known IDs and feeds their signals in immediately.
@@ -270,7 +276,7 @@ void CollisionAwareEngine::EmitResolve(
   e.kind = trace::EventKind::kRecordResolve;
   e.slot = slot_index_;
   e.frame = metrics_.frames;
-  e.record = resolution.record;
+  e.record = resolution.record.index();
   e.id_digest = resolution.id.Digest();
   e.cascade = cascade;
   trace_.Emit(e);
@@ -282,7 +288,8 @@ void CollisionAwareEngine::DrainCascade() {
   while (!cascade_queue_.empty()) {
     const auto [tag, via_collision] = cascade_queue_.front();
     cascade_queue_.pop_front();
-    for (const auto& res : tracker_.OnIdKnown(tag, phy_)) {
+    tracker_.OnIdKnown(tag, phy_, &resolutions_);
+    for (const auto& res : resolutions_) {
       ++resolved_this_slot_;
       EmitResolve(res, /*cascade=*/via_collision);
       LearnId(res.id, true);
@@ -369,7 +376,7 @@ void CollisionAwareEngine::Step() {
     fault_->ledger().Tick(slot_index_, metrics_.frames);
     if (fault_->BitrotChannelEnabled()) {
       const phy::RecordHandle rotted = fault_->SampleBitrot();
-      if (rotted != phy::kInvalidRecord) {
+      if (rotted.valid()) {
         EmitFault(trace::FaultKind::kBitRot, rotted, 0);
       }
     }
@@ -383,8 +390,14 @@ void CollisionAwareEngine::Step() {
 
   SelectTransmitters(prob);
   metrics_.tag_transmissions += participants_.size();
-  const phy::SlotObservation obs =
-      phy_.ObserveSlot(slot_index_, participants_);
+  // The engine advances one slot per Step(), so it feeds the phy's
+  // batched interface batches of one, built in preallocated scratch.
+  slot_scratch_[0] = slot_index_;
+  offsets_scratch_ = {0, static_cast<std::uint32_t>(participants_.size())};
+  phy_.ObserveBatch(
+      phy::SlotBatch{slot_scratch_, participants_, offsets_scratch_},
+      obs_scratch_);
+  const phy::SlotObservation& obs = obs_scratch_[0];
 
   if (trace_) {
     // Outcome as the reader perceives it: a CRC-failed singleton is
@@ -418,7 +431,7 @@ void CollisionAwareEngine::Step() {
       consecutive_empties_ = 0;
       if (obs.singleton_id) {
         LearnId(*obs.singleton_id, false);
-      } else if (obs.record != phy::kInvalidRecord) {
+      } else if (obs.record.valid()) {
         // CRC failed: to the reader this is indistinguishable from a
         // collision; the stored record is garbage but harmless.
         RegisterRecord(obs.record);

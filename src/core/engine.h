@@ -26,6 +26,7 @@
 // waveform simulation (SignalPhy).
 #pragma once
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <span>
@@ -145,6 +146,14 @@ class CollisionAwareEngine : public sim::Protocol {
 
   std::vector<std::uint32_t> participants_;    // reused per slot
   std::vector<TagId> learned_this_step_;       // cleared each Step()
+  // One-slot batch scratch for the phy's batched interface: the engine
+  // advances slot by slot, so each Step() submits a batch of one. All of
+  // it lives inline — the steady-state slot loop performs no heap
+  // allocation.
+  std::array<std::uint64_t, 1> slot_scratch_{};
+  std::array<std::uint32_t, 2> offsets_scratch_{};
+  std::array<phy::SlotObservation, 1> obs_scratch_{};
+  std::vector<RecordTracker::Resolution> resolutions_;  // cascade scratch
 
   std::uint64_t slot_index_ = 0;
   std::uint64_t slot_in_frame_ = 0;

@@ -19,7 +19,6 @@ CollisionAwareConfig EngineConfig(const FcatOptions& o) {
   c.hash_mode = o.hash_mode;
   c.empty_probe_threshold = o.empty_probe_threshold;
   c.oracle_termination = o.oracle_termination;
-  c.ack_loss_prob = o.ack_loss_prob;
   c.fault = o.fault;
   c.timing = o.timing;
   return c;
@@ -37,7 +36,6 @@ CollisionAwareConfig EngineConfig(const ScatOptions& o) {
   c.hash_mode = o.hash_mode;
   c.empty_probe_threshold = o.empty_probe_threshold;
   c.oracle_termination = o.oracle_termination;
-  c.ack_loss_prob = o.ack_loss_prob;
   c.fault = o.fault;
   c.timing = o.timing;
   return c;

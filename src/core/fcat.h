@@ -37,10 +37,11 @@ struct FcatOptions {
   int empty_probe_threshold = 8;
   double initial_estimate = 0.0;
   std::size_t estimator_window = 48;  // 0 = all-frame average
-  // Channel imperfections (Section IV-E ablations).
+  // Channel imperfections (Section IV-E ablations). Acknowledgement loss
+  // is modeled by fault.ack_loss (Gilbert-Elliott; error_good = p with
+  // p_good_to_bad = 0 reproduces flat Bernoulli loss).
   double resolution_success_prob = 1.0;
   double singleton_corrupt_prob = 0.0;
-  double ack_loss_prob = 0.0;
   // Fault injection (src/fault). Default-constructed = everything off; a
   // labelled config suffixes the protocol name ("FCAT-2@chaos") so trace
   // replay can rebuild the fault schedule from the run header.
@@ -88,7 +89,6 @@ struct ScatOptions {
   int empty_probe_threshold = 8;
   double resolution_success_prob = 1.0;
   double singleton_corrupt_prob = 0.0;
-  double ack_loss_prob = 0.0;
   fault::FaultConfig fault{};
   // Run the Section IV-C estimation pre-step explicitly (Kodialam-style
   // zero estimator) instead of assuming a free, perfect estimate of N.

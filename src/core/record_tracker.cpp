@@ -4,35 +4,66 @@
 
 namespace anc::core {
 
-RecordTracker::RecordTracker(std::size_t n_tags) : tag_records_(n_tags) {}
+RecordTracker::RecordTracker(std::size_t n_tags)
+    : chain_head_(n_tags, kNil), chain_tail_(n_tags, kNil) {}
 
-void RecordTracker::EnsureSlot(phy::RecordHandle handle) {
-  if (handle >= records_.size()) {
-    records_.resize(handle + 1);
+void RecordTracker::EnsureSlot(std::uint32_t index) {
+  if (index >= records_.size()) {
+    records_.resize(static_cast<std::size_t>(index) + 1);
+  }
+}
+
+void RecordTracker::PushKnown(RecordState& state, std::uint32_t tag) {
+  // The capacity bound keeps a duplicate feed (a tag re-learned through
+  // two paths) from spilling into the next record's arena slice; a record
+  // saturated with duplicates simply never satisfies the phy's
+  // knowns == constituents - 1 resolve condition, exactly as the
+  // unbounded per-record vector behaved.
+  if (state.knowns_len < state.knowns_cap) {
+    knowns_arena_[state.knowns_offset + state.knowns_len] = tag;
+    ++state.knowns_len;
   }
 }
 
 phy::RecordHandle RecordTracker::Register(
     phy::RecordHandle handle, std::span<const std::uint32_t> participants) {
-  EnsureSlot(handle);
-  RecordState& state = records_[handle];
+  EnsureSlot(handle.index());
+  RecordState& state = records_[handle.index()];
   state.open = true;
+  state.knowns_offset = static_cast<std::uint32_t>(knowns_arena_.size());
+  state.knowns_len = 0;
+  state.knowns_cap = static_cast<std::uint32_t>(participants.size());
+  knowns_arena_.resize(knowns_arena_.size() + participants.size());
   ++open_records_;
   for (std::uint32_t tag : participants) {
-    tag_records_[tag].push_back(handle);
+    const auto node = static_cast<std::uint32_t>(chain_nodes_.size());
+    chain_nodes_.push_back({handle, kNil});
+    if (chain_head_[tag] == kNil) {
+      chain_head_[tag] = node;
+    } else {
+      chain_nodes_[chain_tail_[tag]].next = node;
+    }
+    chain_tail_[tag] = node;
   }
   if (ledger_ == nullptr) return phy::kInvalidRecord;
   return ledger_->Open(handle, participants.size());
 }
 
-std::optional<TagId> RecordTracker::TryResolveWithFaults(
-    phy::RecordHandle handle, RecordState& state, phy::PhyInterface& phy) {
-  if (ledger_ == nullptr) return phy.TryResolve(handle, state.knowns);
-  // A bit-rotted record fails its CRC check at resolve time regardless of
-  // how many constituents are known.
-  std::optional<TagId> id;
-  if (!ledger_->IsCorrupt(handle)) id = phy.TryResolve(handle, state.knowns);
-  if (id) return id;
+void RecordTracker::CloseResolved(phy::RecordHandle handle,
+                                  RecordState& state,
+                                  phy::PhyInterface& phy) {
+  state.open = false;
+  --open_records_;
+  phy.ReleaseRecord(handle);
+  if (ledger_ != nullptr) {
+    ledger_->Close(handle, fault::RecordLedger::CloseReason::kResolved);
+  }
+}
+
+void RecordTracker::OnResolveMiss(phy::RecordHandle handle,
+                                  RecordState& state,
+                                  phy::PhyInterface& phy) {
+  if (ledger_ == nullptr) return;
   if (ledger_->OnResolveFailed(handle)) {
     // Retry budget spent: drop the record here and now. The engine picks
     // the handle up through TakeRetryAbandoned() for tracing/metrics.
@@ -42,53 +73,83 @@ std::optional<TagId> RecordTracker::TryResolveWithFaults(
     ledger_->Close(handle, fault::RecordLedger::CloseReason::kAbandonedRetry);
     retry_abandoned_.push_back(handle);
   }
-  return std::nullopt;
 }
 
 std::optional<RecordTracker::Resolution> RecordTracker::AddKnownParticipant(
     phy::RecordHandle handle, std::uint32_t tag, phy::PhyInterface& phy) {
-  if (handle >= records_.size()) return std::nullopt;
-  RecordState& state = records_[handle];
+  if (handle.index() >= records_.size()) return std::nullopt;
+  RecordState& state = records_[handle.index()];
   if (!state.open) return std::nullopt;
-  state.knowns.push_back(tag);
+  PushKnown(state, tag);
   if (ledger_ != nullptr) ledger_->OnProgress(handle);
-  if (auto id = TryResolveWithFaults(handle, state, phy)) {
-    state.open = false;
-    --open_records_;
-    phy.ReleaseRecord(handle);
-    if (ledger_ != nullptr) {
-      ledger_->Close(handle, fault::RecordLedger::CloseReason::kResolved);
-    }
+  std::optional<TagId> id;
+  if (ledger_ == nullptr || !ledger_->IsCorrupt(handle)) {
+    // A bit-rotted record fails its CRC check at resolve time regardless
+    // of how many constituents are known, so it never reaches the phy.
+    const phy::ResolveRequest request{handle, KnownsOf(state)};
+    std::optional<TagId> result;
+    phy.TryResolveBatch({&request, 1}, {&result, 1});
+    id = result;
+  }
+  if (id) {
+    CloseResolved(handle, state, phy);
     return Resolution{*id, handle};
   }
+  OnResolveMiss(handle, state, phy);
   return std::nullopt;
 }
 
-std::vector<RecordTracker::Resolution> RecordTracker::OnIdKnown(
-    std::uint32_t tag, phy::PhyInterface& phy) {
-  std::vector<Resolution> resolved;
-  for (phy::RecordHandle handle : tag_records_[tag]) {
-    RecordState& state = records_[handle];
+void RecordTracker::OnIdKnown(std::uint32_t tag, phy::PhyInterface& phy,
+                              std::vector<Resolution>* out) {
+  out->clear();
+  requests_scratch_.clear();
+  pending_scratch_.clear();
+  // Pass 1: feed the known into every open record the tag transmitted in
+  // and collect the resolve attempts. Records the ledger marked corrupt
+  // still count the miss against their retry budget but never reach the
+  // phy. The known slices live in knowns_arena_, which cannot reallocate
+  // here (every record's capacity was reserved at Register), so the
+  // request spans stay valid across the batch call.
+  for (std::uint32_t node = chain_head_[tag]; node != kNil;
+       node = chain_nodes_[node].next) {
+    const phy::RecordHandle handle = chain_nodes_[node].record;
+    RecordState& state = records_[handle.index()];
     if (!state.open) continue;
-    state.knowns.push_back(tag);
+    PushKnown(state, tag);
     if (ledger_ != nullptr) ledger_->OnProgress(handle);
-    if (auto id = TryResolveWithFaults(handle, state, phy)) {
-      state.open = false;
-      --open_records_;
-      phy.ReleaseRecord(handle);
-      if (ledger_ != nullptr) {
-        ledger_->Close(handle, fault::RecordLedger::CloseReason::kResolved);
-      }
-      resolved.push_back({*id, handle});
+    const bool corrupt = ledger_ != nullptr && ledger_->IsCorrupt(handle);
+    pending_scratch_.push_back({handle, corrupt});
+    if (!corrupt) {
+      requests_scratch_.push_back({handle, KnownsOf(state)});
     }
   }
-  return resolved;
+  if (!requests_scratch_.empty()) {
+    results_scratch_.resize(requests_scratch_.size());
+    phy.TryResolveBatch(requests_scratch_, results_scratch_);
+  }
+  // Pass 2: fold the results back in record order. Batching is
+  // equivalent to the old record-at-a-time loop because resolving one
+  // record never changes another's known set — the tag being learned
+  // here is the only new information, and it was fed to all of them
+  // before any attempt.
+  std::size_t ri = 0;
+  for (const Pending& pending : pending_scratch_) {
+    std::optional<TagId> id;
+    if (!pending.corrupt) id = results_scratch_[ri++];
+    RecordState& state = records_[pending.handle.index()];
+    if (id) {
+      CloseResolved(pending.handle, state, phy);
+      out->push_back({*id, pending.handle});
+    } else {
+      OnResolveMiss(pending.handle, state, phy);
+    }
+  }
 }
 
 void RecordTracker::Abandon(phy::RecordHandle handle, phy::PhyInterface& phy,
                             fault::RecordLedger::CloseReason reason) {
-  if (handle >= records_.size()) return;
-  RecordState& state = records_[handle];
+  if (handle.index() >= records_.size()) return;
+  RecordState& state = records_[handle.index()];
   if (!state.open) return;
   state.open = false;
   --open_records_;
@@ -99,9 +160,9 @@ void RecordTracker::Abandon(phy::RecordHandle handle, phy::PhyInterface& phy,
 std::size_t RecordTracker::ReleaseAll(
     phy::PhyInterface& phy, fault::RecordLedger::CloseReason reason) {
   std::size_t released = 0;
-  for (phy::RecordHandle handle = 0; handle < records_.size(); ++handle) {
-    if (!records_[handle].open) continue;
-    Abandon(handle, phy, reason);
+  for (std::uint32_t i = 0; i < records_.size(); ++i) {
+    if (!records_[i].open) continue;
+    Abandon(phy::RecordHandle{i}, phy, reason);
     ++released;
   }
   return released;

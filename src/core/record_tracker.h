@@ -10,8 +10,17 @@
 // consulting the per-tag transmission log the simulator recorded at
 // observation time (the hash rule is deterministic, so both views contain
 // identical information; the log is just O(1) per lookup). The tag's
-// signal is added to each record's known set and a resolution is
-// attempted; successes are returned so the engine can cascade.
+// signal is added to each record's known set and the resolutions are
+// attempted as one phy batch; successes are returned so the engine can
+// cascade.
+//
+// Storage is arena-backed throughout: record metadata is a flat vector
+// indexed by handle, known sets are fixed-capacity slices of one shared
+// index array (capacity = the record's constituent count, reserved at
+// registration), and the per-tag record lists are singly-linked chains
+// through one node pool. Registering a record or feeding a known into it
+// never allocates once the arenas reach steady-state capacity — the
+// tracker's share of the engine's zero-allocation slot loop.
 //
 // Fault coupling (src/fault): when a RecordLedger is attached, the
 // tracker reports every open/progress/close to it, refuses to resolve
@@ -55,9 +64,10 @@ class RecordTracker {
 
   // `tag`'s ID has just become known to the reader. Feeds it into every
   // open record the tag participated in, attempting resolution through
-  // `phy`. Resolved records are closed and released.
-  std::vector<Resolution> OnIdKnown(std::uint32_t tag,
-                                    phy::PhyInterface& phy);
+  // one `phy` batch. Resolved records are closed and released; `out` is
+  // cleared and filled with the resolutions in record (chain) order.
+  void OnIdKnown(std::uint32_t tag, phy::PhyInterface& phy,
+                 std::vector<Resolution>* out);
 
   // A tag whose ID the reader *already* holds transmitted in a freshly
   // registered record (it re-contends because its acknowledgement was
@@ -84,26 +94,55 @@ class RecordTracker {
   // drains this each step to emit trace events and metrics.
   std::vector<phy::RecordHandle> TakeRetryAbandoned();
 
-  std::size_t open_records() const { return open_records_; }
+  [[nodiscard]] std::size_t open_records() const { return open_records_; }
 
  private:
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
   struct RecordState {
-    std::vector<std::uint32_t> knowns;
+    std::uint32_t knowns_offset = 0;  // slice of knowns_arena_
+    std::uint32_t knowns_len = 0;
+    std::uint32_t knowns_cap = 0;     // = constituent count at Register
     bool open = false;
   };
 
-  void EnsureSlot(phy::RecordHandle handle);
-  // Shared resolve attempt: consults the ledger's corruption mark, counts
-  // failures, abandons over-budget records.
-  std::optional<TagId> TryResolveWithFaults(phy::RecordHandle handle,
-                                            RecordState& state,
-                                            phy::PhyInterface& phy);
+  struct ChainNode {
+    phy::RecordHandle record;
+    std::uint32_t next = kNil;
+  };
+
+  struct Pending {
+    phy::RecordHandle handle;
+    bool corrupt = false;  // ledger says CRC is gone: no phy attempt
+  };
+
+  void EnsureSlot(std::uint32_t index);
+  // Appends `tag` to the record's known slice (bounded by its capacity).
+  void PushKnown(RecordState& state, std::uint32_t tag);
+  [[nodiscard]] std::span<const std::uint32_t> KnownsOf(
+      const RecordState& state) const {
+    return {knowns_arena_.data() + state.knowns_offset, state.knowns_len};
+  }
+  void CloseResolved(phy::RecordHandle handle, RecordState& state,
+                     phy::PhyInterface& phy);
+  // Failure bookkeeping shared by both resolve paths: counts the failure
+  // against the ledger budget and abandons the record when it is spent.
+  void OnResolveMiss(phy::RecordHandle handle, RecordState& state,
+                     phy::PhyInterface& phy);
 
   std::vector<RecordState> records_;
-  std::vector<std::vector<phy::RecordHandle>> tag_records_;
+  std::vector<std::uint32_t> knowns_arena_;
+  std::vector<ChainNode> chain_nodes_;
+  std::vector<std::uint32_t> chain_head_;  // per tag
+  std::vector<std::uint32_t> chain_tail_;
   std::size_t open_records_ = 0;
   fault::RecordLedger* ledger_ = nullptr;
   std::vector<phy::RecordHandle> retry_abandoned_;
+
+  // Batch scratch, reused across OnIdKnown calls.
+  std::vector<phy::ResolveRequest> requests_scratch_;
+  std::vector<std::optional<TagId>> results_scratch_;
+  std::vector<Pending> pending_scratch_;
 };
 
 }  // namespace anc::core

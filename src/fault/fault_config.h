@@ -89,7 +89,7 @@ struct CrashPlan {
 struct FaultConfig {
   RecordStorePolicy store{};
   GilbertElliottParams advert_corruption{};  // sampled once per frame advert
-  GilbertElliottParams ack_loss{};  // per ack; supersedes flat ack_loss_prob
+  GilbertElliottParams ack_loss{};  // per ack (flat loss: degenerate GE)
   GilbertElliottParams record_bitrot{};  // per slot; corrupts stored records
   CrashPlan crash{};
   // Canned-profile label (see fault::FaultProfile). A labelled config

@@ -46,7 +46,8 @@ class FaultInjector {
   }
 
   // Acknowledgement downlink: one channel use per (re-)ack. When enabled
-  // this supersedes the engine's flat ack_loss_prob draw.
+  // the engine consults this instead of its (always-successful) default
+  // ack path; a degenerate GE channel reproduces flat Bernoulli loss.
   bool AckChannelEnabled() const { return ack_.enabled(); }
   bool AckLost() {
     const bool lost = ack_.Sample(rng_);

@@ -13,8 +13,10 @@ void RecordLedger::Tick(std::uint64_t slot, std::uint64_t frame) {
 
 phy::RecordHandle RecordLedger::Open(phy::RecordHandle handle,
                                      std::size_t k) {
-  if (handle >= metas_.size()) metas_.resize(handle + 1);
-  Meta& m = metas_[handle];
+  if (handle.index() >= metas_.size()) {
+    metas_.resize(handle.index() + 1);
+  }
+  Meta& m = metas_[handle.index()];
   m = Meta{};
   m.open = true;
   m.opened_slot = slot_;
@@ -44,8 +46,8 @@ phy::RecordHandle RecordLedger::PickVictim() {
   }
   phy::RecordHandle victim = open_.front();
   for (phy::RecordHandle h : open_) {
-    const Meta& m = metas_[h];
-    const Meta& best = metas_[victim];
+    const Meta& m = metas_[h.index()];
+    const Meta& best = metas_[victim.index()];
     if (policy_.eviction == EvictionPolicy::kLruProgress) {
       // Least-recently-progressed; older record breaks ties (both
       // deterministic: one record opens per slot, so opened_slot is
@@ -66,14 +68,16 @@ phy::RecordHandle RecordLedger::PickVictim() {
 }
 
 void RecordLedger::OnProgress(phy::RecordHandle handle) {
-  if (handle < metas_.size() && metas_[handle].open) {
-    metas_[handle].last_progress_slot = slot_;
+  if (handle.index() < metas_.size() && metas_[handle.index()].open) {
+    metas_[handle.index()].last_progress_slot = slot_;
   }
 }
 
 bool RecordLedger::OnResolveFailed(phy::RecordHandle handle) {
-  if (handle >= metas_.size() || !metas_[handle].open) return false;
-  Meta& m = metas_[handle];
+  if (handle.index() >= metas_.size() || !metas_[handle.index()].open) {
+    return false;
+  }
+  Meta& m = metas_[handle.index()];
   ++m.resolve_failures;
   return policy_.max_resolve_failures > 0 &&
          m.resolve_failures > policy_.max_resolve_failures;
@@ -81,7 +85,7 @@ bool RecordLedger::OnResolveFailed(phy::RecordHandle handle) {
 
 phy::RecordHandle RecordLedger::CorruptOldest() {
   for (phy::RecordHandle h : open_) {
-    Meta& m = metas_[h];
+    Meta& m = metas_[h.index()];
     if (m.corrupt) continue;
     m.corrupt = true;
     ++counters_->records_corrupted;
@@ -91,13 +95,15 @@ phy::RecordHandle RecordLedger::CorruptOldest() {
 }
 
 bool RecordLedger::IsCorrupt(phy::RecordHandle handle) const {
-  return handle < metas_.size() && metas_[handle].open &&
-         metas_[handle].corrupt;
+  return handle.index() < metas_.size() && metas_[handle.index()].open &&
+         metas_[handle.index()].corrupt;
 }
 
 void RecordLedger::Close(phy::RecordHandle handle, CloseReason reason) {
-  if (handle >= metas_.size() || !metas_[handle].open) return;
-  metas_[handle].open = false;
+  if (handle.index() >= metas_.size() || !metas_[handle.index()].open) {
+    return;
+  }
+  metas_[handle.index()].open = false;
   open_.erase(std::find(open_.begin(), open_.end(), handle));
   switch (reason) {
     case CloseReason::kResolved: ++counters_->records_resolved; break;
@@ -121,7 +127,7 @@ void RecordLedger::ExpireTtl(
     std::vector<phy::RecordHandle>* expired) const {
   if (policy_.max_open_frames == 0) return;
   for (phy::RecordHandle h : open_) {
-    if (frame_ - metas_[h].opened_frame > policy_.max_open_frames) {
+    if (frame_ - metas_[h.index()].opened_frame > policy_.max_open_frames) {
       expired->push_back(h);
     }
   }

@@ -8,46 +8,51 @@ IdealPhy::IdealPhy(std::span<const TagId> population, IdealPhyConfig config,
                    anc::Pcg32 rng)
     : population_(population), config_(config), rng_(rng) {}
 
-SlotObservation IdealPhy::ObserveSlot(
-    std::uint64_t /*slot_index*/,
-    std::span<const std::uint32_t> participants) {
-  SlotObservation obs;
-  if (participants.empty()) {
-    obs.type = SlotType::kEmpty;
-    return obs;
-  }
+void IdealPhy::ObserveBatch(const SlotBatch& batch,
+                            std::span<SlotObservation> out) {
+  for (std::size_t i = 0; i < batch.slots(); ++i) {
+    const auto participants = batch.ParticipantsOf(i);
+    SlotObservation& obs = out[i];
+    obs = SlotObservation{};
+    if (participants.empty()) {
+      obs.type = SlotType::kEmpty;
+      continue;
+    }
 
-  if (participants.size() == 1 &&
-      rng_.UniformDouble() >= config_.singleton_corrupt_prob) {
-    obs.type = SlotType::kSingleton;
-    obs.singleton_id = population_[participants[0]];
-    return obs;
-  }
+    if (participants.size() == 1 &&
+        rng_.UniformDouble() >= config_.singleton_corrupt_prob) {
+      obs.type = SlotType::kSingleton;
+      obs.singleton_id = population_[participants[0]];
+      continue;
+    }
 
-  // Collision, or a singleton whose CRC failed: the reader can only store
-  // the received signal as a collision record.
-  obs.type = participants.size() == 1 ? SlotType::kSingleton
-                                      : SlotType::kCollision;
-  Record record;
-  record.participants.assign(participants.begin(), participants.end());
-  record.open = true;
-  // A corrupted singleton's stored signal is garbage: it can never be
-  // resolved, only superseded when the tag retries.
-  record.doomed = participants.size() == 1;
-  records_.push_back(std::move(record));
-  ++open_records_;
-  obs.record = static_cast<RecordHandle>(records_.size() - 1);
-  return obs;
+    // Collision, or a singleton whose CRC failed: the reader can only
+    // store the received signal as a collision record.
+    obs.type = participants.size() == 1 ? SlotType::kSingleton
+                                        : SlotType::kCollision;
+    Record record;
+    record.offset = static_cast<std::uint32_t>(participants_arena_.size());
+    record.count = static_cast<std::uint32_t>(participants.size());
+    record.open = true;
+    // A corrupted singleton's stored signal is garbage: it can never be
+    // resolved, only superseded when the tag retries.
+    record.doomed = participants.size() == 1;
+    participants_arena_.insert(participants_arena_.end(),
+                               participants.begin(), participants.end());
+    records_.push_back(record);
+    ++open_records_;
+    obs.record =
+        RecordHandle(static_cast<std::uint32_t>(records_.size() - 1));
+  }
 }
 
-std::optional<TagId> IdealPhy::TryResolve(
-    RecordHandle handle, std::span<const std::uint32_t> known_participants) {
-  if (handle >= records_.size()) return std::nullopt;
-  Record& record = records_[handle];
+std::optional<TagId> IdealPhy::ResolveOne(const ResolveRequest& request) {
+  if (request.record.index() >= records_.size()) return std::nullopt;
+  Record& record = records_[request.record.index()];
   if (!record.open || record.doomed) return std::nullopt;
-  const std::size_t k = record.participants.size();
+  const std::size_t k = record.count;
   if (k > config_.lambda) return std::nullopt;
-  if (known_participants.size() + 1 != k) return std::nullopt;
+  if (request.known_participants.size() + 1 != k) return std::nullopt;
 
   if (rng_.UniformDouble() >= config_.resolution_success_prob) {
     // A noise-corrupted record never becomes resolvable (Section IV-E):
@@ -57,22 +62,31 @@ std::optional<TagId> IdealPhy::TryResolve(
     return std::nullopt;
   }
 
-  for (std::uint32_t tag : record.participants) {
-    const bool known =
-        std::find(known_participants.begin(), known_participants.end(),
-                  tag) != known_participants.end();
-    if (!known) return population_[tag];
+  const auto participants = std::span<const std::uint32_t>(
+      participants_arena_.data() + record.offset, record.count);
+  const auto& knowns = request.known_participants;
+  for (std::uint32_t tag : participants) {
+    if (std::find(knowns.begin(), knowns.end(), tag) == knowns.end()) {
+      return population_[tag];
+    }
   }
   return std::nullopt;  // all constituents already known; nothing to gain
 }
 
+void IdealPhy::TryResolveBatch(std::span<const ResolveRequest> requests,
+                               std::span<std::optional<TagId>> out) {
+  // Sequential on purpose: the success-probability draws must consume the
+  // RNG stream in request order for trace reproducibility.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    out[i] = ResolveOne(requests[i]);
+  }
+}
+
 void IdealPhy::ReleaseRecord(RecordHandle handle) {
-  if (handle >= records_.size()) return;
-  Record& record = records_[handle];
+  if (handle.index() >= records_.size()) return;
+  Record& record = records_[handle.index()];
   if (record.open) {
     record.open = false;
-    record.participants.clear();
-    record.participants.shrink_to_fit();
     --open_records_;
   }
 }

@@ -7,6 +7,16 @@
 //   singleton_corrupt_prob   — channel error on a report segment: the CRC
 //                              fails and the slot is recorded like a
 //                              collision (the tag retries later).
+//
+// Records live in a flat arena: per-record metadata in one vector,
+// participant lists appended to one shared index array. Opening a record
+// costs one metadata push plus an append — no per-record node allocation —
+// which is what lets the engine's slot loop run allocation-free once the
+// arena reaches steady-state capacity.
+//
+// RNG discipline: batch calls draw in slot/request span order, exactly as
+// the old slot-at-a-time interface did, so golden traces recorded against
+// that interface stay byte-identical.
 #pragma once
 
 #include <cstdint>
@@ -29,29 +39,33 @@ class IdealPhy final : public PhyInterface {
   IdealPhy(std::span<const TagId> population, IdealPhyConfig config,
            anc::Pcg32 rng);
 
-  SlotObservation ObserveSlot(
-      std::uint64_t slot_index,
-      std::span<const std::uint32_t> participants) override;
+  void ObserveBatch(const SlotBatch& batch,
+                    std::span<SlotObservation> out) override;
 
-  std::optional<TagId> TryResolve(
-      RecordHandle record,
-      std::span<const std::uint32_t> known_participants) override;
+  void TryResolveBatch(std::span<const ResolveRequest> requests,
+                       std::span<std::optional<TagId>> out) override;
 
   void ReleaseRecord(RecordHandle record) override;
 
-  std::size_t OpenRecords() const override { return open_records_; }
+  [[nodiscard]] std::size_t OpenRecords() const override {
+    return open_records_;
+  }
 
  private:
   struct Record {
-    std::vector<std::uint32_t> participants;
+    std::uint32_t offset = 0;  // into participants_arena_
+    std::uint32_t count = 0;
     bool open = false;
     bool doomed = false;  // resolution attempt already failed (noise draw)
   };
+
+  std::optional<TagId> ResolveOne(const ResolveRequest& request);
 
   std::span<const TagId> population_;
   IdealPhyConfig config_;
   anc::Pcg32 rng_;
   std::vector<Record> records_;
+  std::vector<std::uint32_t> participants_arena_;
   std::size_t open_records_ = 0;
 };
 

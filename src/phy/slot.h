@@ -11,8 +11,29 @@ namespace anc::phy {
 enum class SlotType { kEmpty, kSingleton, kCollision };
 
 // Handle of a stored collision record (mixed signal + slot index).
-using RecordHandle = std::uint32_t;
-inline constexpr RecordHandle kInvalidRecord = ~RecordHandle{0};
+//
+// A strong opaque type: handles index arena-backed record stores, and an
+// accidental integer conversion (handle used as a tag index, arithmetic on
+// handles, comparing handles from different stores) is exactly the kind of
+// bug an open-coded uint32 invites. The only escape hatch is index(),
+// which trace serialization and the stores themselves use; the invalid
+// handle's index is 0xFFFFFFFF, matching the historical wire encoding.
+class RecordHandle {
+ public:
+  constexpr RecordHandle() = default;
+  explicit constexpr RecordHandle(std::uint32_t index) : value_(index) {}
+
+  [[nodiscard]] constexpr std::uint32_t index() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(RecordHandle, RecordHandle) = default;
+
+ private:
+  static constexpr std::uint32_t kInvalid = ~std::uint32_t{0};
+  std::uint32_t value_ = kInvalid;
+};
+
+inline constexpr RecordHandle kInvalidRecord{};
 
 // What the reader observes in one report segment.
 struct SlotObservation {

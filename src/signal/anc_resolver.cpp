@@ -37,11 +37,12 @@ bool SolveComplexSystem(std::vector<std::vector<Sample>>& g,
 }  // namespace
 
 Buffer AncResolver::SubtractReferences(
-    const Buffer& mixed, std::span<const Buffer> references) const {
-  Buffer residual = mixed;
+    std::span<const Sample> mixed,
+    std::span<const std::span<const Sample>> references) const {
+  Buffer residual(mixed.begin(), mixed.end());
   switch (mode_) {
     case SubtractionMode::kDirect: {
-      for (const Buffer& ref : references) {
+      for (const auto ref : references) {
         SubtractScaled(residual, ref, Sample{1.0, 0.0});
       }
       break;
@@ -62,7 +63,7 @@ Buffer AncResolver::SubtractReferences(
         }
       } else {
         // Degenerate references: fall back to direct subtraction.
-        for (const Buffer& ref : references) {
+        for (const auto ref : references) {
           SubtractScaled(residual, ref, Sample{1.0, 0.0});
         }
       }
@@ -77,8 +78,8 @@ Buffer AncResolver::SubtractReferences(
         residual.clear();
         break;
       }
-      const Buffer& ref = references[0];
-      const AmplitudeEstimate est = EstimateTwoAmplitudes(mixed);
+      const auto ref = references[0];
+      const AmplitudeEstimate est = EstimateTwoAmplitudes(residual);
       if (!est.valid) {
         residual.clear();
         break;
@@ -99,17 +100,26 @@ Buffer AncResolver::SubtractReferences(
   return residual;
 }
 
-ResolveResult AncResolver::ResolveLast(const Buffer& mixed,
-                                       std::span<const Buffer> references,
-                                       std::size_t num_bits) const {
+ResolveResult AncResolver::ResolveLast(
+    std::span<const Sample> mixed,
+    std::span<const std::span<const Sample>> references,
+    std::size_t num_bits) const {
   ResolveResult result;
   Buffer residual = SubtractReferences(mixed, references);
   if (residual.empty()) return result;
   result.residual_power = MeanPower(residual);
-  result.bits = demod_.Demodulate(residual, num_bits);
+  demod_.DemodulateInto(residual, num_bits, &result.bits);
   result.demodulated = true;
   result.residual = std::move(residual);
   return result;
+}
+
+ResolveResult AncResolver::ResolveLast(std::span<const Sample> mixed,
+                                       std::span<const Buffer> references,
+                                       std::size_t num_bits) const {
+  std::vector<std::span<const Sample>> views(references.begin(),
+                                             references.end());
+  return ResolveLast(mixed, views, num_bits);
 }
 
 }  // namespace anc::signal

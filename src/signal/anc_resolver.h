@@ -16,6 +16,10 @@
 //   kEnergy        the paper's Section II-B method: estimate constituent
 //                  amplitudes from the mixture's energy statistics and
 //                  rescale the reference accordingly (2-collisions only).
+//
+// ResolveLast is const and reads only its arguments, so independent
+// requests may run concurrently — the property SignalPhy's demodulation
+// pool relies on.
 #pragma once
 
 #include <cstdint>
@@ -47,15 +51,22 @@ class AncResolver {
 
   // Subtracts `references` from `mixed` and demodulates the residual into
   // `num_bits` bits. kEnergy supports exactly one reference.
-  ResolveResult ResolveLast(const Buffer& mixed,
-                            std::span<const Buffer> references,
-                            std::size_t num_bits) const;
+  [[nodiscard]] ResolveResult ResolveLast(
+      std::span<const Sample> mixed,
+      std::span<const std::span<const Sample>> references,
+      std::size_t num_bits) const;
+
+  // Convenience overload for owned buffers (tests and benches).
+  [[nodiscard]] ResolveResult ResolveLast(std::span<const Sample> mixed,
+                                          std::span<const Buffer> references,
+                                          std::size_t num_bits) const;
 
   SubtractionMode mode() const { return mode_; }
 
  private:
-  Buffer SubtractReferences(const Buffer& mixed,
-                            std::span<const Buffer> references) const;
+  Buffer SubtractReferences(
+      std::span<const Sample> mixed,
+      std::span<const std::span<const Sample>> references) const;
 
   SubtractionMode mode_;
   MskDemodulator demod_;

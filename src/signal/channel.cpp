@@ -2,26 +2,41 @@
 
 #include <cmath>
 
+#include "signal/fast_normal.h"
+
 namespace anc::signal {
 
-Buffer ApplyChannel(const Buffer& x, const ChannelParams& params) {
+Buffer ApplyChannel(std::span<const Sample> x, const ChannelParams& params) {
   Buffer out;
-  out.reserve(x.size());
-  double phase = params.phase;
-  for (const Sample& s : x) {
-    out.push_back(s * Sample{params.gain * std::cos(phase),
-                             params.gain * std::sin(phase)});
-    phase += params.cfo_per_sample;
-  }
+  ApplyChannelInto(x, params, &out);
   return out;
 }
 
-void AddAwgn(Buffer& y, double noise_power, anc::Pcg32& rng) {
+void ApplyChannelInto(std::span<const Sample> x, const ChannelParams& params,
+                      Buffer* out) {
+  out->resize(x.size());
+  Sample* dst = out->data();
+  if (params.cfo_per_sample == 0.0) {
+    // Static rotation: one complex constant, a pure vectorizable scale.
+    const Sample h{params.gain * std::cos(params.phase),
+                   params.gain * std::sin(params.phase)};
+    for (std::size_t i = 0; i < x.size(); ++i) dst[i] = x[i] * h;
+    return;
+  }
+  double phase = params.phase;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    dst[i] = x[i] * Sample{params.gain * std::cos(phase),
+                           params.gain * std::sin(phase)};
+    phase += params.cfo_per_sample;
+  }
+}
+
+void AddAwgn(std::span<Sample> y, double noise_power, anc::Pcg32& rng) {
   if (noise_power <= 0.0) return;
   // Per-dimension variance: E|n|^2 = 2 * var(dim).
   const double sigma = std::sqrt(noise_power / 2.0);
   for (Sample& s : y) {
-    s += Sample{sigma * rng.Normal(), sigma * rng.Normal()};
+    s += Sample{sigma * FastNormal(rng), sigma * FastNormal(rng)};
   }
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "common/rng.h"
 #include "signal/complex_buffer.h"
@@ -22,11 +23,17 @@ struct ChannelParams {
 };
 
 // Returns the channel-transformed copy of x.
-Buffer ApplyChannel(const Buffer& x, const ChannelParams& params);
+Buffer ApplyChannel(std::span<const Sample> x, const ChannelParams& params);
+
+// Channel-transforms x into *out (resized; allocation-free once out has
+// capacity) — the hot-path variant for reusable scratch buffers.
+void ApplyChannelInto(std::span<const Sample> x, const ChannelParams& params,
+                      Buffer* out);
 
 // Adds circularly-symmetric complex Gaussian noise of total power
-// `noise_power` = E|n|^2 to y in place.
-void AddAwgn(Buffer& y, double noise_power, anc::Pcg32& rng);
+// `noise_power` = E|n|^2 to y in place. Draws per sample via the ziggurat
+// sampler (signal/fast_normal.h), two normals per sample.
+void AddAwgn(std::span<Sample> y, double noise_power, anc::Pcg32& rng);
 
 // Noise power that yields the given SNR (dB) for a signal of power
 // `signal_power`.

@@ -1,10 +1,13 @@
 // Complex-baseband sample buffers and the small set of vector operations
 // the ANC signal chain needs. Kept header-only: these are the innermost
-// loops of the waveform-level simulator.
+// loops of the waveform-level simulator. All kernels take spans so they
+// run over flat arena slices as well as owned Buffers; a Buffer converts
+// implicitly.
 #pragma once
 
 #include <complex>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace anc::signal {
@@ -13,7 +16,7 @@ using Sample = std::complex<double>;
 using Buffer = std::vector<Sample>;
 
 // Mean of |y[n]|^2 over the buffer.
-inline double MeanPower(const Buffer& y) {
+inline double MeanPower(std::span<const Sample> y) {
   if (y.empty()) return 0.0;
   double sum = 0.0;
   for (const Sample& s : y) sum += std::norm(s);
@@ -21,7 +24,8 @@ inline double MeanPower(const Buffer& y) {
 }
 
 // Hermitian inner product <a, b> = sum a[n] * conj(b[n]).
-inline Sample InnerProduct(const Buffer& a, const Buffer& b) {
+inline Sample InnerProduct(std::span<const Sample> a,
+                           std::span<const Sample> b) {
   const std::size_t n = std::min(a.size(), b.size());
   Sample acc{0.0, 0.0};
   for (std::size_t i = 0; i < n; ++i) acc += a[i] * std::conj(b[i]);
@@ -29,13 +33,14 @@ inline Sample InnerProduct(const Buffer& a, const Buffer& b) {
 }
 
 // y -= alpha * x (element-wise over the common prefix).
-inline void SubtractScaled(Buffer& y, const Buffer& x, Sample alpha) {
+inline void SubtractScaled(std::span<Sample> y, std::span<const Sample> x,
+                           Sample alpha) {
   const std::size_t n = std::min(y.size(), x.size());
   for (std::size_t i = 0; i < n; ++i) y[i] -= alpha * x[i];
 }
 
 // Element-wise accumulate: acc += x, extending acc if x is longer.
-inline void Accumulate(Buffer& acc, const Buffer& x) {
+inline void Accumulate(Buffer& acc, std::span<const Sample> x) {
   if (x.size() > acc.size()) acc.resize(x.size(), Sample{0.0, 0.0});
   for (std::size_t i = 0; i < x.size(); ++i) acc[i] += x[i];
 }

@@ -1,5 +1,7 @@
 #include "signal/mixer.h"
 
+#include <algorithm>
+
 namespace anc::signal {
 
 Buffer MixSignals(std::span<const Buffer> signals,
@@ -16,6 +18,24 @@ Buffer MixSignals(std::span<const Buffer> signals,
     }
   }
   return mixed;
+}
+
+void MixInto(std::span<const std::span<const Sample>> signals,
+             std::span<const std::size_t> offsets, Buffer* mixed) {
+  std::size_t length = 0;
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    const std::size_t offset = (i < offsets.size()) ? offsets[i] : 0;
+    length = std::max(length, offset + signals[i].size());
+  }
+  mixed->assign(length, Sample{0.0, 0.0});
+  Sample* dst = mixed->data();
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    const std::size_t offset = (i < offsets.size()) ? offsets[i] : 0;
+    const std::span<const Sample> sig = signals[i];
+    for (std::size_t n = 0; n < sig.size(); ++n) {
+      dst[offset + n] += sig[n];
+    }
+  }
 }
 
 }  // namespace anc::signal

@@ -19,4 +19,10 @@ namespace anc::signal {
 Buffer MixSignals(std::span<const Buffer> signals,
                   std::span<const std::size_t> offsets = {});
 
+// Hot-path variant over flat spans into a reusable buffer: *mixed is
+// resized to the longest offset+signal extent, zeroed, and accumulated in
+// signal order (numerically identical to MixSignals' grow-and-add).
+void MixInto(std::span<const std::span<const Sample>> signals,
+             std::span<const std::size_t> offsets, Buffer* mixed);
+
 }  // namespace anc::signal

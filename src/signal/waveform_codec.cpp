@@ -22,12 +22,21 @@ Buffer WaveformCodec::Encode(const TagId& id) const {
   return modulator_.Modulate(FrameBits(id));
 }
 
-std::optional<TagId> WaveformCodec::Decode(const Buffer& received) const {
-  return DecodeBits(demodulator_.Demodulate(received, frame_bits()));
+std::optional<TagId> WaveformCodec::Decode(
+    std::span<const Sample> received) const {
+  std::vector<std::uint8_t> bits;
+  return DecodeInto(received, &bits);
+}
+
+std::optional<TagId> WaveformCodec::DecodeInto(
+    std::span<const Sample> received,
+    std::vector<std::uint8_t>* bits_scratch) const {
+  demodulator_.DemodulateInto(received, frame_bits(), bits_scratch);
+  return DecodeBits(*bits_scratch);
 }
 
 std::optional<TagId> WaveformCodec::DecodeBits(
-    const std::vector<std::uint8_t>& bits) const {
+    std::span<const std::uint8_t> bits) const {
   if (bits.size() != frame_bits()) return std::nullopt;
   // Preamble check; bit 0 is decided from S-1 phase differences and is
   // still expected to be correct under reasonable SNR.
@@ -35,10 +44,11 @@ std::optional<TagId> WaveformCodec::DecodeBits(
     const std::uint8_t expected = (i % 2 == 0) ? 1 : 0;
     if (bits[static_cast<std::size_t>(i)] != expected) return std::nullopt;
   }
-  std::vector<std::uint8_t> id_bits(
-      bits.begin() + preamble_bits_, bits.end());
   TagId id;
-  if (!TagId::FromBits(id_bits, &id)) return std::nullopt;
+  if (!TagId::FromBits(bits.subspan(static_cast<std::size_t>(preamble_bits_)),
+                       &id)) {
+    return std::nullopt;
+  }
   return id;
 }
 

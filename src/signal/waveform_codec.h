@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/tag_id.h"
@@ -20,17 +21,25 @@ class WaveformCodec {
   explicit WaveformCodec(int samples_per_bit = 8, int preamble_bits = 8);
 
   // Full over-the-air bit frame for an ID.
-  std::vector<std::uint8_t> FrameBits(const TagId& id) const;
+  [[nodiscard]] std::vector<std::uint8_t> FrameBits(const TagId& id) const;
 
   // Unit-amplitude transmit waveform for an ID.
-  Buffer Encode(const TagId& id) const;
+  [[nodiscard]] Buffer Encode(const TagId& id) const;
 
   // Demodulates a received waveform; returns the ID when the preamble
   // matches and the CRC validates, nullopt otherwise (collision or noise).
-  std::optional<TagId> Decode(const Buffer& received) const;
+  [[nodiscard]] std::optional<TagId> Decode(
+      std::span<const Sample> received) const;
+
+  // Allocation-free variant: demodulates through `bits_scratch` (cleared
+  // and refilled), for hot loops that decode every slot.
+  [[nodiscard]] std::optional<TagId> DecodeInto(
+      std::span<const Sample> received,
+      std::vector<std::uint8_t>* bits_scratch) const;
 
   // Decodes pre-demodulated bits (used by the ANC resolver path).
-  std::optional<TagId> DecodeBits(const std::vector<std::uint8_t>& bits) const;
+  [[nodiscard]] std::optional<TagId> DecodeBits(
+      std::span<const std::uint8_t> bits) const;
 
   std::size_t frame_bits() const {
     return static_cast<std::size_t>(preamble_bits_) + TagId::kTotalBits;

@@ -1,0 +1,36 @@
+// One-shot wrappers over the batched phy interface for tests that
+// exercise a single slot or a single resolve attempt. Production code
+// submits real batches; tests mostly want the old slot-at-a-time shape,
+// so the batch plumbing lives here once instead of in every test.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/tag_id.h"
+#include "phy/phy.h"
+
+namespace anc::phy_test {
+
+inline phy::SlotObservation Observe(
+    phy::PhyInterface& phy, std::uint64_t slot,
+    std::span<const std::uint32_t> participants) {
+  const std::uint64_t slots[] = {slot};
+  const std::uint32_t offsets[] = {
+      0, static_cast<std::uint32_t>(participants.size())};
+  phy::SlotObservation obs[1];
+  phy.ObserveBatch(phy::SlotBatch{slots, participants, offsets}, obs);
+  return obs[0];
+}
+
+inline std::optional<TagId> Resolve(phy::PhyInterface& phy,
+                                    phy::RecordHandle record,
+                                    std::span<const std::uint32_t> knowns) {
+  const phy::ResolveRequest request{record, knowns};
+  std::optional<TagId> out[1];
+  phy.TryResolveBatch({&request, 1}, out);
+  return out[0];
+}
+
+}  // namespace anc::phy_test

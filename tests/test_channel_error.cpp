@@ -1,6 +1,8 @@
 // Section IV-E channel-error behaviour: a tag keeps transmitting until it
 // receives positive confirmation; the reader discards duplicate
-// receptions.
+// receptions. Flat Bernoulli ack loss is expressed as the degenerate
+// Gilbert-Elliott channel (p_good_to_bad = 0, error_good = p), which
+// replaced the engine's old flat ack_loss_prob knob.
 #include <gtest/gtest.h>
 
 #include <tuple>
@@ -13,7 +15,7 @@ namespace {
 
 TEST(AckLoss, DuplicatesAppearAndAreDiscarded) {
   FcatOptions o;
-  o.ack_loss_prob = 0.3;
+  o.fault.ack_loss.error_good = 0.3;
   const auto m = sim::RunOnce(MakeFcatFactory(o), 1000, 3, 300);
   EXPECT_EQ(m.tags_read, 1000u);
   EXPECT_GT(m.duplicate_receptions, 0u);
@@ -28,7 +30,7 @@ TEST(AckLoss, DuplicateReceptionsBoundedAndCountedOnce) {
   // concentrate around n * p / (1 - p); a double-count would blow far
   // past that bound, a miss would leave the counter at 0.
   FcatOptions o;
-  o.ack_loss_prob = 0.25;
+  o.fault.ack_loss.error_good = 0.25;
   const auto m = sim::RunOnce(MakeFcatFactory(o), 1500, 17, 300);
   EXPECT_EQ(m.tags_read, 1500u);
   EXPECT_EQ(m.ids_from_singletons + m.ids_from_collisions, 1500u);
@@ -62,7 +64,7 @@ TEST(AckLoss, ThroughputDegradesMonotonically) {
   double prev = 1e9;
   for (double loss : {0.0, 0.2, 0.5}) {
     FcatOptions o;
-    o.ack_loss_prob = loss;
+    o.fault.ack_loss.error_good = loss;
     o.initial_estimate = 2000;
     const auto agg = sim::RunExperiment(MakeFcatFactory(o), opts);
     EXPECT_EQ(agg.runs_capped, 0u) << "loss=" << loss;
@@ -75,7 +77,7 @@ TEST(AckLoss, ReAckedTagsStopRetransmitting) {
   // Even at high ack loss the protocol must terminate on its own probe
   // rule (every tag eventually hears an acknowledgement).
   FcatOptions o;
-  o.ack_loss_prob = 0.6;
+  o.fault.ack_loss.error_good = 0.6;
   const auto m = sim::RunOnce(MakeFcatFactory(o), 500, 7, 500);
   EXPECT_EQ(m.tags_read, 500u);
 }
@@ -85,7 +87,7 @@ TEST(AckLoss, KnownParticipantFeedsNewRecords) {
   // record instantly resolvable: with heavy ack loss the collision yield
   // should stay substantial rather than collapse.
   FcatOptions o;
-  o.ack_loss_prob = 0.5;
+  o.fault.ack_loss.error_good = 0.5;
   o.initial_estimate = 2000;
   const auto m = sim::RunOnce(MakeFcatFactory(o), 2000, 9, 500);
   EXPECT_EQ(m.tags_read, 2000u);
@@ -98,7 +100,7 @@ class AckLossMatrix
 TEST_P(AckLossMatrix, CompletenessUnderCombinedImpairments) {
   const auto [ack_loss, corrupt, resolve] = GetParam();
   FcatOptions o;
-  o.ack_loss_prob = ack_loss;
+  o.fault.ack_loss.error_good = ack_loss;
   o.singleton_corrupt_prob = corrupt;
   o.resolution_success_prob = resolve;
   const auto m = sim::RunOnce(MakeFcatFactory(o), 800, 11, 600);
@@ -114,7 +116,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(AckLoss, ScatAlsoRecovers) {
   ScatOptions o;
-  o.ack_loss_prob = 0.3;
+  o.fault.ack_loss.error_good = 0.3;
   const auto m = sim::RunOnce(MakeScatFactory(o), 500, 13, 500);
   EXPECT_EQ(m.tags_read, 500u);
 }

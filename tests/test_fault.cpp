@@ -116,31 +116,31 @@ TEST(RecordLedger, EvictionPolicyVictims) {
   };
   const auto open_three = [](fault::RecordLedger& ledger) {
     ledger.Tick(10, 1);
-    EXPECT_EQ(ledger.Open(0, 2), phy::kInvalidRecord);
+    EXPECT_EQ(ledger.Open(phy::RecordHandle{0}, 2), phy::kInvalidRecord);
     ledger.Tick(11, 1);
-    EXPECT_EQ(ledger.Open(1, 4), phy::kInvalidRecord);
+    EXPECT_EQ(ledger.Open(phy::RecordHandle{1}, 4), phy::kInvalidRecord);
     ledger.Tick(12, 1);
-    ledger.OnProgress(0);
-    return ledger.Open(2, 3);  // over capacity: returns the victim
+    ledger.OnProgress(phy::RecordHandle{0});
+    return ledger.Open(phy::RecordHandle{2}, 3);  // over capacity: returns the victim
   };
   fault::FaultCounters counters;
   anc::Pcg32 rng(9, 9);
   {
     auto ledger = make(fault::EvictionPolicy::kOldestFirst, &counters, &rng);
-    EXPECT_EQ(open_three(ledger), 0u);
+    EXPECT_EQ(open_three(ledger), phy::RecordHandle{0});
   }
   {
     auto ledger = make(fault::EvictionPolicy::kLruProgress, &counters, &rng);
-    EXPECT_EQ(open_three(ledger), 1u);  // 0 progressed at slot 12; 1 stale
+    EXPECT_EQ(open_three(ledger), phy::RecordHandle{1});  // 0 progressed at slot 12; 1 stale
   }
   {
     auto ledger = make(fault::EvictionPolicy::kLargestK, &counters, &rng);
-    EXPECT_EQ(open_three(ledger), 1u);  // k = 4 is the largest mixture
+    EXPECT_EQ(open_three(ledger), phy::RecordHandle{1});  // k = 4 is the largest mixture
   }
   {
     auto ledger = make(fault::EvictionPolicy::kRandom, &counters, &rng);
     const phy::RecordHandle victim = open_three(ledger);
-    EXPECT_LT(victim, 3u);  // some open record, deterministic per seed
+    EXPECT_LT(victim.index(), 3u);  // some open record, deterministic per seed
   }
 }
 
@@ -230,7 +230,6 @@ TEST(FaultEngine, AdvertBurstChannelStillTerminates) {
 
 TEST(FaultEngine, GeAckChannelSupersedesFlatLoss) {
   core::FcatOptions o;
-  o.ack_loss_prob = 0.0;  // flat channel off; GE channel carries the loss
   o.fault.ack_loss.error_good = 0.3;
   DrivenFcat run(600, 23, o);
   ASSERT_TRUE(run.Drive());

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "phy_test_util.h"
 #include "sim/population.h"
 
 namespace anc::phy {
@@ -17,17 +18,17 @@ TEST(IdealPhy, SlotClassification) {
   IdealPhy phy(pop, {2, 1.0, 0.0}, anc::Pcg32(1));
 
   const std::uint32_t none[] = {0};
-  EXPECT_EQ(phy.ObserveSlot(0, {none, 0}).type, SlotType::kEmpty);
+  EXPECT_EQ(phy_test::Observe(phy, 0, {none, 0}).type, SlotType::kEmpty);
 
   const std::uint32_t one[] = {3};
-  const auto singleton = phy.ObserveSlot(1, one);
+  const auto singleton = phy_test::Observe(phy, 1, one);
   EXPECT_EQ(singleton.type, SlotType::kSingleton);
   ASSERT_TRUE(singleton.singleton_id.has_value());
   EXPECT_EQ(*singleton.singleton_id, pop[3]);
   EXPECT_EQ(singleton.record, kInvalidRecord);
 
   const std::uint32_t two[] = {1, 2};
-  const auto collision = phy.ObserveSlot(2, two);
+  const auto collision = phy_test::Observe(phy, 2, two);
   EXPECT_EQ(collision.type, SlotType::kCollision);
   EXPECT_FALSE(collision.singleton_id.has_value());
   EXPECT_NE(collision.record, kInvalidRecord);
@@ -38,10 +39,10 @@ TEST(IdealPhy, TwoCollisionResolvesWithOneKnown) {
   const auto pop = Pop(10);
   IdealPhy phy(pop, {2, 1.0, 0.0}, anc::Pcg32(1));
   const std::uint32_t two[] = {4, 7};
-  const auto obs = phy.ObserveSlot(0, two);
+  const auto obs = phy_test::Observe(phy, 0, two);
 
   const std::uint32_t known[] = {4};
-  const auto resolved = phy.TryResolve(obs.record, known);
+  const auto resolved = phy_test::Resolve(phy, obs.record, known);
   ASSERT_TRUE(resolved.has_value());
   EXPECT_EQ(*resolved, pop[7]);
 }
@@ -50,13 +51,13 @@ TEST(IdealPhy, ResolutionNeedsAllButOne) {
   const auto pop = Pop(10);
   IdealPhy phy(pop, {3, 1.0, 0.0}, anc::Pcg32(1));
   const std::uint32_t three[] = {1, 2, 3};
-  const auto obs = phy.ObserveSlot(0, three);
+  const auto obs = phy_test::Observe(phy, 0, three);
 
   const std::uint32_t one_known[] = {1};
-  EXPECT_FALSE(phy.TryResolve(obs.record, one_known).has_value());
+  EXPECT_FALSE(phy_test::Resolve(phy, obs.record, one_known).has_value());
 
   const std::uint32_t two_known[] = {1, 3};
-  const auto resolved = phy.TryResolve(obs.record, two_known);
+  const auto resolved = phy_test::Resolve(phy, obs.record, two_known);
   ASSERT_TRUE(resolved.has_value());
   EXPECT_EQ(*resolved, pop[2]);
 }
@@ -65,21 +66,21 @@ TEST(IdealPhy, LambdaCapsMixtureOrder) {
   const auto pop = Pop(10);
   IdealPhy phy(pop, {2, 1.0, 0.0}, anc::Pcg32(1));
   const std::uint32_t three[] = {1, 2, 3};
-  const auto obs = phy.ObserveSlot(0, three);
+  const auto obs = phy_test::Observe(phy, 0, three);
   const std::uint32_t two_known[] = {1, 2};
   // 3-collision with lambda = 2: never resolvable.
-  EXPECT_FALSE(phy.TryResolve(obs.record, two_known).has_value());
+  EXPECT_FALSE(phy_test::Resolve(phy, obs.record, two_known).has_value());
 }
 
 TEST(IdealPhy, ReleaseClosesRecord) {
   const auto pop = Pop(10);
   IdealPhy phy(pop, {2, 1.0, 0.0}, anc::Pcg32(1));
   const std::uint32_t two[] = {4, 7};
-  const auto obs = phy.ObserveSlot(0, two);
+  const auto obs = phy_test::Observe(phy, 0, two);
   phy.ReleaseRecord(obs.record);
   EXPECT_EQ(phy.OpenRecords(), 0u);
   const std::uint32_t known[] = {4};
-  EXPECT_FALSE(phy.TryResolve(obs.record, known).has_value());
+  EXPECT_FALSE(phy_test::Resolve(phy, obs.record, known).has_value());
   phy.ReleaseRecord(obs.record);  // double release is harmless
   EXPECT_EQ(phy.OpenRecords(), 0u);
 }
@@ -89,10 +90,10 @@ TEST(IdealPhy, ResolutionFailureIsSticky) {
   const auto pop = Pop(10);
   IdealPhy phy(pop, {2, 0.0, 0.0}, anc::Pcg32(1));  // always fails
   const std::uint32_t two[] = {4, 7};
-  const auto obs = phy.ObserveSlot(0, two);
+  const auto obs = phy_test::Observe(phy, 0, two);
   const std::uint32_t known[] = {4};
-  EXPECT_FALSE(phy.TryResolve(obs.record, known).has_value());
-  EXPECT_FALSE(phy.TryResolve(obs.record, known).has_value());
+  EXPECT_FALSE(phy_test::Resolve(phy, obs.record, known).has_value());
+  EXPECT_FALSE(phy_test::Resolve(phy, obs.record, known).has_value());
 }
 
 TEST(IdealPhy, ResolutionSuccessRateMatchesConfig) {
@@ -101,9 +102,9 @@ TEST(IdealPhy, ResolutionSuccessRateMatchesConfig) {
   int resolved = 0;
   for (std::uint32_t i = 0; i + 1 < 2000; i += 2) {
     const std::uint32_t pair[] = {i, i + 1};
-    const auto obs = phy.ObserveSlot(i, pair);
+    const auto obs = phy_test::Observe(phy, i, pair);
     const std::uint32_t known[] = {i};
-    if (phy.TryResolve(obs.record, known)) ++resolved;
+    if (phy_test::Resolve(phy, obs.record, known)) ++resolved;
   }
   EXPECT_NEAR(resolved / 1000.0, 0.7, 0.05);
 }
@@ -112,12 +113,12 @@ TEST(IdealPhy, CorruptedSingletonBecomesDeadRecord) {
   const auto pop = Pop(10);
   IdealPhy phy(pop, {2, 1.0, 1.0}, anc::Pcg32(1));  // always corrupt
   const std::uint32_t one[] = {5};
-  const auto obs = phy.ObserveSlot(0, one);
+  const auto obs = phy_test::Observe(phy, 0, one);
   EXPECT_EQ(obs.type, SlotType::kSingleton);
   EXPECT_FALSE(obs.singleton_id.has_value());
   ASSERT_NE(obs.record, kInvalidRecord);
   // A garbage record can never be "resolved", even with zero unknowns.
-  EXPECT_FALSE(phy.TryResolve(obs.record, {}).has_value());
+  EXPECT_FALSE(phy_test::Resolve(phy, obs.record, {}).has_value());
 }
 
 }  // namespace

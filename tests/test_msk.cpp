@@ -27,7 +27,8 @@ TEST(Msk, ConstantEnvelope) {
 
 TEST(Msk, PhaseAdvancesHalfPiPerBit) {
   const MskModulator mod(MskParams{16, 1.0, 0.0});
-  const Buffer ones = mod.Modulate({1, 1, 1, 1});
+  const std::uint8_t one_bits[] = {1, 1, 1, 1};
+  const Buffer ones = mod.Modulate(one_bits);
   // After k bits of '1', accumulated phase = k * pi/2.
   for (int bit = 1; bit <= 4; ++bit) {
     const Sample s = ones[static_cast<std::size_t>(bit * 16 - 1)];

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "phy_test_util.h"
 #include "phy/ideal_phy.h"
 #include "sim/population.h"
 
@@ -24,16 +25,22 @@ struct Fixture {
   phy::RecordHandle Collide(std::uint64_t slot,
                             std::initializer_list<std::uint32_t> tags) {
     std::vector<std::uint32_t> participants(tags);
-    const auto obs = phy.ObserveSlot(slot, participants);
+    const auto obs = phy_test::Observe(phy, slot, participants);
     tracker.Register(obs.record, participants);
     return obs.record;
+  }
+
+  std::vector<RecordTracker::Resolution> OnIdKnown(std::uint32_t tag) {
+    std::vector<RecordTracker::Resolution> out;
+    tracker.OnIdKnown(tag, phy, &out);
+    return out;
   }
 };
 
 TEST(RecordTracker, SimpleTwoCollision) {
   Fixture f;
   f.Collide(0, {3, 5});
-  const auto resolved = f.tracker.OnIdKnown(3, f.phy);
+  const auto resolved = f.OnIdKnown(3);
   ASSERT_EQ(resolved.size(), 1u);
   EXPECT_EQ(resolved[0].id, f.pop[5]);
   EXPECT_EQ(f.tracker.open_records(), 0u);
@@ -48,11 +55,11 @@ TEST(RecordTracker, Figure1Walkthrough) {
   f.Collide(1, {1, 4});
   f.Collide(4, {2, 3});
 
-  auto r1 = f.tracker.OnIdKnown(1, f.phy);  // singleton t1
+  auto r1 = f.OnIdKnown(1);  // singleton t1
   ASSERT_EQ(r1.size(), 1u);
   EXPECT_EQ(r1[0].id, f.pop[4]);
 
-  auto r2 = f.tracker.OnIdKnown(3, f.phy);  // singleton t3
+  auto r2 = f.OnIdKnown(3);  // singleton t3
   ASSERT_EQ(r2.size(), 1u);
   EXPECT_EQ(r2[0].id, f.pop[2]);
 }
@@ -60,8 +67,8 @@ TEST(RecordTracker, Figure1Walkthrough) {
 TEST(RecordTracker, ThreeCollisionNeedsTwoKnowns) {
   Fixture f(3);
   f.Collide(0, {1, 2, 3});
-  EXPECT_TRUE(f.tracker.OnIdKnown(1, f.phy).empty());
-  const auto resolved = f.tracker.OnIdKnown(2, f.phy);
+  EXPECT_TRUE(f.OnIdKnown(1).empty());
+  const auto resolved = f.OnIdKnown(2);
   ASSERT_EQ(resolved.size(), 1u);
   EXPECT_EQ(resolved[0].id, f.pop[3]);
 }
@@ -69,8 +76,8 @@ TEST(RecordTracker, ThreeCollisionNeedsTwoKnowns) {
 TEST(RecordTracker, LambdaCapBlocksResolution) {
   Fixture f(2);
   f.Collide(0, {1, 2, 3});
-  EXPECT_TRUE(f.tracker.OnIdKnown(1, f.phy).empty());
-  EXPECT_TRUE(f.tracker.OnIdKnown(2, f.phy).empty());
+  EXPECT_TRUE(f.OnIdKnown(1).empty());
+  EXPECT_TRUE(f.OnIdKnown(2).empty());
   EXPECT_EQ(f.tracker.open_records(), 1u);  // stays unresolved
 }
 
@@ -79,29 +86,29 @@ TEST(RecordTracker, OneKnownIdUnlocksMultipleRecords) {
   f.Collide(0, {1, 2});
   f.Collide(1, {1, 3});
   f.Collide(2, {1, 4});
-  const auto resolved = f.tracker.OnIdKnown(1, f.phy);
+  const auto resolved = f.OnIdKnown(1);
   ASSERT_EQ(resolved.size(), 3u);
 }
 
 TEST(RecordTracker, ResolvedRecordNotReprocessed) {
   Fixture f;
   f.Collide(0, {1, 2});
-  ASSERT_EQ(f.tracker.OnIdKnown(1, f.phy).size(), 1u);
+  ASSERT_EQ(f.OnIdKnown(1).size(), 1u);
   // Tag 2 (resolved) also participated in the record; feeding it back
   // must not re-resolve anything.
-  EXPECT_TRUE(f.tracker.OnIdKnown(2, f.phy).empty());
+  EXPECT_TRUE(f.OnIdKnown(2).empty());
 }
 
 TEST(RecordTracker, TagWithNoRecords) {
   Fixture f;
-  EXPECT_TRUE(f.tracker.OnIdKnown(7, f.phy).empty());
+  EXPECT_TRUE(f.OnIdKnown(7).empty());
 }
 
 TEST(RecordTracker, DuplicatePairRecordsOnlyOneUseful) {
   Fixture f;
   f.Collide(0, {1, 2});
   f.Collide(1, {1, 2});
-  const auto resolved = f.tracker.OnIdKnown(1, f.phy);
+  const auto resolved = f.OnIdKnown(1);
   // Both records resolve to tag 2; the engine deduplicates learned IDs.
   EXPECT_EQ(resolved.size(), 2u);
   EXPECT_EQ(resolved[0].id, f.pop[2]);

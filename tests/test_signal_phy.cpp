@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "phy_test_util.h"
 #include "sim/population.h"
 
 namespace anc::phy {
@@ -22,7 +23,7 @@ TEST(SignalPhy, SingletonDecodes) {
   const auto pop = Pop(8);
   SignalPhy phy(pop, GoodChannel(), anc::Pcg32(1));
   const std::uint32_t one[] = {2};
-  const auto obs = phy.ObserveSlot(0, one);
+  const auto obs = phy_test::Observe(phy, 0, one);
   EXPECT_EQ(obs.type, SlotType::kSingleton);
   ASSERT_TRUE(obs.singleton_id.has_value());
   EXPECT_EQ(*obs.singleton_id, pop[2]);
@@ -33,7 +34,7 @@ TEST(SignalPhy, CollisionNotDecodable) {
   const auto pop = Pop(8);
   SignalPhy phy(pop, GoodChannel(), anc::Pcg32(1));
   const std::uint32_t two[] = {1, 3};
-  const auto obs = phy.ObserveSlot(0, two);
+  const auto obs = phy_test::Observe(phy, 0, two);
   EXPECT_EQ(obs.type, SlotType::kCollision);
   EXPECT_FALSE(obs.singleton_id.has_value());
   ASSERT_NE(obs.record, kInvalidRecord);
@@ -46,13 +47,13 @@ TEST(SignalPhy, ResolveAfterSingletonReference) {
   const auto pop = Pop(8);
   SignalPhy phy(pop, GoodChannel(), anc::Pcg32(2));
   const std::uint32_t two[] = {1, 3};
-  const auto collision = phy.ObserveSlot(0, two);
+  const auto collision = phy_test::Observe(phy, 0, two);
   const std::uint32_t one[] = {1};
-  const auto singleton = phy.ObserveSlot(1, one);
+  const auto singleton = phy_test::Observe(phy, 1, one);
   ASSERT_TRUE(singleton.singleton_id.has_value());
 
   const std::uint32_t known[] = {1};
-  const auto resolved = phy.TryResolve(collision.record, known);
+  const auto resolved = phy_test::Resolve(phy, collision.record, known);
   ASSERT_TRUE(resolved.has_value());
   EXPECT_EQ(*resolved, pop[3]);
   // The residual is retained as tag 3's reference for further cascades.
@@ -63,9 +64,9 @@ TEST(SignalPhy, ResolveWithoutReferenceFails) {
   const auto pop = Pop(8);
   SignalPhy phy(pop, GoodChannel(), anc::Pcg32(3));
   const std::uint32_t two[] = {1, 3};
-  const auto collision = phy.ObserveSlot(0, two);
+  const auto collision = phy_test::Observe(phy, 0, two);
   const std::uint32_t known[] = {1};  // ID known but waveform never seen
-  EXPECT_FALSE(phy.TryResolve(collision.record, known).has_value());
+  EXPECT_FALSE(phy_test::Resolve(phy, collision.record, known).has_value());
 }
 
 TEST(SignalPhy, PrematureResolveIsRejectedOrCaptures) {
@@ -75,11 +76,11 @@ TEST(SignalPhy, PrematureResolveIsRejectedOrCaptures) {
   const auto pop = Pop(8);
   SignalPhy phy(pop, GoodChannel(), anc::Pcg32(4));
   const std::uint32_t three[] = {1, 3, 5};
-  const auto collision = phy.ObserveSlot(0, three);
+  const auto collision = phy_test::Observe(phy, 0, three);
   const std::uint32_t one[] = {1};
-  phy.ObserveSlot(1, one);
+  phy_test::Observe(phy, 1, one);
   const std::uint32_t known[] = {1};
-  const auto resolved = phy.TryResolve(collision.record, known);
+  const auto resolved = phy_test::Resolve(phy, collision.record, known);
   if (resolved.has_value()) {
     EXPECT_TRUE(*resolved == pop[3] || *resolved == pop[5]);
   }
@@ -92,18 +93,18 @@ TEST(SignalPhy, CascadeAcrossTwoRecords) {
   SignalPhy phy(pop, GoodChannel(), anc::Pcg32(5));
   const std::uint32_t r1[] = {1, 3};
   const std::uint32_t r2[] = {3, 5};
-  const auto rec1 = phy.ObserveSlot(0, r1);
-  const auto rec2 = phy.ObserveSlot(1, r2);
+  const auto rec1 = phy_test::Observe(phy, 0, r1);
+  const auto rec2 = phy_test::Observe(phy, 1, r2);
   const std::uint32_t one[] = {1};
-  phy.ObserveSlot(2, one);
+  phy_test::Observe(phy, 2, one);
 
   const std::uint32_t known1[] = {1};
-  const auto id3 = phy.TryResolve(rec1.record, known1);
+  const auto id3 = phy_test::Resolve(phy, rec1.record, known1);
   ASSERT_TRUE(id3.has_value());
   EXPECT_EQ(*id3, pop[3]);
 
   const std::uint32_t known2[] = {3};
-  const auto id5 = phy.TryResolve(rec2.record, known2);
+  const auto id5 = phy_test::Resolve(phy, rec2.record, known2);
   ASSERT_TRUE(id5.has_value());
   EXPECT_EQ(*id5, pop[5]);
 }
@@ -114,14 +115,14 @@ TEST(SignalPhy, MixtureCapEnforced) {
   const auto pop = Pop(8);
   SignalPhy phy(pop, cfg, anc::Pcg32(6));
   const std::uint32_t three[] = {1, 3, 5};
-  const auto rec = phy.ObserveSlot(0, three);
+  const auto rec = phy_test::Observe(phy, 0, three);
   const std::uint32_t ones[] = {1};
-  phy.ObserveSlot(1, ones);
+  phy_test::Observe(phy, 1, ones);
   const std::uint32_t threes[] = {3};
-  phy.ObserveSlot(2, threes);
+  phy_test::Observe(phy, 2, threes);
   const std::uint32_t known[] = {1, 3};
   // Signal-wise resolvable, but the modeled decoder tops out at lambda=2.
-  EXPECT_FALSE(phy.TryResolve(rec.record, known).has_value());
+  EXPECT_FALSE(phy_test::Resolve(phy, rec.record, known).has_value());
 }
 
 TEST(SignalPhy, LowSnrSingletonMayCorrupt) {
@@ -132,7 +133,7 @@ TEST(SignalPhy, LowSnrSingletonMayCorrupt) {
   int corrupted = 0;
   for (std::uint32_t i = 0; i < 8; ++i) {
     const std::uint32_t one[] = {i};
-    const auto obs = phy.ObserveSlot(i, one);
+    const auto obs = phy_test::Observe(phy, i, one);
     if (!obs.singleton_id.has_value()) ++corrupted;
   }
   EXPECT_GT(corrupted, 0);  // deep in the noise, CRC must start failing
@@ -142,7 +143,7 @@ TEST(SignalPhy, ReleaseFreesRecord) {
   const auto pop = Pop(8);
   SignalPhy phy(pop, GoodChannel(), anc::Pcg32(8));
   const std::uint32_t two[] = {1, 3};
-  const auto rec = phy.ObserveSlot(0, two);
+  const auto rec = phy_test::Observe(phy, 0, two);
   phy.ReleaseRecord(rec.record);
   EXPECT_EQ(phy.OpenRecords(), 0u);
 }

@@ -47,8 +47,9 @@ int Usage() {
       "                                       per-frame series (CSV)\n"
       "  replay <file>                        re-drive runs, verify "
       "identity\n"
-      "  record --out=<file> [--protocol=fcat|scat|dfsa] [--lambda=L]\n"
-      "         [--n=TAGS] [--runs=R] [--seed=S] [--faults=PROFILE]\n"
+      "  record --out=<file> [--protocol=fcat|fcat-signal|scat|dfsa]\n"
+      "         [--lambda=L] [--n=TAGS] [--runs=R] [--seed=S]\n"
+      "         [--faults=PROFILE] [--demod-pool=T]\n"
       "                                       record a reference trace\n");
   return 2;
 }
@@ -89,6 +90,17 @@ sim::ProtocolFactory FactoryFor(const std::string& protocol,
   const auto lambda_of = [](const std::string& name) {
     return static_cast<unsigned>(std::atoi(name.c_str() + 5));
   };
+  // "FCAT-<lambda>-signal": the waveform phy at default signal options.
+  // The demodulation pool is deliberately NOT part of the name — any pool
+  // size replays byte-identically, so replay always uses the serial path.
+  // Checked before plain FCAT, whose prefix it shares.
+  if (base.rfind("FCAT-", 0) == 0 && base.ends_with("-signal") &&
+      lambda_of(base) >= 2) {
+    core::FcatSignalOptions o;
+    o.lambda = lambda_of(base);
+    o.fault = fault_config;
+    return core::MakeFcatSignalFactory(o);
+  }
   if (base.rfind("FCAT-", 0) == 0 && lambda_of(base) >= 2) {
     core::FcatOptions o;
     o.lambda = lambda_of(base);
@@ -102,8 +114,9 @@ sim::ProtocolFactory FactoryFor(const std::string& protocol,
     return core::MakeScatFactory(o);
   }
   *error = "cannot reconstruct a factory for protocol '" + protocol +
-           "' (supported: FCAT-<lambda>, SCAT-<lambda>, DFSA at default "
-           "options, each optionally @<fault-profile>)";
+           "' (supported: FCAT-<lambda>, FCAT-<lambda>-signal, "
+           "SCAT-<lambda>, DFSA at default options, each optionally "
+           "@<fault-profile>)";
   return {};
 }
 
@@ -280,12 +293,16 @@ int Record(const CliArgs& args) {
   DieOnUnknownFlags(args, "trace_inspect record",
                     std::vector<FlagSpec>{
                         {"out", "output trace file (truncated)"},
-                        {"protocol", "fcat (default), scat or dfsa"},
+                        {"protocol",
+                         "fcat (default), fcat-signal, scat or dfsa"},
                         {"lambda", "FCAT/SCAT lambda (default 2)"},
                         {"n", "population size (default 200)"},
                         {"runs", "runs to record (default 1)"},
                         {"seed", "base seed (default 1)"},
                         {"faults", "fault profile to inject (fcat/scat)"},
+                        {"demod-pool",
+                         "fcat-signal: demod worker threads (default 0; "
+                         "any value records the same bytes)"},
                     });
   const std::string out = args.GetString("out", "");
   if (out.empty() || args.positional().size() != 1) return Usage();
@@ -315,6 +332,13 @@ int Record(const CliArgs& args) {
     o.lambda = lambda;
     o.fault = fault_config;
     factory = core::MakeScatFactory(o);
+  } else if (protocol == "fcat-signal") {
+    core::FcatSignalOptions o;
+    o.lambda = lambda;
+    o.fault = fault_config;
+    o.signal.demod_pool_threads =
+        static_cast<unsigned>(args.GetInt("demod-pool", 0));
+    factory = core::MakeFcatSignalFactory(o);
   } else if (protocol == "dfsa") {
     factory = core::MakeDfsaFactory();
   } else {
