@@ -1,0 +1,79 @@
+// Coded-ALOHA shootout: the diversity/coding family (CRDSA, IRSA, the
+// seeded pseudo-random hybrid) against FCAT and the MPR reader model,
+// swept over offered load.
+//
+// Offered load here is the population-vs-budget ratio rho = N / 1024: how
+// many tags contend relative to a nominal 1024-slot inventory budget.
+// Each protocol then runs its own frame-sizing rule at its own design
+// point (CRDSA at G = 0.65, IRSA/SEEDED at G = 0.9 just under the
+// Lambda(x) = 0.5x^2 + 0.28x^3 + 0.22x^8 threshold G* ~ 0.938, MPR-4 at
+// Pudasaini's G*_4 ~ 2.945) — the standard comparison framing: nobody
+// handicaps a protocol by forcing it to a rival's operating point.
+//
+// Expected ordering in tags/slot, stable across the sweep:
+//   CRDSA-2 ~ 0.53  <  IRSA ~ 0.64-0.83  <=  SEEDED (IRSA + the ANC-style
+//   cross-frame record store)  <<  MPR-4 ~ 1.94 (its theoretical peak
+//   S_4(G*_4) = 1.942)  <  PERFECT-4 = 4 exactly (the genie bound).
+#include "bench_common.h"
+
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace anc;
+  const CliArgs args(argc, argv);
+  bench::RequireKnownFlags(args, argv[0]);
+  const auto opts = bench::ParseHarness(args, 8);
+  bench::PrintHeader("Coded-ALOHA shootout: FCAT vs CRDSA/IRSA/SEEDED/MPR",
+                     "Liva'11 Table I + Pudasaini'13 operating points",
+                     opts);
+
+  const phy::TimingModel timing = phy::TimingModel::ICode();
+  constexpr std::size_t kBudgetSlots = 1024;
+  std::vector<double> loads{0.6, 1.0, 1.5};
+  if (opts.full) loads = {0.6, 0.8, 1.0, 1.2, 1.5, 2.0};
+
+  TextTable table({"load", "N", "protocol", "tags/slot", "tags/sec",
+                   "tx/tag", "unresolved"});
+  for (double load : loads) {
+    const auto n =
+        static_cast<std::size_t>(load * kBudgetSlots + 0.5);
+    struct Row {
+      std::string name;
+      sim::ProtocolFactory factory;
+    };
+    auto fcat = bench::FcatFor(2, timing);
+    fcat.initial_estimate = static_cast<double>(n);
+    protocols::MprConfig mpr4;  // capacity 4, frame sized at G*_4
+    protocols::PerfectConfig perfect4;
+    perfect4.capacity = 4;
+    const Row rows[] = {
+        {"FCAT-2", core::MakeFcatFactory(fcat)},
+        {"CRDSA-2", core::MakeCrdsaFactory(timing)},
+        {"IRSA", core::MakeIrsaFactory(timing)},
+        {"SEEDED", core::MakeSeededFactory(timing)},
+        {"MPR-4", core::MakeMprFactory(timing, mpr4)},
+        {"PERFECT-4", core::MakePerfectFactory(timing, perfect4)},
+    };
+    for (const Row& row : rows) {
+      char label[64];
+      std::snprintf(label, sizeof label, "%s@%.1f", row.name.c_str(), load);
+      const auto agg = bench::Run(row.factory, n, opts, label);
+      table.AddRow(
+          {TextTable::Num(load, 1), TextTable::Int(static_cast<long long>(n)),
+           row.name,
+           TextTable::Num(agg.tags_read.mean() / agg.total_slots.mean(), 3),
+           bench::ThroughputCell(agg),
+           TextTable::Num(agg.tag_transmissions.mean() /
+                              static_cast<double>(n),
+                          2),
+           TextTable::Num(agg.unresolved_records.mean(), 1)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Expected shape: IRSA clears CRDSA-2 at every load (steeper where\n"
+      "backlog is deep), the seeded hybrid sits at or above IRSA thanks to\n"
+      "cross-frame record recovery, and MPR-4 runs near its theoretical\n"
+      "peak of 1.942 tags/slot with PERFECT-4 = 4 as the genie ceiling.\n");
+  return 0;
+}

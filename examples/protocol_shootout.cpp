@@ -59,6 +59,19 @@ int main(int argc, char** argv) {
   entries.push_back({"ALOHA", core::MakeAlohaFactory(timing), "ALOHA"});
   entries.push_back({"ABS", core::MakeAbsFactory(timing), "tree"});
   entries.push_back({"AQS", core::MakeAqsFactory(timing), "tree"});
+  entries.push_back(
+      {"CRDSA-2", core::MakeCrdsaFactory(timing), "coded ALOHA (SIC)"});
+  entries.push_back(
+      {"IRSA", core::MakeIrsaFactory(timing), "coded ALOHA (SIC)"});
+  entries.push_back(
+      {"SEEDED", core::MakeSeededFactory(timing), "coded ALOHA (SIC)"});
+  entries.push_back({"MPR-4", core::MakeMprFactory(timing), "MPR reader"});
+  {
+    protocols::PerfectConfig perfect4;
+    perfect4.capacity = 4;
+    entries.push_back({"PERFECT-4", core::MakePerfectFactory(timing, perfect4),
+                       "genie bound"});
+  }
 
   TextTable table({"protocol", "family", "tags/sec", "ci95", "slots/tag",
                    "IDs from collisions"});

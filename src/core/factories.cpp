@@ -79,4 +79,39 @@ sim::ProtocolFactory MakeFsaFactory(phy::TimingModel timing,
   };
 }
 
+sim::ProtocolFactory MakeIrsaFactory(phy::TimingModel timing,
+                                     protocols::IrsaConfig config) {
+  return [timing, config](std::span<const TagId> population,
+                          anc::Pcg32 rng) {
+    return std::make_unique<protocols::Irsa>(population, rng, timing,
+                                             config);
+  };
+}
+
+sim::ProtocolFactory MakeSeededFactory(phy::TimingModel timing,
+                                       protocols::SeededConfig config) {
+  return [timing, config](std::span<const TagId> population,
+                          anc::Pcg32 rng) {
+    return std::make_unique<protocols::SeededAloha>(population, rng, timing,
+                                                    config);
+  };
+}
+
+sim::ProtocolFactory MakeMprFactory(phy::TimingModel timing,
+                                    protocols::MprConfig config) {
+  return [timing, config](std::span<const TagId> population,
+                          anc::Pcg32 rng) {
+    return std::make_unique<protocols::Mpr>(population, rng, timing, config);
+  };
+}
+
+sim::ProtocolFactory MakePerfectFactory(phy::TimingModel timing,
+                                        protocols::PerfectConfig config) {
+  return [timing, config](std::span<const TagId> population,
+                          anc::Pcg32 rng) {
+    return std::make_unique<protocols::PerfectIdentification>(
+        population, rng, timing, config);
+  };
+}
+
 }  // namespace anc::core

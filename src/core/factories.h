@@ -19,6 +19,9 @@
 #include "protocols/dfsa.h"
 #include "protocols/edfsa.h"
 #include "protocols/fsa.h"
+#include "protocols/irsa.h"
+#include "protocols/mpr.h"
+#include "protocols/seeded.h"
 #include "sim/runner.h"
 
 namespace anc::core {
@@ -40,5 +43,16 @@ sim::ProtocolFactory MakeCrdsaFactory(phy::TimingModel timing = {},
                                       protocols::CrdsaConfig config = {});
 sim::ProtocolFactory MakeFsaFactory(phy::TimingModel timing = {},
                                     protocols::FsaConfig config = {});
+
+// The coded-ALOHA family (IRSA / seeded pseudo-random / MPR readers) —
+// see DESIGN.md "Protocol family".
+sim::ProtocolFactory MakeIrsaFactory(phy::TimingModel timing = {},
+                                     protocols::IrsaConfig config = {});
+sim::ProtocolFactory MakeSeededFactory(phy::TimingModel timing = {},
+                                       protocols::SeededConfig config = {});
+sim::ProtocolFactory MakeMprFactory(phy::TimingModel timing = {},
+                                    protocols::MprConfig config = {});
+sim::ProtocolFactory MakePerfectFactory(phy::TimingModel timing = {},
+                                        protocols::PerfectConfig config = {});
 
 }  // namespace anc::core

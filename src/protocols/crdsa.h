@@ -54,7 +54,7 @@ class Crdsa final : public BaselineBase {
   std::uint64_t frame_size_ = 0;
   std::uint64_t slot_cursor_ = 0;
   std::uint64_t frame_transmissions_ = 0;
-  std::vector<std::vector<std::uint32_t>> slot_tags_;  // post-IC occupancy
+  std::vector<std::vector<std::uint32_t>> slot_tags_;  // on-air occupancy
   std::vector<std::uint8_t> decoded_in_frame_;  // per-slot: 1 if the slot
                                                 // ends as a singleton
   bool finished_ = false;

@@ -1,14 +1,13 @@
-#include "protocols/crdsa.h"
+#include "protocols/irsa.h"
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 
 namespace anc::protocols {
 
-Crdsa::Crdsa(std::span<const TagId> population, anc::Pcg32 rng,
-             phy::TimingModel timing, CrdsaConfig config)
-    : BaselineBase("CRDSA", population, rng, timing),
+Irsa::Irsa(std::span<const TagId> population, anc::Pcg32 rng,
+           phy::TimingModel timing, IrsaConfig config)
+    : BaselineBase("IRSA", population, rng, timing),
       config_(config),
       read_(population.size(), false) {
   unread_.resize(population.size());
@@ -16,7 +15,7 @@ Crdsa::Crdsa(std::span<const TagId> population, anc::Pcg32 rng,
   StartFrame();
 }
 
-void Crdsa::StartFrame() {
+void Irsa::StartFrame() {
   ++metrics_.frames;
   const auto backlog = static_cast<double>(unread_.size());
   frame_size_ = std::clamp<std::uint64_t>(
@@ -27,12 +26,14 @@ void Crdsa::StartFrame() {
   frame_transmissions_ = 0;
   slot_tags_.assign(frame_size_, {});
   for (std::uint32_t tag : unread_) {
-    // `copies` distinct slots per tag (rejection sampling; copies is tiny
-    // against the frame).
-    std::uint32_t chosen[8];
+    // Sample the replica degree from Λ, then pick that many distinct
+    // slots (rejection sampling; degrees are tiny against the frame).
+    const int degree =
+        std::min<int>(config_.degrees.Sample(rng_),
+                      static_cast<int>(std::min<std::uint64_t>(frame_size_, 16)));
+    std::uint32_t chosen[16];
     int picked = 0;
-    while (picked < config_.copies &&
-           picked < static_cast<int>(frame_size_)) {
+    while (picked < degree) {
       const std::uint32_t slot =
           rng_.UniformBelow(static_cast<std::uint32_t>(frame_size_));
       bool duplicate = false;
@@ -44,49 +45,42 @@ void Crdsa::StartFrame() {
     }
     ++frame_transmissions_;
   }
-
-  // Record the on-air slot occupancy before cancellation mutates it.
-  decoded_in_frame_.assign(frame_size_, 0);
-  for (std::uint64_t s = 0; s < frame_size_; ++s) {
-    decoded_in_frame_[s] = slot_tags_[s].size() == 1 ? 1 : 0;
-  }
-  RunInterferenceCancellation();
 }
 
-void Crdsa::RunInterferenceCancellation() {
-  // The receiver stores the whole frame, decodes clean singletons, then
-  // cancels each decoded tag's twin copies, possibly exposing new
-  // singletons; repeat until a sweep makes no progress (a stopping set).
-  std::vector<std::uint8_t> decoded(read_.size(), 0);
+void Irsa::DecodeFrame() {
+  // Whole-frame SIC: decode singletons, cancel every copy of a decoded
+  // tag from the buffered slots, repeat until a stopping set survives.
+  // Records the pre-cancellation singleton slots so ID provenance
+  // (singleton vs collision-recovered) is attributed like CRDSA's.
+  decoded_.assign(read_.size(), 0);
   std::vector<std::vector<std::uint32_t>> working = slot_tags_;
-  std::deque<std::uint64_t> ready;
+  ready_.clear();
   for (std::uint64_t s = 0; s < frame_size_; ++s) {
-    if (working[s].size() == 1) ready.push_back(s);
+    if (working[s].size() == 1) ready_.push_back(s);
   }
 
   std::vector<std::pair<std::uint32_t, bool>> reads;  // tag, from_singleton
   int iterations = 0;
-  while (!ready.empty() && iterations < config_.max_ic_iterations *
-                                            static_cast<int>(frame_size_)) {
-    const std::uint64_t slot = ready.front();
-    ready.pop_front();
+  std::size_t head = 0;
+  while (head < ready_.size() &&
+         iterations <
+             config_.max_ic_iterations * static_cast<int>(frame_size_)) {
+    const std::uint64_t slot = ready_[head++];
     ++iterations;
     if (working[slot].size() != 1) continue;
     const std::uint32_t tag = working[slot][0];
-    if (decoded[tag]) continue;
-    decoded[tag] = 1;
-    reads.emplace_back(tag, decoded_in_frame_[slot] == 1);
-    // Cancel every copy of this tag from the stored frame.
+    if (decoded_[tag]) continue;
+    decoded_[tag] = 1;
+    reads.emplace_back(tag, slot_tags_[slot].size() == 1);
     for (std::uint64_t s = 0; s < frame_size_; ++s) {
       auto& tags = working[s];
       const auto it = std::find(tags.begin(), tags.end(), tag);
       if (it == tags.end()) continue;
       tags.erase(it);
-      if (tags.size() == 1) ready.push_back(s);
+      if (tags.size() == 1) ready_.push_back(s);
     }
   }
 
-  // Book the reads now; Step() charges slot time as the frame plays out.
   for (const auto& [tag, from_singleton] : reads) {
     read_[tag] = true;
     ++metrics_.tags_read;
@@ -95,31 +89,55 @@ void Crdsa::RunInterferenceCancellation() {
     } else {
       ++metrics_.ids_from_collisions;
     }
+    if (trace_) {
+      trace::TraceEvent e;
+      e.kind = trace::EventKind::kAck;
+      e.slot = slot_index_;
+      e.frame = metrics_.frames;
+      e.ack = from_singleton ? trace::AckKind::kSingletonId
+                             : trace::AckKind::kSlotIndex;
+      e.id_digest = population_[tag].Digest();
+      trace_.Emit(e);
+    }
   }
 }
 
-void Crdsa::Step() {
+void Irsa::Step() {
   if (finished_) return;
 
-  // Slot accounting is manual (the Charge helpers would double-book the
-  // reads RunInterferenceCancellation already credited), but the kSlot
-  // trace events go through EmitSlot like every other baseline.
   const std::size_t occupancy = slot_tags_[slot_cursor_].size();
   if (occupancy == 0) {
     ++metrics_.empty_slots;
+    metrics_.elapsed_seconds += timing_.SlotSeconds();
     EmitSlot(trace::SlotOutcome::kEmpty, 0);
   } else if (occupancy == 1) {
     ++metrics_.singleton_slots;
+    metrics_.elapsed_seconds += timing_.SlotSeconds();
     EmitSlot(trace::SlotOutcome::kSingleton, 1);
   } else {
     ++metrics_.collision_slots;
+    metrics_.elapsed_seconds += timing_.SlotSeconds();
     EmitSlot(trace::SlotOutcome::kCollision, occupancy);
   }
-  metrics_.elapsed_seconds += timing_.SlotSeconds();
   ++slot_cursor_;
 
   if (slot_cursor_ < frame_size_) return;
 
+  // Frame boundary: the reader has the whole frame buffered — decode.
+  if (frame_transmissions_ > 0) DecodeFrame();
+  if (trace_) {
+    std::uint64_t n_c = 0;
+    for (const auto& tags : slot_tags_) n_c += tags.size() >= 2 ? 1 : 0;
+    trace::TraceEvent e;
+    e.kind = trace::EventKind::kFrame;
+    e.slot = slot_index_;
+    e.frame = metrics_.frames;
+    e.n_c = n_c;
+    e.estimate_q8 =
+        trace::QuantizeEstimate(static_cast<double>(unread_.size()));
+    e.elapsed_us = trace::QuantizeSeconds(metrics_.elapsed_seconds);
+    trace_.Emit(e);
+  }
   if (frame_transmissions_ == 0) {
     finished_ = true;
     return;

@@ -1,0 +1,255 @@
+#include "protocols/seeded.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace anc::protocols {
+
+SeededPattern DeriveSeededPattern(std::uint64_t tag_digest,
+                                  std::uint64_t run_salt,
+                                  std::uint64_t frame_index,
+                                  std::uint64_t frame_size,
+                                  const DegreeDistribution& degrees) {
+  SeededPattern p;
+  if (frame_size == 0) return p;
+  // The per-(tag, frame) seed the tag announces in its burst headers; the
+  // whole pattern is a pure SplitMix64 counter chain over it.
+  const std::uint64_t seed =
+      SplitMix64(SplitMix64(tag_digest ^ run_salt) ^ frame_index);
+  const int max_degree = static_cast<int>(std::min<std::uint64_t>(
+      frame_size, static_cast<std::uint64_t>(SeededPattern::kMaxDegree)));
+  p.degree =
+      std::min(degrees.SampleFromUniform(SplitMix64(seed)), max_degree);
+  std::uint64_t counter = seed;
+  int picked = 0;
+  while (picked < p.degree) {
+    const auto slot = static_cast<std::uint32_t>(
+        SplitMix64(++counter) % frame_size);  // 64-bit hash: bias < 2^-49
+    bool duplicate = false;
+    for (int i = 0; i < picked; ++i) duplicate |= p.slots[i] == slot;
+    if (duplicate) continue;
+    p.slots[picked++] = slot;
+  }
+  return p;
+}
+
+SeededAloha::SeededAloha(std::span<const TagId> population, anc::Pcg32 rng,
+                         phy::TimingModel timing, SeededConfig config)
+    : BaselineBase("SEEDED", population, rng, timing),
+      config_(config),
+      read_(population.size(), false) {
+  // One salt per run, announced with the reader's frame advertisement;
+  // drawn before any other use of the stream so the pattern inputs are a
+  // fixed function of the run seed.
+  const std::uint64_t hi = rng_();
+  const std::uint64_t lo = rng_();
+  run_salt_ = hi << 32 | lo;
+  unread_.resize(population.size());
+  for (std::uint32_t i = 0; i < population.size(); ++i) unread_[i] = i;
+  StartFrame();
+}
+
+void SeededAloha::StartFrame() {
+  ++metrics_.frames;
+  const auto backlog = static_cast<double>(unread_.size());
+  frame_size_ = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(std::llround(backlog / config_.target_load)),
+      config_.min_frame_size, config_.max_frame_size);
+
+  slot_cursor_ = 0;
+  frame_transmissions_ = 0;
+  slot_tags_.assign(frame_size_, {});
+  for (std::uint32_t tag : unread_) {
+    const SeededPattern p =
+        DeriveSeededPattern(population_[tag].Digest(), run_salt_,
+                            metrics_.frames, frame_size_, config_.degrees);
+    for (int i = 0; i < p.degree; ++i) {
+      slot_tags_[p.slots[i]].push_back(tag);
+      ++metrics_.tag_transmissions;
+    }
+    ++frame_transmissions_;
+  }
+}
+
+void SeededAloha::DecodeFrame() {
+  // Unified SIC over the current frame *and* the open cross-frame
+  // records. Every list's constituents are known up front (regenerated
+  // from the announced seeds), so a list reaching one unknown constituent
+  // yields that tag by subtraction — whether the list is a slot of this
+  // frame or a record stored many frames ago.
+  decoded_.assign(read_.size(), 0);
+  std::vector<std::vector<std::uint32_t>> working = slot_tags_;
+  // Ready-queue entries: [0, frame_size_) = current-frame slots,
+  // frame_size_ + j = stored record j.
+  std::vector<std::uint64_t> ready;
+  for (std::uint64_t s = 0; s < frame_size_; ++s) {
+    if (working[s].size() == 1) ready.push_back(s);
+  }
+  // Stored records enter each frame with >= 2 unknown constituents (the
+  // storage invariant below), so none start ready.
+
+  enum class Provenance : std::uint8_t { kSingleton, kInFrame, kStored };
+  std::vector<std::pair<std::uint32_t, Provenance>> reads;
+  std::vector<std::uint64_t> resolved_record_ids;
+
+  const auto cancel = [&](std::uint32_t tag) {
+    for (std::uint64_t s = 0; s < frame_size_; ++s) {
+      auto& tags = working[s];
+      const auto it = std::find(tags.begin(), tags.end(), tag);
+      if (it == tags.end()) continue;
+      tags.erase(it);
+      if (tags.size() == 1) ready.push_back(s);
+    }
+    for (std::size_t j = 0; j < records_.size(); ++j) {
+      auto& tags = records_[j].constituents;
+      const auto it = std::find(tags.begin(), tags.end(), tag);
+      if (it == tags.end()) continue;
+      tags.erase(it);
+      if (tags.size() == 1) ready.push_back(frame_size_ + j);
+    }
+  };
+
+  int iterations = 0;
+  std::size_t head = 0;
+  while (head < ready.size() &&
+         iterations < config_.max_ic_iterations *
+                          static_cast<int>(frame_size_ + records_.size())) {
+    const std::uint64_t idx = ready[head++];
+    ++iterations;
+    const bool stored = idx >= frame_size_;
+    auto& list = stored ? records_[idx - frame_size_].constituents
+                        : working[idx];
+    if (list.size() != 1) continue;
+    const std::uint32_t tag = list[0];
+    if (decoded_[tag]) continue;
+    decoded_[tag] = 1;
+    if (stored) {
+      reads.emplace_back(tag, Provenance::kStored);
+      resolved_record_ids.push_back(records_[idx - frame_size_].id);
+    } else {
+      reads.emplace_back(tag, slot_tags_[idx].size() == 1
+                                  ? Provenance::kSingleton
+                                  : Provenance::kInFrame);
+    }
+    cancel(tag);
+  }
+
+  std::size_t resolved_i = 0;
+  for (const auto& [tag, provenance] : reads) {
+    read_[tag] = true;
+    ++metrics_.tags_read;
+    if (provenance == Provenance::kSingleton) {
+      ++metrics_.ids_from_singletons;
+    } else {
+      ++metrics_.ids_from_collisions;
+    }
+    if (trace_) {
+      if (provenance == Provenance::kStored) {
+        trace::TraceEvent r;
+        r.kind = trace::EventKind::kRecordResolve;
+        r.slot = slot_index_;
+        r.frame = metrics_.frames;
+        r.record = resolved_record_ids[resolved_i];
+        r.id_digest = population_[tag].Digest();
+        r.cascade = true;  // resolved by cross-frame cancellation
+        trace_.Emit(r);
+      }
+      trace::TraceEvent e;
+      e.kind = trace::EventKind::kAck;
+      e.slot = slot_index_;
+      e.frame = metrics_.frames;
+      e.ack = provenance == Provenance::kSingleton
+                  ? trace::AckKind::kSingletonId
+                  : trace::AckKind::kSlotIndex;
+      e.id_digest = population_[tag].Digest();
+      trace_.Emit(e);
+    }
+    if (provenance == Provenance::kStored) ++resolved_i;
+  }
+
+  // Drop stored records that resolved or emptied out (storage invariant:
+  // an open record keeps >= 2 unknown constituents).
+  records_.erase(std::remove_if(records_.begin(), records_.end(),
+                                [](const StoredRecord& r) {
+                                  return r.constituents.size() < 2;
+                                }),
+                 records_.end());
+
+  // This frame's surviving collision slots become open records: their
+  // constituents are known (seed headers), so they may resolve later.
+  for (std::uint64_t s = 0; s < frame_size_; ++s) {
+    if (working[s].size() < 2) continue;
+    if (trace_) {
+      trace::TraceEvent e;
+      e.kind = trace::EventKind::kRecordOpen;
+      e.slot = slot_index_ - frame_size_ + s;
+      e.frame = metrics_.frames;
+      e.record = next_record_id_;
+      // No responders field: the wire format carries only the handle for
+      // record_open; the slot's own kSlot event has the occupancy.
+      trace_.Emit(e);
+    }
+    records_.push_back({next_record_id_++, std::move(working[s])});
+  }
+  if (config_.store_capacity > 0) {
+    while (records_.size() > config_.store_capacity) {
+      records_.erase(records_.begin());
+      ++metrics_.records_evicted;
+    }
+  }
+}
+
+void SeededAloha::Step() {
+  if (finished_) return;
+
+  const std::size_t occupancy = slot_tags_[slot_cursor_].size();
+  if (occupancy == 0) {
+    ++metrics_.empty_slots;
+    metrics_.elapsed_seconds += timing_.SlotSeconds();
+    EmitSlot(trace::SlotOutcome::kEmpty, 0);
+  } else if (occupancy == 1) {
+    ++metrics_.singleton_slots;
+    metrics_.elapsed_seconds += timing_.SlotSeconds();
+    EmitSlot(trace::SlotOutcome::kSingleton, 1);
+  } else {
+    ++metrics_.collision_slots;
+    metrics_.elapsed_seconds += timing_.SlotSeconds();
+    EmitSlot(trace::SlotOutcome::kCollision, occupancy);
+  }
+  ++slot_cursor_;
+
+  if (slot_cursor_ < frame_size_) return;
+
+  if (frame_transmissions_ > 0) DecodeFrame();
+  if (trace_) {
+    std::uint64_t n_c = 0;
+    for (const auto& tags : slot_tags_) n_c += tags.size() >= 2 ? 1 : 0;
+    trace::TraceEvent e;
+    e.kind = trace::EventKind::kFrame;
+    e.slot = slot_index_;
+    e.frame = metrics_.frames;
+    e.n_c = n_c;
+    e.record = records_.size();  // open-record store occupancy
+    e.estimate_q8 =
+        trace::QuantizeEstimate(static_cast<double>(unread_.size()));
+    e.elapsed_us = trace::QuantizeSeconds(metrics_.elapsed_seconds);
+    trace_.Emit(e);
+  }
+  if (frame_transmissions_ == 0) {
+    // Records only hold unread constituents, so a drained population has
+    // already emptied the store; anything left (livelock-capped run)
+    // is released and reported as unresolved.
+    metrics_.unresolved_records += records_.size();
+    records_.clear();
+    finished_ = true;
+    return;
+  }
+  unread_.erase(std::remove_if(unread_.begin(), unread_.end(),
+                               [&](std::uint32_t t) { return read_[t]; }),
+                unread_.end());
+  StartFrame();
+}
+
+}  // namespace anc::protocols

@@ -6,15 +6,17 @@
 //   trace_inspect diff <a> <b>                  first divergence; exit 1
 //   trace_inspect timeseries <file> [--run=] [--reader=] [--csv=path]
 //   trace_inspect replay <file>                 re-drive + verify each run
-//   trace_inspect record --out=<file> [--protocol=fcat|scat|dfsa]
-//                  [--lambda=] [--n=] [--runs=] [--seed=]
+//   trace_inspect record --out=<file>
+//                  [--protocol=fcat|scat|dfsa|crdsa|irsa|seeded|mpr|perfect]
+//                  [--lambda=] [--capacity=] [--n=] [--runs=] [--seed=]
 //
 // `record` produces the small golden traces CI diffs against; `replay`
 // re-drives each run from its recorded (base_seed, run_index) header and
 // asserts event-for-event identity. Factories are reconstructed from the
-// recorded protocol name (FCAT-<lambda> / SCAT-<lambda> / DFSA at default
-// options); traces of other protocols summarize and diff fine but cannot
-// be replayed here.
+// recorded protocol name (FCAT-<lambda> / SCAT-<lambda>, plus DFSA and
+// the coded-ALOHA family CRDSA / IRSA / SEEDED / MPR-<capacity> /
+// PERFECT at default options); traces of other protocols summarize and
+// diff fine but cannot be replayed here.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -47,8 +49,10 @@ int Usage() {
       "                                       per-frame series (CSV)\n"
       "  replay <file>                        re-drive runs, verify "
       "identity\n"
-      "  record --out=<file> [--protocol=fcat|fcat-signal|scat|dfsa]\n"
-      "         [--lambda=L] [--n=TAGS] [--runs=R] [--seed=S]\n"
+      "  record --out=<file> [--protocol=fcat|fcat-signal|scat|dfsa|\n"
+      "                        crdsa|irsa|seeded|mpr|perfect]\n"
+      "         [--lambda=L] [--capacity=M] [--n=TAGS] [--runs=R] "
+      "[--seed=S]\n"
       "         [--faults=PROFILE] [--demod-pool=T]\n"
       "                                       record a reference trace\n");
   return 2;
@@ -71,6 +75,20 @@ trace::TraceFile Load(const std::string& path) {
 sim::ProtocolFactory FactoryFor(const std::string& protocol,
                                 std::string* error) {
   if (protocol == "DFSA") return core::MakeDfsaFactory();
+  // The coded-ALOHA family records at default options; like DFSA these
+  // names carry no parameters beyond the MPR capacity.
+  if (protocol == "CRDSA") return core::MakeCrdsaFactory();
+  if (protocol == "IRSA") return core::MakeIrsaFactory();
+  if (protocol == "SEEDED") return core::MakeSeededFactory();
+  if (protocol == "PERFECT") return core::MakePerfectFactory();
+  if (protocol.rfind("MPR-", 0) == 0) {
+    const int capacity = std::atoi(protocol.c_str() + 4);
+    if (capacity >= 1 && capacity <= 64) {
+      protocols::MprConfig c;
+      c.capacity = capacity;
+      return core::MakeMprFactory({}, c);
+    }
+  }
   // An "@label" suffix marks a faulted run; the label names the fault
   // profile the recording used, which (plus the run seed) is the entire
   // fault schedule — replay just reapplies the same profile.
@@ -115,8 +133,8 @@ sim::ProtocolFactory FactoryFor(const std::string& protocol,
   }
   *error = "cannot reconstruct a factory for protocol '" + protocol +
            "' (supported: FCAT-<lambda>, FCAT-<lambda>-signal, "
-           "SCAT-<lambda>, DFSA at default options, each optionally "
-           "@<fault-profile>)";
+           "SCAT-<lambda> each optionally @<fault-profile>; DFSA, CRDSA, "
+           "IRSA, SEEDED, MPR-<capacity>, PERFECT at default options)";
   return {};
 }
 
@@ -294,8 +312,10 @@ int Record(const CliArgs& args) {
                     std::vector<FlagSpec>{
                         {"out", "output trace file (truncated)"},
                         {"protocol",
-                         "fcat (default), fcat-signal, scat or dfsa"},
+                         "fcat (default), fcat-signal, scat, dfsa, crdsa, "
+                         "irsa, seeded, mpr or perfect"},
                         {"lambda", "FCAT/SCAT lambda (default 2)"},
+                        {"capacity", "mpr: reader MPR capacity (default 4)"},
                         {"n", "population size (default 200)"},
                         {"runs", "runs to record (default 1)"},
                         {"seed", "base seed (default 1)"},
@@ -341,6 +361,24 @@ int Record(const CliArgs& args) {
     factory = core::MakeFcatSignalFactory(o);
   } else if (protocol == "dfsa") {
     factory = core::MakeDfsaFactory();
+  } else if (protocol == "crdsa") {
+    factory = core::MakeCrdsaFactory();
+  } else if (protocol == "irsa") {
+    factory = core::MakeIrsaFactory();
+  } else if (protocol == "seeded") {
+    factory = core::MakeSeededFactory();
+  } else if (protocol == "perfect") {
+    factory = core::MakePerfectFactory();
+  } else if (protocol == "mpr") {
+    protocols::MprConfig c;
+    const auto capacity = args.GetInt("capacity", c.capacity);
+    if (capacity < 1 || capacity > 64) {
+      std::fprintf(stderr, "trace_inspect: bad --capacity=%lld\n",
+                   static_cast<long long>(capacity));
+      return 2;
+    }
+    c.capacity = static_cast<int>(capacity);
+    factory = core::MakeMprFactory({}, c);
   } else {
     std::fprintf(stderr, "trace_inspect: bad --protocol=%s\n",
                  protocol.c_str());
