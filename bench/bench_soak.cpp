@@ -1,0 +1,170 @@
+// Continuous-inventory soak: the service-mode SLO table (src/service).
+//
+// Drives FCAT-2 (fault-free and under the @chaos fault profile) plus the
+// coded-ALOHA IRSA / SEEDED readers through a long open-world soak —
+// Poisson arrivals and departures churning the live population while the
+// service re-arms inventory round after round — and reports the
+// operational SLOs: time-to-detect p50/p99, inventory staleness p99,
+// missed-tag rate and ghost-read rate. No paper analogue: the paper
+// measures closed one-shot inventories; this is the "leave it running"
+// regime those results feed into.
+//
+// Two invariants are checked every invocation and printed at the end:
+// conservation (arrived == detected + missed + undetected-at-end, per
+// run) and zero open phy records after shutdown. Under --faults=off the
+// missed count must be 0 (every tag dwells past the detection floor);
+// under @chaos the missed rate must stay bounded, not zero.
+//
+//   --profile=P   service profile: smoke | soak | batch | flow
+//                 (default soak: >= 1e5-slot budget per run)
+//   --n=N         initial population per run (default 50)
+//   --faults=F    off | chaos | sweep (default sweep; chaos is FCAT-only
+//                 — the coded-ALOHA readers take no fault config)
+#include "bench_common.h"
+
+#include "common/table.h"
+#include "fault/injector.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace anc;
+
+struct CellResult {
+  service::SoakAggregate agg;
+  std::string label;
+};
+
+service::SoakAggregate RunCell(const sim::ProtocolFactory& factory,
+                               const service::ServiceConfig& config,
+                               const bench::HarnessOptions& opts,
+                               std::size_t n_initial,
+                               const std::string& label) {
+  service::SoakOptions so;
+  so.n_initial = n_initial;
+  so.runs = opts.runs;
+  so.base_seed = opts.seed;
+  so.n_threads = opts.threads;
+  const auto start = std::chrono::steady_clock::now();
+  const service::SoakAggregate agg =
+      service::RunSoakExperiment(factory, config, so);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  // Service-mode JSON point: SLO quantiles + the ledger totals the CI
+  // schema gate checks (staleness_p99 / missed_rate present and finite).
+  bench::detail::JsonState& j = bench::detail::Json();
+  if (!j.path.empty()) {
+    using bench::detail::JsonStats;
+    using bench::detail::JsonStr;
+    std::string point =
+        "{\"label\":" + JsonStr(label) +
+        ",\"profile\":" + JsonStr(config.label) +
+        ",\"n_initial\":" + std::to_string(n_initial) +
+        ",\"runs\":" + std::to_string(so.runs) +
+        ",\"wall_seconds\":" + bench::detail::JsonNum(wall) +
+        ",\"slo\":{\"detect_p50\":" + JsonStats(agg.detect_p50) +
+        ",\"detect_p99\":" + JsonStats(agg.detect_p99) +
+        ",\"staleness_p99\":" + JsonStats(agg.staleness_p99) +
+        ",\"missed_rate\":" + JsonStats(agg.missed_rate) +
+        ",\"ghost_rate\":" + JsonStats(agg.ghost_rate) +
+        ",\"mean_population\":" + JsonStats(agg.mean_population) +
+        ",\"arrived\":" + JsonStats(agg.arrived) +
+        ",\"departed\":" + JsonStats(agg.departed) +
+        ",\"detected\":" + JsonStats(agg.detected) +
+        ",\"slots\":" + JsonStats(agg.slots) +
+        ",\"rounds\":" + JsonStats(agg.rounds) +
+        ",\"elapsed_seconds\":" + JsonStats(agg.elapsed_seconds) + "}" +
+        ",\"missed_total\":" + std::to_string(agg.missed_total) +
+        ",\"ghost_detections_total\":" +
+        std::to_string(agg.ghost_detections_total) +
+        ",\"suppressed_arrivals\":" +
+        std::to_string(agg.suppressed_arrivals_total) +
+        ",\"conservation_failures\":" +
+        std::to_string(agg.conservation_failures) +
+        ",\"open_records_after_shutdown\":" +
+        std::to_string(agg.open_records_after_shutdown) + "}";
+    j.points.push_back(std::move(point));
+  }
+  return agg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace anc;
+  const CliArgs args(argc, argv);
+  bench::RequireKnownFlags(
+      args, argv[0],
+      {{"profile", "service profile: smoke | soak | batch | flow"},
+       {"n", "initial population per run (default 50)"},
+       {"faults", "off | chaos | sweep (chaos is FCAT-only)"}});
+  const auto opts = bench::ParseHarness(args, 3);
+  bench::PrintHeader("Continuous-inventory soak: service-mode SLOs",
+                     "service subsystem, no paper analogue", opts);
+
+  const std::string profile = args.GetString("profile", "soak");
+  service::ServiceConfig config;
+  if (!service::LookupServiceProfile(profile, &config)) {
+    std::fprintf(stderr, "unknown --profile=%s (known: %s)\n", profile.c_str(),
+                 service::ServiceProfileList().c_str());
+    return 2;
+  }
+  const auto n_initial = static_cast<std::size_t>(args.GetInt("n", 50));
+  const std::string faults = args.GetString("faults", "sweep");
+  if (faults != "off" && faults != "chaos" && faults != "sweep") {
+    std::fprintf(stderr, "unknown --faults=%s (off | chaos | sweep)\n",
+                 faults.c_str());
+    return 2;
+  }
+
+  std::vector<std::pair<std::string, sim::ProtocolFactory>> cells;
+  if (faults != "chaos") {
+    cells.emplace_back("FCAT-2", core::MakeFcatFactory(bench::FcatFor(2)));
+    cells.emplace_back("IRSA", core::MakeIrsaFactory());
+    cells.emplace_back("SEEDED", core::MakeSeededFactory());
+  }
+  if (faults != "off") {
+    core::FcatOptions o = bench::FcatFor(2);
+    o.fault = *fault::FaultProfile("chaos");
+    cells.emplace_back("FCAT-2@chaos", core::MakeFcatFactory(o));
+  }
+
+  TextTable table({"protocol", "detect p50", "detect p99", "stale p99",
+                   "missed", "miss rate", "ghosts", "pop", "rounds"});
+  std::uint64_t conservation_failures = 0;
+  std::uint64_t open_records = 0;
+  std::uint64_t unsupported = 0;
+  for (const auto& [label, factory] : cells) {
+    const service::SoakAggregate agg =
+        RunCell(factory, config, opts, n_initial, label);
+    table.AddRow({label, TextTable::Num(agg.detect_p50.mean(), 1),
+                  TextTable::Num(agg.detect_p99.mean(), 1),
+                  TextTable::Num(agg.staleness_p99.mean(), 1),
+                  std::to_string(agg.missed_total),
+                  TextTable::Num(agg.missed_rate.mean(), 4),
+                  std::to_string(agg.ghost_detections_total),
+                  TextTable::Num(agg.mean_population.mean(), 1),
+                  TextTable::Num(agg.rounds.mean(), 0)});
+    conservation_failures += agg.conservation_failures;
+    open_records += agg.open_records_after_shutdown;
+    unsupported += agg.churn_unsupported_runs;
+  }
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("profile %s: %llu-slot budget, churn stops at slot %llu\n",
+              config.label.c_str(),
+              static_cast<unsigned long long>(config.max_slots),
+              static_cast<unsigned long long>(config.churn_stop_slot));
+  std::printf("invariants: conservation_failures=%llu "
+              "open_records_after_shutdown=%llu churn_unsupported_runs=%llu "
+              "(all must be 0)\n",
+              static_cast<unsigned long long>(conservation_failures),
+              static_cast<unsigned long long>(open_records),
+              static_cast<unsigned long long>(unsupported));
+  std::printf("fault-free cells must report missed=0 (every tag dwells past "
+              "the detection floor); @chaos sheds latency and may miss, "
+              "boundedly.\n");
+  return (conservation_failures || open_records || unsupported) ? 1 : 0;
+}

@@ -2,8 +2,184 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace anc {
+
+P2Quantile::P2Quantile(double quantile) : q_(quantile) {
+  increment_[0] = 0.0;
+  increment_[1] = q_ / 2.0;
+  increment_[2] = q_;
+  increment_[3] = (1.0 + q_) / 2.0;
+  increment_[4] = 1.0;
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q_;
+  desired_[2] = 1.0 + 4.0 * q_;
+  desired_[3] = 3.0 + 2.0 * q_;
+  desired_[4] = 5.0;
+}
+
+double P2Quantile::ExactSmallSampleValue() const {
+  if (count_ == 0) return 0.0;
+  // Nearest-rank on the sorted prefix held in height_[0..count_).
+  const auto rank = static_cast<std::size_t>(
+      std::llround(q_ * static_cast<double>(count_ - 1)));
+  return height_[std::min(rank, count_ - 1)];
+}
+
+void P2Quantile::Add(double x) {
+  if (count_ < 5) {
+    height_[count_++] = x;
+    std::sort(height_, height_ + count_);
+    return;
+  }
+
+  // Locate the cell k such that height_[k] <= x < height_[k+1], extending
+  // the extreme markers when x falls outside the current range.
+  int k;
+  if (x < height_[0]) {
+    height_[0] = x;
+    k = 0;
+  } else if (x >= height_[4]) {
+    height_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= height_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) position_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increment_[i];
+  ++count_;
+
+  // Adjust the three interior markers toward their desired positions with
+  // the piecewise-parabolic formula, falling back to linear interpolation
+  // when P² would push a height out of order.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - position_[i];
+    if ((d >= 1.0 && position_[i + 1] - position_[i] > 1.0) ||
+        (d <= -1.0 && position_[i - 1] - position_[i] < -1.0)) {
+      const double sign = d >= 0.0 ? 1.0 : -1.0;
+      const double np = position_[i] + sign;
+      const double qp =
+          height_[i] +
+          sign / (position_[i + 1] - position_[i - 1]) *
+              ((position_[i] - position_[i - 1] + sign) *
+                   (height_[i + 1] - height_[i]) /
+                   (position_[i + 1] - position_[i]) +
+               (position_[i + 1] - position_[i] - sign) *
+                   (height_[i] - height_[i - 1]) /
+                   (position_[i] - position_[i - 1]));
+      if (height_[i - 1] < qp && qp < height_[i + 1]) {
+        height_[i] = qp;
+      } else {
+        // Linear fallback toward the neighbour in the movement direction.
+        const int j = i + static_cast<int>(sign);
+        height_[i] = height_[i] + sign * (height_[j] - height_[i]) /
+                                      (position_[j] - position_[i]);
+      }
+      position_[i] = np;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) return ExactSmallSampleValue();
+  return height_[2];
+}
+
+void P2Quantile::Merge(const P2Quantile& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const std::size_t merged_count = count_ + other.count_;
+  P2Quantile merged(q_);
+  merged.count_ = merged_count;
+  if (merged_count < 5) {
+    // Both sides exact and small: keep exact semantics.
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < count_; ++i) merged.height_[n++] = height_[i];
+    for (std::size_t i = 0; i < other.count_; ++i) {
+      merged.height_[n++] = other.height_[i];
+    }
+    std::sort(merged.height_, merged.height_ + n);
+  } else {
+    // Each side is a distribution sketch: a converged estimator's five
+    // markers approximate its sample quantiles at probabilities
+    // {0, q/2, q, (1+q)/2, 1} (NOT five equal-mass samples — treating
+    // them that way skews hard toward the extremes for tail quantiles);
+    // a still-exact side is its raw empirical distribution. The merged
+    // markers are re-seeded from quantiles of the count-weighted mixture
+    // CDF, inverted by bisection.
+    const auto cdf_one = [](const P2Quantile& e, double x) {
+      if (e.count_ < 5) {
+        std::size_t at_or_below = 0;
+        for (std::size_t i = 0; i < e.count_; ++i) {
+          at_or_below += e.height_[i] <= x ? 1 : 0;
+        }
+        return static_cast<double>(at_or_below) /
+               static_cast<double>(e.count_);
+      }
+      const double p[5] = {0.0, e.q_ / 2.0, e.q_, (1.0 + e.q_) / 2.0, 1.0};
+      if (x <= e.height_[0]) return 0.0;
+      if (x >= e.height_[4]) return 1.0;
+      int i = 0;
+      while (i < 3 && x >= e.height_[i + 1]) ++i;
+      const double span = e.height_[i + 1] - e.height_[i];
+      if (span <= 0.0) return p[i + 1];
+      return p[i] + (p[i + 1] - p[i]) * (x - e.height_[i]) / span;
+    };
+    const double wa = static_cast<double>(count_);
+    const double wb = static_cast<double>(other.count_);
+    const auto mixture_cdf = [&](double x) {
+      return (wa * cdf_one(*this, x) + wb * cdf_one(other, x)) / (wa + wb);
+    };
+    const auto side_min = [](const P2Quantile& e) { return e.height_[0]; };
+    const auto side_max = [](const P2Quantile& e) {
+      return e.height_[std::min<std::size_t>(e.count_, 5) - 1];
+    };
+    const double lo_all = std::min(side_min(*this), side_min(other));
+    const double hi_all = std::max(side_max(*this), side_max(other));
+    // Smallest x with F(x) >= p; ~50 halvings exhaust double precision.
+    const auto quantile_at = [&](double p) {
+      double lo = lo_all, hi = hi_all;
+      for (int iter = 0; iter < 60 && lo < hi; ++iter) {
+        const double mid = lo + (hi - lo) / 2.0;
+        if (mixture_cdf(mid) < p) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      return hi;
+    };
+
+    merged.height_[0] = lo_all;
+    merged.height_[1] = quantile_at(q_ / 2.0);
+    merged.height_[2] = quantile_at(q_);
+    merged.height_[3] = quantile_at((1.0 + q_) / 2.0);
+    merged.height_[4] = hi_all;
+    std::sort(merged.height_, merged.height_ + 5);
+    const auto n = static_cast<double>(merged_count);
+    merged.position_[0] = 1.0;
+    merged.position_[1] = std::max(2.0, std::round(1.0 + 2.0 * q_ * (n - 1) / 4.0));
+    merged.position_[2] = std::max(merged.position_[1] + 1.0,
+                                   std::round(1.0 + q_ * (n - 1)));
+    merged.position_[3] = std::max(merged.position_[2] + 1.0,
+                                   std::round(1.0 + (1.0 + q_) * (n - 1) / 2.0));
+    merged.position_[4] = std::max(merged.position_[3] + 1.0, n);
+    // Steady-state desired positions for a stream of length n.
+    merged.desired_[0] = 1.0;
+    merged.desired_[1] = (n - 1) * q_ / 2.0 + 1.0;
+    merged.desired_[2] = (n - 1) * q_ + 1.0;
+    merged.desired_[3] = (n - 1) * (1.0 + q_) / 2.0 + 1.0;
+    merged.desired_[4] = n;
+  }
+  *this = merged;
+}
 
 void RunningStats::Add(double x) {
   if (count_ == 0) {

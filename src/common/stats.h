@@ -6,6 +6,50 @@
 
 namespace anc {
 
+// P² (Jain & Chlamtac 1985) streaming quantile estimator: five markers
+// tracking the q-quantile of an unbounded stream in O(1) memory. The
+// service-mode SLO layer leans on this — a million-slot soak samples
+// detection latency and staleness every epoch without retaining samples.
+//
+// For the first four observations value() is the exact sample quantile;
+// from the fifth on, the five marker heights are adjusted by the
+// piecewise-parabolic (P²) interpolation of the original paper.
+class P2Quantile {
+ public:
+  // `quantile` in (0, 1): 0.5 for the median, 0.99 for p99.
+  explicit P2Quantile(double quantile);
+
+  void Add(double x);
+
+  // Current estimate; exact for count() < 5, NaN-free (0.0 when empty).
+  double value() const;
+
+  std::size_t count() const { return count_; }
+  double quantile() const { return q_; }
+
+  // Pools another estimator into this one (same quantile required).
+  //
+  // Consistent in spirit with RunningStats::Merge — shards accumulate
+  // independently and fold at the end — but unlike Welford pooling the
+  // result is approximate: each side's markers are read as a
+  // piecewise-linear CDF (marker i sits at probability {0, q/2, q,
+  // (1+q)/2, 1}) and the merged markers are re-seeded from quantiles of
+  // the count-weighted mixture. Exact when either side is empty, or when
+  // both are still exact and the merged count stays under 5.
+  void Merge(const P2Quantile& other);
+
+ private:
+  double ExactSmallSampleValue() const;
+
+  double q_;
+  std::size_t count_ = 0;
+  // Marker heights (sorted) and integer positions, paper notation.
+  double height_[5] = {0, 0, 0, 0, 0};
+  double position_[5] = {1, 2, 3, 4, 5};
+  double desired_[5] = {1, 2, 3, 4, 5};
+  double increment_[5] = {0, 0, 0, 0, 0};
+};
+
 // Welford's online algorithm: numerically stable running mean / variance.
 class RunningStats {
  public:

@@ -32,6 +32,7 @@ CollisionAwareEngine::CollisionAwareEngine(std::string name,
   active_.resize(population.size());
   pos_in_active_.resize(population.size());
   read_.assign(population.size(), false);
+  present_.assign(population.size(), true);
   for (std::uint32_t i = 0; i < population.size(); ++i) {
     active_[i] = i;
     pos_in_active_[i] = i;
@@ -88,15 +89,8 @@ void CollisionAwareEngine::Shutdown() {
   if (!finished_) Finish();
 }
 
-void CollisionAwareEngine::PowerCycle() {
-  const std::size_t dropped = tracker_.ReleaseAll(
-      phy_, fault::RecordLedger::CloseReason::kCrashDropped);
-  ++metrics_.reader_crashes;
+void CollisionAwareEngine::ResetFrameMachinery() {
   cascade_queue_.clear();
-  // Volatile reader state is gone: the estimator reboots from its cold
-  // bootstrap and the frame machinery restarts at a frame boundary. Tags
-  // (and read_ / active_, i.e. which tags already fell silent) are
-  // external to the reader and survive.
   estimator_ = EmbeddedEstimator(
       config_.frame_size, omega_,
       config_.initial_estimate > 0.0
@@ -112,12 +106,59 @@ void CollisionAwareEngine::PowerCycle() {
   consecutive_empties_ = 0;
   consecutive_collisions_ = 0;
   collision_boost_ = 1.0;
+}
+
+void CollisionAwareEngine::PowerCycle() {
+  const std::size_t dropped = tracker_.ReleaseAll(
+      phy_, fault::RecordLedger::CloseReason::kCrashDropped);
+  ++metrics_.reader_crashes;
+  // Volatile reader state is gone: the estimator reboots from its cold
+  // bootstrap and the frame machinery restarts at a frame boundary. Tags
+  // (and read_ / active_, i.e. which tags already fell silent) are
+  // external to the reader and survive.
+  ResetFrameMachinery();
   // The outage itself costs air time: the restart delay passes with no
   // slots scheduled.
   metrics_.elapsed_seconds +=
       static_cast<double>(fault_->config().crash.restart_delay_slots) *
       config_.timing.SlotSeconds();
   EmitFault(trace::FaultKind::kCrash, phy::kInvalidRecord, dropped);
+}
+
+bool CollisionAwareEngine::ArriveTag(const TagId& id) {
+  const auto it = digest_to_index_.find(id.Digest());
+  if (it == digest_to_index_.end()) return false;
+  const std::uint32_t tag = it->second;
+  present_[tag] = true;
+  if (!read_[tag]) Activate(tag);
+  return true;
+}
+
+bool CollisionAwareEngine::DepartTag(const TagId& id) {
+  const auto it = digest_to_index_.find(id.Digest());
+  if (it == digest_to_index_.end()) return false;
+  const std::uint32_t tag = it->second;
+  present_[tag] = false;
+  // Falls silent immediately. Signals already captured in open collision
+  // records stay there — a later resolution of one is a ghost read from
+  // the service layer's point of view.
+  Deactivate(tag);
+  return true;
+}
+
+bool CollisionAwareEngine::BeginInventoryRound(bool refresh) {
+  if (!finished_) Finish();
+  finished_ = false;
+  if (refresh) {
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(population_.size()); ++i) {
+      if (!present_[i] || !read_[i]) continue;
+      read_[i] = false;
+      Activate(i);
+    }
+  }
+  ResetFrameMachinery();
+  return true;
 }
 
 double CollisionAwareEngine::EstimatedTotal() const {
@@ -137,6 +178,12 @@ void CollisionAwareEngine::Deactivate(std::uint32_t tag) {
   pos_in_active_[last] = pos;
   active_.pop_back();
   pos_in_active_[tag] = kNotActive;
+}
+
+void CollisionAwareEngine::Activate(std::uint32_t tag) {
+  if (pos_in_active_[tag] != kNotActive) return;
+  pos_in_active_[tag] = static_cast<std::uint32_t>(active_.size());
+  active_.push_back(tag);
 }
 
 void CollisionAwareEngine::LearnId(const TagId& id, bool from_collision) {

@@ -82,6 +82,18 @@ class CollisionAwareEngine : public sim::Protocol {
   std::size_t OpenPhyRecords() const override { return phy_.OpenRecords(); }
   void Shutdown() override;
 
+  // Churn hooks (sim::Protocol, src/service): presence toggling over the
+  // construction-time universe plus re-arming for continuous inventory
+  // rounds. Absent tags never transmit; a departed tag's contribution to
+  // already-open collision records survives (resolving one later is the
+  // service layer's ghost read). BeginInventoryRound reboots the frame
+  // machinery and estimator exactly like a crash recovery, minus the
+  // outage cost and fault accounting.
+  bool SupportsChurn() const override { return true; }
+  bool ArriveTag(const TagId& id) override;
+  bool DepartTag(const TagId& id) override;
+  bool BeginInventoryRound(bool refresh) override;
+
   // Introspection for tests and the estimator benches.
   double EstimatedTotal() const;
   std::uint64_t ActiveTags() const { return active_.size(); }
@@ -97,6 +109,10 @@ class CollisionAwareEngine : public sim::Protocol {
   void LearnId(const TagId& id, bool from_collision);
   void EmitResolve(const RecordTracker::Resolution& resolution, bool cascade);
   void Deactivate(std::uint32_t tag);
+  void Activate(std::uint32_t tag);
+  // Cold restart of the frame/estimator machinery shared by PowerCycle()
+  // and BeginInventoryRound().
+  void ResetFrameMachinery();
   void RegisterRecord(phy::RecordHandle handle);
   void DrainCascade();
   // Terminal sweep: marks the run finished, captures unresolved_records,
@@ -130,6 +146,7 @@ class CollisionAwareEngine : public sim::Protocol {
   std::vector<std::uint32_t> active_;          // indices of unread tags
   std::vector<std::uint32_t> pos_in_active_;   // inverse permutation
   std::vector<bool> read_;
+  std::vector<bool> present_;  // churn: in-field flags over the universe
 
   RecordTracker tracker_;
   EmbeddedEstimator estimator_;

@@ -73,6 +73,12 @@ class Fcat final : public sim::Protocol {
     return engine_.OpenPhyRecords();
   }
   void Shutdown() override { engine_.Shutdown(); }
+  bool SupportsChurn() const override { return true; }
+  bool ArriveTag(const TagId& id) override { return engine_.ArriveTag(id); }
+  bool DepartTag(const TagId& id) override { return engine_.DepartTag(id); }
+  bool BeginInventoryRound(bool refresh) override {
+    return engine_.BeginInventoryRound(refresh);
+  }
   const CollisionAwareEngine& engine() const { return engine_; }
 
  private:
@@ -120,6 +126,12 @@ class Scat final : public sim::Protocol {
     return engine_.OpenPhyRecords();
   }
   void Shutdown() override { engine_.Shutdown(); }
+  bool SupportsChurn() const override { return true; }
+  bool ArriveTag(const TagId& id) override { return engine_.ArriveTag(id); }
+  bool DepartTag(const TagId& id) override { return engine_.DepartTag(id); }
+  bool BeginInventoryRound(bool refresh) override {
+    return engine_.BeginInventoryRound(refresh);
+  }
   const CollisionAwareEngine& engine() const { return engine_; }
   // The pre-step's estimate of N (population size when disabled).
   double assumed_total() const { return assumed_total_; }
@@ -174,6 +186,12 @@ class FcatOnSignal final : public sim::Protocol {
     return engine_.OpenPhyRecords();
   }
   void Shutdown() override { engine_.Shutdown(); }
+  bool SupportsChurn() const override { return true; }
+  bool ArriveTag(const TagId& id) override { return engine_.ArriveTag(id); }
+  bool DepartTag(const TagId& id) override { return engine_.DepartTag(id); }
+  bool BeginInventoryRound(bool refresh) override {
+    return engine_.BeginInventoryRound(refresh);
+  }
   const phy::SignalPhy& signal_phy() const { return phy_; }
 
  private:

@@ -38,11 +38,13 @@ DeploymentProtocol::DeploymentProtocol(std::span<const TagId> tags,
   graph_ = BuildInterferenceGraph(grid);
 
   readers_.reserve(grid.size());
+  covered_by_.assign(tags.size(), {});
   for (const Reader& position : grid) {
     auto state = std::make_unique<ReaderState>();
     state->position = position;
     for (std::uint32_t i : CoveredTags2D(position, points_)) {
       state->covered_ids.push_back(tags[i]);
+      covered_by_[i].push_back(static_cast<std::uint32_t>(readers_.size()));
     }
     state->slot_cap =
         config.max_slots_per_tag * state->covered_ids.size() + 1000;
@@ -106,6 +108,61 @@ void DeploymentProtocol::KillReader(std::size_t victim) {
   }
 }
 
+bool DeploymentProtocol::SupportsChurn() const {
+  if (readers_.empty()) return false;
+  for (const auto& reader : readers_) {
+    if (!reader->protocol->SupportsChurn()) return false;
+  }
+  return true;
+}
+
+bool DeploymentProtocol::ArriveTag(const TagId& id) {
+  const auto it = digest_to_index_.find(id.Digest());
+  if (it == digest_to_index_.end()) return false;
+  bool accepted = false;
+  for (std::uint32_t r : covered_by_[it->second]) {
+    ReaderState& reader = *readers_[r];
+    if (reader.dead) continue;
+    if (reader.protocol->ArriveTag(id)) {
+      accepted = true;
+      // A reader that already declared its inventory complete resumes for
+      // the newcomer instead of waiting for a deployment-wide re-arm.
+      if (reader.protocol->Finished()) {
+        reader.protocol->BeginInventoryRound(false);
+        reader.final_merged = false;
+      }
+    }
+  }
+  if (accepted) finished_ = false;
+  return accepted;
+}
+
+bool DeploymentProtocol::DepartTag(const TagId& id) {
+  const auto it = digest_to_index_.find(id.Digest());
+  if (it == digest_to_index_.end()) return false;
+  bool accepted = false;
+  for (std::uint32_t r : covered_by_[it->second]) {
+    ReaderState& reader = *readers_[r];
+    if (reader.dead) continue;
+    accepted |= reader.protocol->DepartTag(id);
+  }
+  return accepted;
+}
+
+bool DeploymentProtocol::BeginInventoryRound(bool refresh) {
+  if (readers_.empty()) return false;
+  bool any = false;
+  for (auto& reader : readers_) {
+    if (reader->dead) continue;
+    if (reader->protocol->BeginInventoryRound(refresh)) {
+      reader->final_merged = false;
+      any = true;
+    }
+  }
+  if (any) finished_ = false;
+  return any;
+}
+
 void DeploymentProtocol::AttachTrace(const trace::TraceContext& context) {
   trace_ = context;
   for (std::size_t r = 0; r < readers_.size(); ++r) {
@@ -120,6 +177,7 @@ void DeploymentProtocol::Broadcast(std::uint32_t reader, const TagId& id) {
 
 void DeploymentProtocol::Step() {
   if (finished_) return;
+  learned_this_step_.clear();
 
   if (config_.reader_death.enabled &&
       config_.reader_death.reader < readers_.size() &&
@@ -164,6 +222,7 @@ void DeploymentProtocol::Step() {
     ++busy_reader_slots_;
     for (const TagId& id : reader.protocol->LearnedThisStep()) {
       MarkIdentified(id);
+      learned_this_step_.push_back(id);
       if (config_.share_records) Broadcast(r, id);
     }
     if (reader.protocol->metrics().TotalSlots() >= reader.slot_cap) {
@@ -184,6 +243,7 @@ void DeploymentProtocol::Step() {
       const std::vector<TagId> copy(resolved.begin(), resolved.end());
       for (const TagId& rid : copy) {
         MarkIdentified(rid);
+        learned_this_step_.push_back(rid);
         Broadcast(nb, rid);
       }
     }
@@ -224,6 +284,12 @@ std::size_t DeploymentProtocol::OpenPhyRecords() const {
     open += reader->protocol->OpenPhyRecords();
   }
   return open;
+}
+
+void DeploymentProtocol::Shutdown() {
+  for (const auto& reader : readers_) {
+    reader->protocol->Shutdown();
+  }
 }
 
 void DeploymentProtocol::MarkIdentified(const TagId& id) {

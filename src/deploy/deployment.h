@@ -116,6 +116,28 @@ class DeploymentProtocol final : public sim::Protocol {
   // hook: 0 after a completed deployment, dead readers included).
   std::size_t OpenPhyRecords() const override;
 
+  // Shuts down every reader (dead ones already are; per-reader Shutdown
+  // is idempotent), releasing any records still open — e.g. collision
+  // records whose tags departed mid-soak and can never resolve.
+  void Shutdown() override;
+
+  // Churn hooks (src/service): presence changes are forwarded to every
+  // reader whose coverage disk contains the tag; an arrival additionally
+  // resumes covering readers that had already finished their inventory
+  // (the new tag would otherwise wait for a deployment-wide re-arm).
+  // Supported when every per-reader protocol supports churn.
+  bool SupportsChurn() const override;
+  bool ArriveTag(const TagId& id) override;
+  bool DepartTag(const TagId& id) override;
+  bool BeginInventoryRound(bool refresh) override;
+  // IDs identified during the last Step(), across all active readers —
+  // over-the-air reads and neighbour-broadcast cascade resolutions alike
+  // (duplicates possible when overlap zones read the same tag; the
+  // service layer dedups by state).
+  std::span<const TagId> LearnedThisStep() const override {
+    return learned_this_step_;
+  }
+
  private:
   struct ReaderState;
 
@@ -139,6 +161,9 @@ class DeploymentProtocol final : public sim::Protocol {
   trace::TraceContext trace_;
   std::vector<bool> identified_;        // global merged inventory, by index
   std::unordered_map<std::uint64_t, std::uint32_t> digest_to_index_;
+  // Churn routing: tag index -> readers covering it (grid order).
+  std::vector<std::vector<std::uint32_t>> covered_by_;
+  std::vector<TagId> learned_this_step_;
   std::size_t unique_ids_ = 0;
   std::uint64_t global_slots_ = 0;
   std::uint64_t busy_reader_slots_ = 0;

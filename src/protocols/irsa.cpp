@@ -5,14 +5,65 @@
 
 namespace anc::protocols {
 
+namespace {
+constexpr std::uint32_t kNoTag = ~std::uint32_t{0};
+}  // namespace
+
 Irsa::Irsa(std::span<const TagId> population, anc::Pcg32 rng,
            phy::TimingModel timing, IrsaConfig config)
     : BaselineBase("IRSA", population, rng, timing),
       config_(config),
-      read_(population.size(), false) {
-  unread_.resize(population.size());
-  for (std::uint32_t i = 0; i < population.size(); ++i) unread_[i] = i;
-  StartFrame();
+      read_(population.size(), false),
+      present_(population.size(), true) {
+  digest_to_index_.reserve(population.size() * 2);
+  for (std::uint32_t i = 0; i < population.size(); ++i) {
+    digest_to_index_.emplace(population[i].Digest(), i);
+  }
+}
+
+std::uint32_t Irsa::IndexOf(const TagId& id) const {
+  const auto it = digest_to_index_.find(id.Digest());
+  return it == digest_to_index_.end() ? kNoTag : it->second;
+}
+
+void Irsa::RebuildUnread() {
+  unread_.clear();
+  for (std::uint32_t i = 0;
+       i < static_cast<std::uint32_t>(population_.size()); ++i) {
+    if (present_[i] && !read_[i]) unread_.push_back(i);
+  }
+}
+
+bool Irsa::ArriveTag(const TagId& id) {
+  const std::uint32_t tag = IndexOf(id);
+  if (tag == kNoTag) return false;
+  present_[tag] = true;
+  return true;
+}
+
+bool Irsa::DepartTag(const TagId& id) {
+  const std::uint32_t tag = IndexOf(id);
+  if (tag == kNoTag) return false;
+  present_[tag] = false;
+  // Replicas already on the air stay buffered at the reader; the ones the
+  // tag would have transmitted in the remainder of the frame vanish.
+  for (std::uint64_t s = slot_cursor_; s < frame_size_; ++s) {
+    auto& tags = slot_tags_[s];
+    tags.erase(std::remove(tags.begin(), tags.end(), tag), tags.end());
+  }
+  return true;
+}
+
+bool Irsa::BeginInventoryRound(bool refresh) {
+  finished_ = false;
+  if (refresh) {
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(population_.size()); ++i) {
+      if (present_[i]) read_[i] = false;
+    }
+  }
+  needs_frame_ = true;
+  return true;
 }
 
 void Irsa::StartFrame() {
@@ -83,6 +134,7 @@ void Irsa::DecodeFrame() {
 
   for (const auto& [tag, from_singleton] : reads) {
     read_[tag] = true;
+    learned_this_step_.push_back(population_[tag]);
     ++metrics_.tags_read;
     if (from_singleton) {
       ++metrics_.ids_from_singletons;
@@ -104,6 +156,12 @@ void Irsa::DecodeFrame() {
 
 void Irsa::Step() {
   if (finished_) return;
+  learned_this_step_.clear();
+  if (needs_frame_) {
+    RebuildUnread();
+    StartFrame();
+    needs_frame_ = false;
+  }
 
   const std::size_t occupancy = slot_tags_[slot_cursor_].size();
   if (occupancy == 0) {
@@ -142,10 +200,9 @@ void Irsa::Step() {
     finished_ = true;
     return;
   }
-  unread_.erase(std::remove_if(unread_.begin(), unread_.end(),
-                               [&](std::uint32_t t) { return read_[t]; }),
-                unread_.end());
-  StartFrame();
+  // The next frame is built on that frame's first Step() so churn applied
+  // at the boundary is visible to it (RebuildUnread + StartFrame there).
+  needs_frame_ = true;
 }
 
 }  // namespace anc::protocols

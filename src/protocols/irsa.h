@@ -23,6 +23,7 @@
 // the CRDSA baseline (protocols/crdsa.h).
 #pragma once
 
+#include <unordered_map>
 #include <vector>
 
 #include "protocols/baseline_base.h"
@@ -51,24 +52,47 @@ class Irsa final : public BaselineBase {
   void Step() override;
   bool Finished() const override { return finished_; }
 
+  // Churn hooks (src/service). A tag arriving mid-frame missed the frame
+  // advertisement and joins at the next frame; a tag departing mid-frame
+  // keeps the replicas it already transmitted (the reader buffered those
+  // signals) but its not-yet-transmitted replicas vanish from the frame.
+  bool SupportsChurn() const override { return true; }
+  bool ArriveTag(const TagId& id) override;
+  bool DepartTag(const TagId& id) override;
+  bool BeginInventoryRound(bool refresh) override;
+  std::span<const TagId> LearnedThisStep() const override {
+    return learned_this_step_;
+  }
+
  private:
   void StartFrame();
   void DecodeFrame();  // SIC over the buffered frame, at the frame boundary
+  // Recomputes unread_ = {present && !read} in index order — identical to
+  // the erase-based maintenance for a closed population, so RNG draw
+  // order (and golden traces) are unchanged.
+  void RebuildUnread();
+  std::uint32_t IndexOf(const TagId& id) const;
 
   IrsaConfig config_;
   std::vector<std::uint32_t> unread_;
   std::vector<bool> read_;
+  std::vector<bool> present_;
+  std::unordered_map<std::uint64_t, std::uint32_t> digest_to_index_;
 
-  // Current frame.
+  // Current frame. The first Step() of each frame builds it (deferred
+  // from the previous boundary so churn applied between frames lands
+  // before the tags commit their replica patterns).
   std::uint64_t frame_size_ = 0;
   std::uint64_t slot_cursor_ = 0;
   std::uint64_t frame_transmissions_ = 0;
   std::vector<std::vector<std::uint32_t>> slot_tags_;  // on-air occupancy
+  bool needs_frame_ = true;
   bool finished_ = false;
 
   // Scratch for DecodeFrame (reused across frames).
   std::vector<std::uint8_t> decoded_;
   std::vector<std::uint64_t> ready_;
+  std::vector<TagId> learned_this_step_;
 };
 
 }  // namespace anc::protocols

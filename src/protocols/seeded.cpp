@@ -35,20 +35,72 @@ SeededPattern DeriveSeededPattern(std::uint64_t tag_digest,
   return p;
 }
 
+namespace {
+constexpr std::uint32_t kNoTag = ~std::uint32_t{0};
+}  // namespace
+
 SeededAloha::SeededAloha(std::span<const TagId> population, anc::Pcg32 rng,
                          phy::TimingModel timing, SeededConfig config)
     : BaselineBase("SEEDED", population, rng, timing),
       config_(config),
-      read_(population.size(), false) {
+      read_(population.size(), false),
+      present_(population.size(), true) {
   // One salt per run, announced with the reader's frame advertisement;
   // drawn before any other use of the stream so the pattern inputs are a
   // fixed function of the run seed.
   const std::uint64_t hi = rng_();
   const std::uint64_t lo = rng_();
   run_salt_ = hi << 32 | lo;
-  unread_.resize(population.size());
-  for (std::uint32_t i = 0; i < population.size(); ++i) unread_[i] = i;
-  StartFrame();
+  digest_to_index_.reserve(population.size() * 2);
+  for (std::uint32_t i = 0; i < population.size(); ++i) {
+    digest_to_index_.emplace(population[i].Digest(), i);
+  }
+}
+
+std::uint32_t SeededAloha::IndexOf(const TagId& id) const {
+  const auto it = digest_to_index_.find(id.Digest());
+  return it == digest_to_index_.end() ? kNoTag : it->second;
+}
+
+void SeededAloha::RebuildUnread() {
+  unread_.clear();
+  for (std::uint32_t i = 0;
+       i < static_cast<std::uint32_t>(population_.size()); ++i) {
+    if (present_[i] && !read_[i]) unread_.push_back(i);
+  }
+}
+
+bool SeededAloha::ArriveTag(const TagId& id) {
+  const std::uint32_t tag = IndexOf(id);
+  if (tag == kNoTag) return false;
+  present_[tag] = true;
+  return true;
+}
+
+bool SeededAloha::DepartTag(const TagId& id) {
+  const std::uint32_t tag = IndexOf(id);
+  if (tag == kNoTag) return false;
+  present_[tag] = false;
+  // Future replicas of the current frame vanish; already-transmitted
+  // replicas and contributions to stored cross-frame records remain (the
+  // reader holds those signals — resolving one later is a ghost read).
+  for (std::uint64_t s = slot_cursor_; s < frame_size_; ++s) {
+    auto& tags = slot_tags_[s];
+    tags.erase(std::remove(tags.begin(), tags.end(), tag), tags.end());
+  }
+  return true;
+}
+
+bool SeededAloha::BeginInventoryRound(bool refresh) {
+  finished_ = false;
+  if (refresh) {
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(population_.size()); ++i) {
+      if (present_[i]) read_[i] = false;
+    }
+  }
+  needs_frame_ = true;
+  return true;
 }
 
 void SeededAloha::StartFrame() {
@@ -139,6 +191,7 @@ void SeededAloha::DecodeFrame() {
   std::size_t resolved_i = 0;
   for (const auto& [tag, provenance] : reads) {
     read_[tag] = true;
+    learned_this_step_.push_back(population_[tag]);
     ++metrics_.tags_read;
     if (provenance == Provenance::kSingleton) {
       ++metrics_.ids_from_singletons;
@@ -203,6 +256,12 @@ void SeededAloha::DecodeFrame() {
 
 void SeededAloha::Step() {
   if (finished_) return;
+  learned_this_step_.clear();
+  if (needs_frame_) {
+    RebuildUnread();
+    StartFrame();
+    needs_frame_ = false;
+  }
 
   const std::size_t occupancy = slot_tags_[slot_cursor_].size();
   if (occupancy == 0) {
@@ -246,10 +305,9 @@ void SeededAloha::Step() {
     finished_ = true;
     return;
   }
-  unread_.erase(std::remove_if(unread_.begin(), unread_.end(),
-                               [&](std::uint32_t t) { return read_[t]; }),
-                unread_.end());
-  StartFrame();
+  // Next frame built lazily at its first Step() (see Irsa::Step) so
+  // boundary churn lands before the tags commit their patterns.
+  needs_frame_ = true;
 }
 
 }  // namespace anc::protocols

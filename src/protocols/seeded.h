@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "protocols/baseline_base.h"
@@ -80,6 +81,18 @@ class SeededAloha final : public BaselineBase {
   std::size_t OpenPhyRecords() const override { return records_.size(); }
   void Shutdown() override { records_.clear(); }
 
+  // Churn hooks (src/service). Same frame-boundary semantics as Irsa;
+  // additionally, a departed tag's contributions to *stored* cross-frame
+  // records survive, so a record can still resolve to a tag that already
+  // left the field — the ghost-read path the service layer measures.
+  bool SupportsChurn() const override { return true; }
+  bool ArriveTag(const TagId& id) override;
+  bool DepartTag(const TagId& id) override;
+  bool BeginInventoryRound(bool refresh) override;
+  std::span<const TagId> LearnedThisStep() const override {
+    return learned_this_step_;
+  }
+
  private:
   struct StoredRecord {
     std::uint64_t id = 0;  // monotonically increasing, for trace events
@@ -88,22 +101,28 @@ class SeededAloha final : public BaselineBase {
 
   void StartFrame();
   void DecodeFrame();
+  void RebuildUnread();
+  std::uint32_t IndexOf(const TagId& id) const;
 
   SeededConfig config_;
   std::uint64_t run_salt_ = 0;
   std::vector<std::uint32_t> unread_;
   std::vector<bool> read_;
+  std::vector<bool> present_;
+  std::unordered_map<std::uint64_t, std::uint32_t> digest_to_index_;
 
   std::uint64_t frame_size_ = 0;
   std::uint64_t slot_cursor_ = 0;
   std::uint64_t frame_transmissions_ = 0;
   std::vector<std::vector<std::uint32_t>> slot_tags_;
+  bool needs_frame_ = true;
   bool finished_ = false;
 
   std::vector<StoredRecord> records_;  // open cross-frame records (FIFO)
   std::uint64_t next_record_id_ = 0;
 
   std::vector<std::uint8_t> decoded_;  // scratch
+  std::vector<TagId> learned_this_step_;
 };
 
 }  // namespace anc::protocols

@@ -1,0 +1,113 @@
+#include "service/churn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anc::service {
+namespace {
+
+// Dwell draw shared by every model. Exponential dwells are floored at
+// min_dwell_slots (see ChurnConfig); the exponential itself uses the
+// same log()-on-doubles precedent as the estimator math — the value is
+// rounded to whole slots before it touches the schedule, so platform
+// libm differences would need a half-slot disagreement to matter.
+std::uint64_t DrawDwell(const ChurnConfig& config, anc::Pcg32& rng) {
+  if (config.fixed_dwell) return std::max<std::uint64_t>(config.mean_dwell_slots, 1);
+  const std::uint64_t floor_slots = std::max<std::uint64_t>(config.min_dwell_slots, 1);
+  if (config.mean_dwell_slots <= floor_slots) return floor_slots;
+  const double residual_mean =
+      static_cast<double>(config.mean_dwell_slots - floor_slots);
+  const double u = rng.UniformDouble();  // in [0, 1), so 1-u is in (0, 1]
+  const double extra = -residual_mean * std::log(1.0 - u);
+  return floor_slots + static_cast<std::uint64_t>(std::llround(extra));
+}
+
+}  // namespace
+
+std::size_t UniverseSizeFor(const ChurnConfig& config, std::size_t n_initial,
+                            std::uint64_t stop_slot) {
+  switch (config.kind) {
+    case ChurnKind::kNone:
+      return n_initial;
+    case ChurnKind::kPoisson: {
+      const double expected = config.arrival_rate * static_cast<double>(stop_slot);
+      return n_initial + static_cast<std::size_t>(2.0 * expected) + 64;
+    }
+    case ChurnKind::kBatch: {
+      const std::uint64_t interval = std::max<std::uint64_t>(config.batch_interval, 1);
+      const std::uint64_t deliveries = stop_slot / interval;
+      return n_initial + config.batch_size * static_cast<std::size_t>(deliveries);
+    }
+    case ChurnKind::kConveyor: {
+      const std::uint64_t interval =
+          std::max<std::uint64_t>(config.conveyor_interval, 1);
+      return n_initial + static_cast<std::size_t>(stop_slot / interval) + 1;
+    }
+  }
+  return n_initial;
+}
+
+ChurnSchedule BuildChurnSchedule(const ChurnConfig& config,
+                                 std::size_t universe_size,
+                                 std::size_t n_initial,
+                                 std::uint64_t stop_slot, anc::Pcg32& rng) {
+  ChurnSchedule schedule;
+  std::size_t next_index = n_initial;  // next fresh universe index
+
+  const auto schedule_departure = [&](std::uint32_t tag, std::uint64_t at) {
+    if (at < stop_slot) schedule.events.push_back({at, tag, /*arrive=*/false});
+    // else: the tag outlives the churn window and stays for the drain.
+  };
+  const auto arrive = [&](std::uint64_t slot) {
+    if (config.kind == ChurnKind::kNone) return;
+    if (next_index >= universe_size) {
+      ++schedule.suppressed_arrivals;
+      return;
+    }
+    const auto tag = static_cast<std::uint32_t>(next_index++);
+    schedule.events.push_back({slot, tag, /*arrive=*/true});
+    schedule_departure(tag, slot + DrawDwell(config, rng));
+  };
+
+  // Initial population: present from slot 0, dwell drawn in index order.
+  if (config.kind != ChurnKind::kNone) {
+    for (std::size_t i = 0; i < n_initial && i < universe_size; ++i) {
+      schedule_departure(static_cast<std::uint32_t>(i), DrawDwell(config, rng));
+    }
+  }
+
+  switch (config.kind) {
+    case ChurnKind::kNone:
+      break;
+    case ChurnKind::kPoisson:
+      for (std::uint64_t slot = 1; slot < stop_slot; ++slot) {
+        if (rng.UniformDouble() < config.arrival_rate) arrive(slot);
+      }
+      break;
+    case ChurnKind::kBatch: {
+      const std::uint64_t interval = std::max<std::uint64_t>(config.batch_interval, 1);
+      for (std::uint64_t slot = interval; slot < stop_slot; slot += interval) {
+        for (std::size_t i = 0; i < config.batch_size; ++i) arrive(slot);
+      }
+      break;
+    }
+    case ChurnKind::kConveyor: {
+      const std::uint64_t interval =
+          std::max<std::uint64_t>(config.conveyor_interval, 1);
+      for (std::uint64_t slot = interval; slot < stop_slot; slot += interval) {
+        arrive(slot);
+      }
+      break;
+    }
+  }
+
+  std::sort(schedule.events.begin(), schedule.events.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              if (a.slot != b.slot) return a.slot < b.slot;
+              if (a.arrive != b.arrive) return !a.arrive;  // departures first
+              return a.tag < b.tag;
+            });
+  return schedule;
+}
+
+}  // namespace anc::service

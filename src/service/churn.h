@@ -1,0 +1,89 @@
+// Open-world churn models for continuous-inventory service mode.
+//
+// A churn model turns (config, seed) into a deterministic *schedule* of
+// presence changes over a fixed universe of tag indices: which universe
+// index arrives or departs at which service slot. The schedule is built
+// once, up front, from its own RNG stream — the wrapped protocol never
+// sees the churn RNG, so a service run replays event-for-event from its
+// trace header (the schedule is a pure function of the seeded stream).
+//
+// Universe convention (mirrors sim::Protocol's churn-hook contract):
+// indices [0, n_initial) are present at slot 0; arrivals consume fresh
+// indices sequentially and a tag never re-enters after departing. When a
+// model would need more arrivals than the universe holds, the surplus is
+// counted as suppressed, not scheduled — UniverseSizeFor sizes the pool
+// so this stays a tail event.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace anc::service {
+
+enum class ChurnKind : std::uint8_t {
+  kNone = 0,      // closed world: the initial population, forever
+  kPoisson = 1,   // per-slot Bernoulli arrivals, exponential dwell
+  kBatch = 2,     // periodic bulk deliveries (pallet at the dock door)
+  kConveyor = 3,  // steady single-file flow with fixed transit dwell
+};
+
+struct ChurnConfig {
+  ChurnKind kind = ChurnKind::kNone;
+  // kPoisson: arrival probability per service slot (Bernoulli thinning of
+  // a Poisson process at slot granularity; no libm on the arrival path).
+  double arrival_rate = 0.01;
+  // kBatch: tags per delivery and slots between deliveries.
+  std::size_t batch_size = 40;
+  std::uint64_t batch_interval = 8000;
+  // kConveyor: one arrival every this many slots.
+  std::uint64_t conveyor_interval = 100;
+  // Dwell (slots between a tag's arrival and departure). fixed_dwell uses
+  // exactly mean_dwell_slots (conveyor transit); otherwise dwell is
+  // min_dwell_slots plus an exponential with the residual mean — the
+  // floor models the physical minimum time through the read zone, and
+  // keeps "every tag is detectable eventually" meaningful.
+  std::uint64_t mean_dwell_slots = 5000;
+  std::uint64_t min_dwell_slots = 1000;
+  bool fixed_dwell = false;
+};
+
+// One scheduled presence change: universe index `tag` arrives (or
+// departs) just before the Step() of service slot `slot`.
+struct ChurnEvent {
+  std::uint64_t slot = 0;
+  std::uint32_t tag = 0;
+  bool arrive = true;
+
+  friend bool operator==(const ChurnEvent&, const ChurnEvent&) = default;
+};
+
+struct ChurnSchedule {
+  // Sorted by (slot, departures-first, tag index).
+  std::vector<ChurnEvent> events;
+  // Arrivals the model wanted but the universe could not supply.
+  std::uint64_t suppressed_arrivals = 0;
+};
+
+// Universe size (initial population + arrival head-room) for a run whose
+// churn stops at `stop_slot`. Deliberately generous: ~2x the expected
+// arrival count for the stochastic models, exact for the deterministic
+// ones, so suppression only triggers on extreme seeds.
+std::size_t UniverseSizeFor(const ChurnConfig& config, std::size_t n_initial,
+                            std::uint64_t stop_slot);
+
+// Builds the full schedule. Arrivals occur in (0, stop_slot); departures
+// landing at or beyond stop_slot are dropped — those tags stay in the
+// field through the drain phase, which is what makes "every tag still
+// present is eventually detected" checkable. Initial tags (indices
+// [0, n_initial)) draw their dwell first, in index order, then the slot
+// walk draws each arrival's dwell immediately after the arrival itself,
+// so the stream consumed from `rng` is a fixed function of the config.
+ChurnSchedule BuildChurnSchedule(const ChurnConfig& config,
+                                 std::size_t universe_size,
+                                 std::size_t n_initial,
+                                 std::uint64_t stop_slot, anc::Pcg32& rng);
+
+}  // namespace anc::service

@@ -1,0 +1,54 @@
+#include "service/replay.h"
+
+namespace anc::service {
+
+std::string ServiceBaseName(const std::string& protocol) {
+  const auto tilde = protocol.find('~');
+  return tilde == std::string::npos ? protocol : protocol.substr(0, tilde);
+}
+
+std::string ServiceLabel(const std::string& protocol) {
+  const auto tilde = protocol.find('~');
+  return tilde == std::string::npos ? std::string() : protocol.substr(tilde + 1);
+}
+
+ServiceReplayReport VerifyServiceReplay(
+    const trace::RunTrace& recorded, const sim::ProtocolFactory& base_factory) {
+  ServiceReplayReport report;
+  const std::string label = ServiceLabel(recorded.header.protocol);
+  ServiceConfig config;
+  if (!LookupServiceProfile(label, &config)) {
+    report.message = "unknown service profile '" + label + "' in protocol '" +
+                     recorded.header.protocol +
+                     "' (known: " + ServiceProfileList() + ")";
+    return report;
+  }
+
+  SoakOptions options;
+  options.n_initial = recorded.header.n_tags;
+  options.base_seed = recorded.header.base_seed;
+
+  trace::MemorySink sink;
+  RunSoakSingle(base_factory, config, options,
+                static_cast<std::size_t>(recorded.header.run_index), &sink);
+  if (sink.runs().size() != 1) {
+    report.message = "replay produced " + std::to_string(sink.runs().size()) +
+                     " runs (expected 1)";
+    return report;
+  }
+  report.diff = trace::DiffRuns(
+      recorded, sink.runs()[0],
+      static_cast<std::size_t>(recorded.header.run_index));
+  report.ok = report.diff.identical;
+  report.message =
+      report.ok
+          ? "service replay identical: " +
+                std::to_string(recorded.events.size()) +
+                " events reproduced (run " +
+                std::to_string(recorded.header.run_index) + ", protocol " +
+                recorded.header.protocol + ")"
+          : "service replay diverged: " + report.diff.message;
+  return report;
+}
+
+}  // namespace anc::service

@@ -1,0 +1,39 @@
+// Replay verification for service-mode soak traces.
+//
+// A soak run's header carries everything needed to regenerate it: the
+// (base_seed, run_index) pair seeds the population / protocol / churn
+// streams, n_tags is the initial population, and the protocol name's
+// "~<label>" suffix names the canned service profile (the churn model and
+// budgets). Re-driving RunSoakSingle from those inputs must reproduce the
+// interleaved protocol + churn event stream bit-for-bit.
+#pragma once
+
+#include <string>
+
+#include "service/service.h"
+#include "trace/diff.h"
+#include "trace/sink.h"
+
+namespace anc::service {
+
+// "FCAT-2~soak" -> base "FCAT-2", label "soak". A name without '~' is
+// not a service run (label "").
+std::string ServiceBaseName(const std::string& protocol);
+std::string ServiceLabel(const std::string& protocol);
+inline bool IsServiceRun(const trace::RunHeader& header) {
+  return header.protocol.find('~') != std::string::npos;
+}
+
+struct ServiceReplayReport {
+  bool ok = false;
+  trace::TraceDiff diff;
+  std::string message;  // verdict summary, always set
+};
+
+// Re-runs the recorded soak run through `base_factory` (which must build
+// the protocol the base name denotes) under the profile named in the
+// header, and compares event-for-event.
+ServiceReplayReport VerifyServiceReplay(const trace::RunTrace& recorded,
+                                        const sim::ProtocolFactory& base_factory);
+
+}  // namespace anc::service

@@ -1,0 +1,382 @@
+#include "service/service.h"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "sim/population.h"
+#include "trace/event.h"
+
+namespace anc::service {
+namespace {
+
+trace::TraceEvent ChurnEvt(trace::EventKind kind, std::uint64_t slot,
+                           std::uint64_t round) {
+  trace::TraceEvent e;
+  e.kind = kind;
+  e.slot = slot;
+  e.frame = round;
+  return e;
+}
+
+}  // namespace
+
+bool LookupServiceProfile(std::string_view label, ServiceConfig* out) {
+  ServiceConfig c;
+  if (label == "smoke") {
+    // Small and fast: CI golden traces and unit tests.
+    c.churn.kind = ChurnKind::kPoisson;
+    c.churn.arrival_rate = 0.02;
+    c.churn.mean_dwell_slots = 1200;
+    c.churn.min_dwell_slots = 400;
+    c.churn_stop_slot = 2500;
+    c.max_slots = 4000;
+    c.epoch_slots = 500;
+    c.report_horizon_slots = 1500;
+  } else if (label == "soak") {
+    // The headline steady-state soak: >= 1e5-slot budget.
+    c.churn.kind = ChurnKind::kPoisson;
+    c.churn.arrival_rate = 0.01;
+    c.churn.mean_dwell_slots = 6000;
+    c.churn.min_dwell_slots = 1500;
+    c.churn_stop_slot = 90000;
+    c.max_slots = 100000;
+    c.epoch_slots = 2000;
+    c.report_horizon_slots = 6000;
+  } else if (label == "batch") {
+    // Dock-door deliveries: 40-tag pallets every 8000 slots.
+    c.churn.kind = ChurnKind::kBatch;
+    c.churn.batch_size = 40;
+    c.churn.batch_interval = 8000;
+    c.churn.mean_dwell_slots = 15000;
+    c.churn.min_dwell_slots = 2000;
+    c.churn_stop_slot = 90000;
+    c.max_slots = 100000;
+    c.epoch_slots = 2000;
+    c.report_horizon_slots = 6000;
+  } else if (label == "flow") {
+    // Conveyor belt: one tag every 100 slots, fixed 8000-slot transit.
+    c.churn.kind = ChurnKind::kConveyor;
+    c.churn.conveyor_interval = 100;
+    c.churn.mean_dwell_slots = 8000;
+    c.churn.fixed_dwell = true;
+    c.churn_stop_slot = 90000;
+    c.max_slots = 100000;
+    c.epoch_slots = 2000;
+    c.report_horizon_slots = 6000;
+  } else {
+    return false;
+  }
+  c.label = std::string(label);
+  if (out != nullptr) *out = std::move(c);
+  return true;
+}
+
+std::string ServiceProfileList() { return "smoke, soak, batch, flow"; }
+
+InventoryService::InventoryService(const ServiceConfig& config,
+                                   sim::Protocol& protocol,
+                                   std::span<const TagId> universe,
+                                   std::size_t n_initial,
+                                   const ChurnSchedule& schedule,
+                                   trace::TraceContext trace)
+    : config_(config),
+      protocol_(protocol),
+      universe_(universe),
+      n_initial_(n_initial < universe.size() ? n_initial : universe.size()),
+      events_(schedule.events),
+      trace_(trace) {
+  report_.suppressed_arrivals = schedule.suppressed_arrivals;
+  states_.resize(universe_.size());
+  digest_to_index_.reserve(universe_.size() * 2);
+  for (std::size_t i = 0; i < universe_.size(); ++i) {
+    digest_to_index_.emplace(universe_[i].Digest(), static_cast<std::uint32_t>(i));
+  }
+}
+
+void InventoryService::ApplyChurnDue(std::uint64_t slot) {
+  while (next_event_ < events_.size() && events_[next_event_].slot <= slot) {
+    const ChurnEvent& e = events_[next_event_++];
+    TagState& st = states_[e.tag];
+    if (e.arrive) {
+      if (st.ever_present) continue;  // schedule never re-arrives a tag
+      protocol_.ArriveTag(universe_[e.tag]);
+      st.ever_present = true;
+      st.present = true;
+      st.arrive_slot = slot;
+      ++live_;
+      ++undetected_present_;
+      ++report_.arrived;
+      if (trace_) {
+        auto ev = ChurnEvt(trace::EventKind::kArrive, slot, report_.rounds);
+        ev.id_digest = universe_[e.tag].Digest();
+        ev.n_c = live_;
+        trace_.Emit(ev);
+      }
+    } else {
+      if (!st.present) continue;
+      protocol_.DepartTag(universe_[e.tag]);
+      st.present = false;
+      --live_;
+      ++report_.departed;
+      const bool missed = !st.detected;
+      if (missed) {
+        ++report_.missed_departed;
+        --undetected_present_;
+      }
+      if (trace_) {
+        auto ev = ChurnEvt(trace::EventKind::kDepart, slot, report_.rounds);
+        ev.id_digest = universe_[e.tag].Digest();
+        ev.n_c = live_;
+        ev.estimate_q8 = missed ? 1 : 0;
+        trace_.Emit(ev);
+      }
+    }
+  }
+}
+
+void InventoryService::OnDetections(std::uint64_t slot) {
+  for (const TagId& id : protocol_.LearnedThisStep()) {
+    const auto it = digest_to_index_.find(id.Digest());
+    if (it == digest_to_index_.end()) continue;
+    TagState& st = states_[it->second];
+    if (!st.ever_present) continue;  // setup-departed universe remainder
+    if (!st.present) {
+      // Post-departure resolution (a stored collision record finally
+      // yielded the ID): the tag is gone, so this is a ghost read, not a
+      // detection — it stays in the missed ledger.
+      if (!st.detected && !st.ghost_detected) {
+        st.ghost_detected = true;
+        ++report_.ghost_detections;
+        if (trace_) {
+          auto ev = ChurnEvt(trace::EventKind::kDetect, slot, report_.rounds);
+          ev.id_digest = id.Digest();
+          ev.n_c = slot - st.arrive_slot;
+          ev.cascade = true;
+          trace_.Emit(ev);
+        }
+      }
+      continue;
+    }
+    ++report_.detections_total;
+    st.last_seen = slot;
+    if (!st.detected) {
+      st.detected = true;
+      ++report_.detected;
+      --undetected_present_;
+      const auto latency = static_cast<double>(slot - st.arrive_slot);
+      detect_p50_.Add(latency);
+      detect_p99_.Add(latency);
+      if (trace_) {
+        auto ev = ChurnEvt(trace::EventKind::kDetect, slot, report_.rounds);
+        ev.id_digest = id.Digest();
+        ev.n_c = slot - st.arrive_slot;
+        trace_.Emit(ev);
+      }
+    }
+  }
+}
+
+void InventoryService::Snapshot(std::uint64_t slot) {
+  ++report_.epochs;
+  last_snapshot_slot_ = slot;
+  std::uint64_t detected_present = 0;
+  std::uint32_t ghosts = 0;
+  for (const TagState& st : states_) {
+    if (!st.ever_present || !st.detected) continue;
+    if (st.present) {
+      ++detected_present;
+      staleness_p99_.Add(static_cast<double>(slot - st.last_seen));
+    } else if (slot - st.last_seen <= config_.report_horizon_slots) {
+      ++ghosts;
+    }
+  }
+  const std::uint64_t reported = detected_present + ghosts;
+  epoch_ghost_rate_.Add(
+      reported > 0 ? static_cast<double>(ghosts) / static_cast<double>(reported)
+                   : 0.0);
+  epoch_population_.Add(static_cast<double>(live_));
+  if (trace_) {
+    auto ev = ChurnEvt(trace::EventKind::kEpoch, slot, report_.epochs);
+    ev.n_c = live_;
+    ev.record = detected_present;
+    ev.responders = ghosts;
+    ev.estimate_q8 = trace::QuantizeEstimate(staleness_p99_.value());
+    ev.elapsed_us = trace::QuantizeSeconds(protocol_.metrics().elapsed_seconds);
+    trace_.Emit(ev);
+  }
+}
+
+bool InventoryService::Drained(std::uint64_t slot) const {
+  return slot >= config_.churn_stop_slot && next_event_ >= events_.size() &&
+         undetected_present_ == 0;
+}
+
+SloReport InventoryService::Run() {
+  report_.churn_supported = protocol_.SupportsChurn();
+
+  // Setup: the universe beyond the initial population starts absent (no
+  // trace events — these tags were never in the field), the initial
+  // population arrives at slot 0.
+  if (report_.churn_supported) {
+    for (std::size_t i = n_initial_; i < universe_.size(); ++i) {
+      protocol_.DepartTag(universe_[i]);
+    }
+  }
+  for (std::size_t i = 0; i < n_initial_; ++i) {
+    TagState& st = states_[i];
+    st.ever_present = true;
+    st.present = true;
+    ++live_;
+    ++undetected_present_;
+    ++report_.arrived;
+    if (trace_) {
+      auto ev = ChurnEvt(trace::EventKind::kArrive, 0, 0);
+      ev.id_digest = universe_[i].Digest();
+      ev.n_c = live_;
+      trace_.Emit(ev);
+    }
+  }
+
+  std::uint64_t slot = 0;
+  while (slot < config_.max_slots) {
+    if (report_.churn_supported) ApplyChurnDue(slot);
+    if (Drained(slot)) break;
+    if (protocol_.Finished()) {
+      if (!protocol_.BeginInventoryRound(config_.reinventory)) break;
+      ++report_.rounds;
+    }
+    protocol_.Step();
+    OnDetections(slot);
+    ++slot;
+    if (config_.epoch_slots > 0 && slot % config_.epoch_slots == 0) {
+      Snapshot(slot);
+    }
+  }
+  if (last_snapshot_slot_ != slot) Snapshot(slot);
+
+  report_.slots = slot;
+  report_.undetected_at_end = undetected_present_;
+  report_.detect_p50 = detect_p50_.value();
+  report_.detect_p99 = detect_p99_.value();
+  report_.staleness_p99 = staleness_p99_.value();
+  report_.mean_population = epoch_population_.mean();
+  report_.ghost_rate = epoch_ghost_rate_.mean();
+  report_.missed_rate =
+      report_.arrived > 0 ? static_cast<double>(report_.missed_departed) /
+                                static_cast<double>(report_.arrived)
+                          : 0.0;
+
+  protocol_.Shutdown();
+  report_.open_phy_records_end = protocol_.OpenPhyRecords();
+  report_.metrics = protocol_.metrics();
+  return report_;
+}
+
+SloReport RunSoakSingle(const sim::ProtocolFactory& factory,
+                        const ServiceConfig& config,
+                        const SoakOptions& options, std::size_t run_index,
+                        trace::TraceSink* sink) {
+  anc::Pcg32 master(options.base_seed + run_index,
+                    0x9E3779B97F4A7C15ULL + run_index);
+  anc::Pcg32 pop_rng = master.Split();
+  anc::Pcg32 proto_rng = master.Split();
+  anc::Pcg32 churn_rng = master.Split();
+
+  const std::size_t universe_size =
+      UniverseSizeFor(config.churn, options.n_initial, config.churn_stop_slot);
+  const auto universe = sim::MakePopulation(universe_size, pop_rng);
+  const ChurnSchedule schedule =
+      BuildChurnSchedule(config.churn, universe_size, options.n_initial,
+                         config.churn_stop_slot, churn_rng);
+
+  auto protocol = factory(universe, proto_rng);
+  const std::string service_name =
+      std::string(protocol->name()) + "~" +
+      (config.label.empty() ? "custom" : config.label);
+  if (sink != nullptr) {
+    sink->BeginRun(trace::RunHeader{run_index, options.base_seed,
+                                    options.n_initial, config.max_slots,
+                                    service_name});
+    protocol->AttachTrace(trace::TraceContext{sink, 0});
+  }
+
+  InventoryService service(config, *protocol, universe, options.n_initial,
+                           schedule, trace::TraceContext{sink, 0});
+  SloReport report = service.Run();
+
+  if (sink != nullptr) {
+    const sim::RunMetrics& m = report.metrics;
+    sink->OnEvent(trace::RunEndEvent(m.tags_read, m.TotalSlots(),
+                                     m.unresolved_records, m.elapsed_seconds,
+                                     /*capped=*/false));
+    sink->EndRun();
+  }
+  return report;
+}
+
+namespace {
+
+void Accumulate(SoakAggregate& agg, const SloReport& r) {
+  agg.detect_p50.Add(r.detect_p50);
+  agg.detect_p99.Add(r.detect_p99);
+  agg.staleness_p99.Add(r.staleness_p99);
+  agg.missed_rate.Add(r.missed_rate);
+  agg.ghost_rate.Add(r.ghost_rate);
+  agg.mean_population.Add(r.mean_population);
+  agg.arrived.Add(static_cast<double>(r.arrived));
+  agg.departed.Add(static_cast<double>(r.departed));
+  agg.detected.Add(static_cast<double>(r.detected));
+  agg.slots.Add(static_cast<double>(r.slots));
+  agg.rounds.Add(static_cast<double>(r.rounds));
+  agg.elapsed_seconds.Add(r.metrics.elapsed_seconds);
+  agg.missed_total += r.missed_departed;
+  agg.ghost_detections_total += r.ghost_detections;
+  agg.suppressed_arrivals_total += r.suppressed_arrivals;
+  if (!r.ConservationOk()) ++agg.conservation_failures;
+  agg.open_records_after_shutdown += r.open_phy_records_end;
+  if (!r.churn_supported) ++agg.churn_unsupported_runs;
+}
+
+}  // namespace
+
+SoakAggregate RunSoakExperiment(const sim::ProtocolFactory& factory,
+                                const ServiceConfig& config,
+                                const SoakOptions& options) {
+  SoakAggregate agg;
+  const auto execute = [&](std::size_t run) {
+    std::unique_ptr<trace::TraceSink> sink;
+    if (options.trace_factory) sink = options.trace_factory(run);
+    return RunSoakSingle(factory, config, options, run, sink.get());
+  };
+
+  const std::size_t n_threads =
+      std::min(sim::EffectiveThreadCount(options.n_threads), options.runs);
+  if (n_threads <= 1) {
+    for (std::size_t run = 0; run < options.runs; ++run) {
+      Accumulate(agg, execute(run));
+    }
+    return agg;
+  }
+
+  // Same discipline as sim::RunExperiment: dynamic queue over run
+  // indices, per-run result slots, fold in run-index order so the
+  // aggregate is bit-identical at any thread count.
+  std::vector<SloReport> results(options.runs);
+  std::atomic<std::size_t> next_run{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t run = next_run.fetch_add(1, std::memory_order_relaxed);
+      if (run >= options.runs) return;
+      results[run] = execute(run);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  for (const SloReport& r : results) Accumulate(agg, r);
+  return agg;
+}
+
+}  // namespace anc::service

@@ -1,0 +1,198 @@
+// Continuous-inventory service mode: a long-running driver that wraps any
+// churn-capable sim::Protocol (single reader or a whole deployment) and
+// keeps inventorying while an open-world churn model mutates the live tag
+// population between slots.
+//
+// Where the experiment runner (sim/runner.h) asks "how fast does one
+// closed inventory round finish?", the service asks the operational
+// questions a warehouse cares about: how quickly is a newly-arrived tag
+// first detected (time-to-detect p50/p99), how stale is the reported
+// inventory (staleness p99), what fraction of tags pass through entirely
+// unseen (missed rate), and how often does the report still list tags
+// that already left (ghost rate). Quantiles come from streaming P²
+// estimators (common/stats.h) — the service never buffers per-tag
+// latency samples.
+//
+// Determinism contract (same as the runner's): run i of a soak derives
+// every stream from Pcg32(base_seed + i, GOLDEN_GAMMA + i) — population,
+// protocol and churn schedule each get their own Split() in that order —
+// so a soak run replays event-for-event from its trace header alone. The
+// service profile label rides the protocol name ("FCAT-2~soak"); see
+// service/replay.h.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/tag_id.h"
+#include "service/churn.h"
+#include "sim/metrics.h"
+#include "sim/protocol.h"
+#include "sim/runner.h"
+#include "trace/sink.h"
+
+namespace anc::service {
+
+struct ServiceConfig {
+  ChurnConfig churn{};
+  // Churn (arrivals) stops here; the service then drains — keeps running
+  // until every still-present tag has been detected — before the budget.
+  std::uint64_t churn_stop_slot = 90000;
+  // Hard slot budget for the whole service run.
+  std::uint64_t max_slots = 100000;
+  // Inventory snapshot (kEpoch trace event + staleness sampling) cadence.
+  std::uint64_t epoch_slots = 2000;
+  // A departed tag still counts as reported-present (a ghost) while its
+  // last detection is at most this many slots old.
+  std::uint64_t report_horizon_slots = 6000;
+  // Re-arm finished protocols with refresh (forget read flags), so sweeps
+  // keep re-detecting present tags and last-seen stays fresh. Without it
+  // rounds only chase still-unread tags and staleness grows unboundedly.
+  bool reinventory = true;
+  // Canned-profile label; rides the protocol name ("FCAT-2~soak") so
+  // trace replay can reconstruct the config. Empty = ad-hoc config
+  // (summarizes and diffs fine, cannot be replayed by name).
+  std::string label;
+};
+
+// Canned profiles ("smoke", "soak", "batch", "flow"). Returns false for
+// unknown labels.
+bool LookupServiceProfile(std::string_view label, ServiceConfig* out);
+std::string ServiceProfileList();
+
+// Everything one service run measures. Counter semantics partition the
+// arrivals exactly (ConservationOk below): a tag that ever arrived is
+// either detected while present, departed without ever being detected,
+// or still present-and-undetected when the budget ends.
+struct SloReport {
+  std::uint64_t slots = 0;   // service slots actually driven
+  std::uint64_t rounds = 0;  // inventory re-arms (BeginInventoryRound)
+  std::uint64_t epochs = 0;  // snapshots emitted
+
+  std::uint64_t arrived = 0;  // includes the initial population
+  std::uint64_t departed = 0;
+  std::uint64_t detected = 0;          // first detections while present
+  std::uint64_t missed_departed = 0;   // departed, never detected present
+  std::uint64_t undetected_at_end = 0; // still present, never detected
+  std::uint64_t ghost_detections = 0;  // first detection after departure
+  std::uint64_t detections_total = 0;  // incl. refresh re-detections
+  std::uint64_t suppressed_arrivals = 0;  // universe pool exhausted
+
+  // SLO metrics. Latencies/staleness in service slots.
+  double detect_p50 = 0.0;
+  double detect_p99 = 0.0;
+  double staleness_p99 = 0.0;
+  double mean_population = 0.0;  // sampled at each epoch
+  double missed_rate = 0.0;      // missed_departed / arrived
+  double ghost_rate = 0.0;       // mean per-epoch ghosts / reported tags
+
+  std::size_t open_phy_records_end = 0;  // after Shutdown(); must be 0
+  bool churn_supported = false;
+  sim::RunMetrics metrics;  // wrapped protocol's final metrics
+
+  bool ConservationOk() const {
+    return arrived == detected + missed_departed + undetected_at_end;
+  }
+};
+
+// Drives one service run over a pre-built universe and churn schedule.
+// The protocol must have been constructed over `universe` (all indices);
+// Run() marks indices >= n_initial absent before the first Step. Pass a
+// default TraceContext to run untraced.
+class InventoryService {
+ public:
+  InventoryService(const ServiceConfig& config, sim::Protocol& protocol,
+                   std::span<const TagId> universe, std::size_t n_initial,
+                   const ChurnSchedule& schedule,
+                   trace::TraceContext trace = {});
+
+  // Runs to drain or budget, snapshots, shuts the protocol down, and
+  // returns the report. Call at most once.
+  SloReport Run();
+
+ private:
+  struct TagState {
+    bool ever_present = false;
+    bool present = false;
+    bool detected = false;        // first-detected while present
+    bool ghost_detected = false;  // first-detected after departure
+    std::uint64_t arrive_slot = 0;
+    std::uint64_t last_seen = 0;
+  };
+
+  void ApplyChurnDue(std::uint64_t slot);
+  void OnDetections(std::uint64_t slot);
+  void Snapshot(std::uint64_t slot);
+  bool Drained(std::uint64_t slot) const;
+
+  const ServiceConfig& config_;
+  sim::Protocol& protocol_;
+  std::span<const TagId> universe_;
+  std::size_t n_initial_;
+  std::span<const ChurnEvent> events_;
+  trace::TraceContext trace_;
+
+  std::vector<TagState> states_;
+  std::unordered_map<std::uint64_t, std::uint32_t> digest_to_index_;
+  std::size_t next_event_ = 0;
+  std::uint64_t live_ = 0;
+  std::uint64_t undetected_present_ = 0;
+  std::uint64_t last_snapshot_slot_ = 0;
+
+  P2Quantile detect_p50_{0.5};
+  P2Quantile detect_p99_{0.99};
+  P2Quantile staleness_p99_{0.99};
+  RunningStats epoch_population_;
+  RunningStats epoch_ghost_rate_;
+
+  SloReport report_;
+};
+
+// Multi-run soak driver, mirroring sim::ExperimentOptions/RunExperiment.
+struct SoakOptions {
+  std::size_t n_initial = 50;
+  std::size_t runs = 4;
+  std::uint64_t base_seed = 1;
+  std::size_t n_threads = 1;  // bit-identical aggregate at any value
+  trace::TraceSinkFactory trace_factory;
+};
+
+// Executes soak run `run_index` exactly as RunSoakExperiment would (same
+// seed derivation and trace framing) — the service replay entry point.
+SloReport RunSoakSingle(const sim::ProtocolFactory& factory,
+                        const ServiceConfig& config,
+                        const SoakOptions& options, std::size_t run_index,
+                        trace::TraceSink* sink = nullptr);
+
+struct SoakAggregate {
+  RunningStats detect_p50;
+  RunningStats detect_p99;
+  RunningStats staleness_p99;
+  RunningStats missed_rate;
+  RunningStats ghost_rate;
+  RunningStats mean_population;
+  RunningStats arrived;
+  RunningStats departed;
+  RunningStats detected;
+  RunningStats slots;
+  RunningStats rounds;
+  RunningStats elapsed_seconds;
+  std::uint64_t missed_total = 0;
+  std::uint64_t ghost_detections_total = 0;
+  std::uint64_t suppressed_arrivals_total = 0;
+  std::uint64_t conservation_failures = 0;   // runs violating the partition
+  std::uint64_t open_records_after_shutdown = 0;  // summed; must be 0
+  std::uint64_t churn_unsupported_runs = 0;
+};
+
+SoakAggregate RunSoakExperiment(const sim::ProtocolFactory& factory,
+                                const ServiceConfig& config,
+                                const SoakOptions& options);
+
+}  // namespace anc::service

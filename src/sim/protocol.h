@@ -56,6 +56,33 @@ class Protocol {
     return {};
   }
 
+  // --- Churn hooks (src/service, open-world continuous inventory) ---
+  //
+  // Service mode constructs a protocol over a fixed *universe* of tag IDs
+  // (every ID that could ever appear in the run) and then toggles each
+  // tag's presence between slots. A protocol that supports churn treats
+  // absent tags as silent: they never transmit and never count toward
+  // frame sizing. IDs outside the construction-time universe are rejected
+  // (return false) — churn never grows the population span.
+  virtual bool SupportsChurn() const { return false; }
+
+  // `id` (a universe member) entered the field. Returns false if the
+  // protocol does not support churn or does not cover the ID.
+  virtual bool ArriveTag(const TagId& /*id*/) { return false; }
+
+  // `id` left the field. The tag stops transmitting from the next slot;
+  // signals it already contributed to open collision records remain (a
+  // record resolving to a departed tag is the service layer's ghost-read
+  // phenomenon). Returns false as ArriveTag does.
+  virtual bool DepartTag(const TagId& /*id*/) { return false; }
+
+  // Re-arms a finished protocol for another inventory round over the
+  // currently-present population. With `refresh` the protocol forgets
+  // which present tags it has read, so the new round re-detects them
+  // (continuous sweeps keeping last-seen fresh); without it the round
+  // only chases still-unread tags. Returns false when unsupported.
+  virtual bool BeginInventoryRound(bool /*refresh*/) { return false; }
+
   // --- Fault hooks (src/fault, reader crash/recovery) ---
   //
   // Collision records currently held in the protocol's phy store. Tests

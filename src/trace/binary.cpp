@@ -95,11 +95,32 @@ void EncodeEvent(std::string& out, const TraceEvent& e) {
       PutVarint(out, e.record);
       PutVarint(out, e.n_c);
       break;
+    case EventKind::kArrive:
+      PutVarint(out, e.id_digest);
+      PutVarint(out, e.n_c);
+      break;
+    case EventKind::kDepart:
+      PutVarint(out, e.id_digest);
+      PutVarint(out, e.n_c);
+      PutByte(out, e.estimate_q8 ? 1 : 0);
+      break;
+    case EventKind::kDetect:
+      PutVarint(out, e.id_digest);
+      PutVarint(out, e.n_c);
+      PutByte(out, e.cascade ? 1 : 0);
+      break;
+    case EventKind::kEpoch:
+      PutVarint(out, e.n_c);
+      PutVarint(out, e.record);
+      PutVarint(out, e.responders);
+      PutVarint(out, e.estimate_q8);
+      PutVarint(out, e.elapsed_us);
+      break;
   }
 }
 
 bool DecodeEvent(Reader& r, std::uint8_t kind_byte, TraceEvent* e) {
-  if (kind_byte < 1 || kind_byte > 9) return false;
+  if (kind_byte < 1 || kind_byte > 13) return false;
   e->kind = static_cast<EventKind>(kind_byte);
   e->reader = static_cast<std::uint32_t>(r.Varint());
   e->slot = r.Varint();
@@ -153,6 +174,27 @@ bool DecodeEvent(Reader& r, std::uint8_t kind_byte, TraceEvent* e) {
       e->n_c = r.Varint();
       break;
     }
+    case EventKind::kArrive:
+      e->id_digest = r.Varint();
+      e->n_c = r.Varint();
+      break;
+    case EventKind::kDepart:
+      e->id_digest = r.Varint();
+      e->n_c = r.Varint();
+      e->estimate_q8 = r.Byte() != 0 ? 1 : 0;
+      break;
+    case EventKind::kDetect:
+      e->id_digest = r.Varint();
+      e->n_c = r.Varint();
+      e->cascade = r.Byte() != 0;
+      break;
+    case EventKind::kEpoch:
+      e->n_c = r.Varint();
+      e->record = r.Varint();
+      e->responders = static_cast<std::uint32_t>(r.Varint());
+      e->estimate_q8 = r.Varint();
+      e->elapsed_us = r.Varint();
+      break;
   }
   return r.ok;
 }

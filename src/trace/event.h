@@ -49,6 +49,25 @@ enum class EventKind : std::uint8_t {
   // corruption, reader crash, deployment reader death / reschedule. The
   // `fault` field carries the sub-kind.
   kFault = 9,
+  // --- Service-mode churn events (src/service). Emitted by the
+  // InventoryService driver interleaved with the wrapped protocol's own
+  // stream; a soak run replays event-for-event from its header because
+  // the churn schedule is a pure function of (base_seed, run_index,
+  // service profile) — the profile label rides the protocol name. ---
+  // A tag entered the field (id_digest; n_c = live population after).
+  kArrive = 10,
+  // A tag left the field (id_digest; n_c = live population after;
+  // estimate_q8 = 1 when it departed without ever being detected).
+  kDepart = 11,
+  // The service first detected a tag since its arrival (id_digest;
+  // n_c = detection latency in service slots; cascade = ghost, i.e. the
+  // detection landed after the tag had already departed).
+  kDetect = 12,
+  // Periodic inventory snapshot (frame = epoch index; n_c = live
+  // population; record = detected-and-present tags; responders = departed
+  // tags still reported present (ghosts); estimate_q8 = staleness p99 in
+  // slots, Q8; elapsed_us = cumulative air time).
+  kEpoch = 13,
 };
 
 // Sub-kind of a kFault event (the fault layer's own taxonomy; see
@@ -161,6 +180,10 @@ inline const char* KindName(EventKind kind) {
     case EventKind::kTdmaSlot: return "tdma_slot";
     case EventKind::kRunEnd: return "run_end";
     case EventKind::kFault: return "fault";
+    case EventKind::kArrive: return "arrive";
+    case EventKind::kDepart: return "depart";
+    case EventKind::kDetect: return "detect";
+    case EventKind::kEpoch: return "epoch";
   }
   return "?";
 }
@@ -246,6 +269,29 @@ inline std::string Describe(const TraceEvent& e) {
       s += std::string(" fault=") + FaultName(e.fault) +
            " record=" + std::to_string(e.record) +
            " aux=" + std::to_string(e.n_c);
+      break;
+    case EventKind::kArrive:
+      s += " id=" + std::to_string(e.id_digest) +
+           " population=" + std::to_string(e.n_c);
+      break;
+    case EventKind::kDepart:
+      s += " id=" + std::to_string(e.id_digest) +
+           " population=" + std::to_string(e.n_c) +
+           (e.estimate_q8 ? " missed" : " detected");
+      break;
+    case EventKind::kDetect:
+      s += " id=" + std::to_string(e.id_digest) +
+           " latency_slots=" + std::to_string(e.n_c) +
+           (e.cascade ? " ghost" : "");
+      break;
+    case EventKind::kEpoch:
+      s += " population=" + std::to_string(e.n_c) +
+           " detected=" + std::to_string(e.record) +
+           " ghosts=" + std::to_string(e.responders) +
+           " staleness_p99=" +
+           std::to_string(static_cast<double>(e.estimate_q8) /
+                          kEstimateScale) +
+           " elapsed_us=" + std::to_string(e.elapsed_us);
       break;
   }
   return s;

@@ -67,6 +67,28 @@ std::string EventToJson(const TraceEvent& e) {
       s += ",\"fault\":" + JsonStr(FaultName(e.fault)) +
            ",\"record\":" + Num(e.record) + ",\"aux\":" + Num(e.n_c);
       break;
+    case EventKind::kArrive:
+      s += ",\"id\":" + Num(e.id_digest) + ",\"population\":" + Num(e.n_c);
+      break;
+    case EventKind::kDepart:
+      s += ",\"id\":" + Num(e.id_digest) + ",\"population\":" + Num(e.n_c) +
+           ",\"missed\":" + (e.estimate_q8 ? "true" : "false");
+      break;
+    case EventKind::kDetect:
+      s += ",\"id\":" + Num(e.id_digest) +
+           ",\"latency_slots\":" + Num(e.n_c) +
+           ",\"ghost\":" + (e.cascade ? "true" : "false");
+      break;
+    case EventKind::kEpoch: {
+      char staleness[32];
+      std::snprintf(staleness, sizeof staleness, "%.17g",
+                    static_cast<double>(e.estimate_q8) / kEstimateScale);
+      s += ",\"population\":" + Num(e.n_c) + ",\"detected\":" + Num(e.record) +
+           ",\"ghosts\":" + Num(e.responders) +
+           ",\"staleness_p99\":" + staleness +
+           ",\"elapsed_us\":" + Num(e.elapsed_us);
+      break;
+    }
   }
   s += "}";
   return s;

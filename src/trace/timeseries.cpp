@@ -10,6 +10,9 @@ std::vector<FramePoint> ExtractFrameSeries(const RunTrace& run,
                                            std::uint32_t reader) {
   std::vector<FramePoint> series;
   std::uint64_t tags_read = 0;
+  std::uint64_t population = 0;
+  std::uint64_t detected = 0;
+  double staleness_p99 = 0.0;
   // Open-record birth slots, keyed by handle; std::map keeps the oldest
   // (smallest slot is not guaranteed by handle order, so scan on demand).
   std::map<std::uint64_t, std::uint64_t> open_since;
@@ -42,6 +45,14 @@ std::vector<FramePoint> ExtractFrameSeries(const RunTrace& run,
           open_since.clear();
         }
         break;
+      case EventKind::kArrive:
+      case EventKind::kDepart:
+        population = e.n_c;
+        break;
+      case EventKind::kEpoch:
+        detected = e.record;
+        staleness_p99 = static_cast<double>(e.estimate_q8) / kEstimateScale;
+        break;
       case EventKind::kFrame: {
         FramePoint p;
         p.frame = e.frame;
@@ -62,6 +73,9 @@ std::vector<FramePoint> ExtractFrameSeries(const RunTrace& run,
         p.estimate = static_cast<double>(e.estimate_q8) / kEstimateScale;
         p.estimate_abs_error =
             std::abs(p.estimate - static_cast<double>(run.header.n_tags));
+        p.population = population;
+        p.detected = detected;
+        p.staleness_p99 = staleness_p99;
         series.push_back(p);
         break;
       }
@@ -75,11 +89,13 @@ std::vector<FramePoint> ExtractFrameSeries(const RunTrace& run,
 std::string FrameSeriesCsv(const std::vector<FramePoint>& series) {
   std::string csv =
       "frame,end_slot,tags_read,elapsed_seconds,throughput_so_far,"
-      "n_c,open_records,oldest_record_age,estimate,estimate_abs_error\n";
+      "n_c,open_records,oldest_record_age,estimate,estimate_abs_error,"
+      "population,detected,staleness_p99\n";
   char line[256];
   for (const FramePoint& p : series) {
     std::snprintf(line, sizeof line,
-                  "%llu,%llu,%llu,%.6f,%.3f,%llu,%llu,%llu,%.3f,%.3f\n",
+                  "%llu,%llu,%llu,%.6f,%.3f,%llu,%llu,%llu,%.3f,%.3f,"
+                  "%llu,%llu,%.3f\n",
                   static_cast<unsigned long long>(p.frame),
                   static_cast<unsigned long long>(p.end_slot),
                   static_cast<unsigned long long>(p.tags_read),
@@ -87,7 +103,10 @@ std::string FrameSeriesCsv(const std::vector<FramePoint>& series) {
                   static_cast<unsigned long long>(p.n_c),
                   static_cast<unsigned long long>(p.open_records),
                   static_cast<unsigned long long>(p.oldest_record_age),
-                  p.estimate, p.estimate_abs_error);
+                  p.estimate, p.estimate_abs_error,
+                  static_cast<unsigned long long>(p.population),
+                  static_cast<unsigned long long>(p.detected),
+                  p.staleness_p99);
     csv += line;
   }
   return csv;

@@ -25,6 +25,10 @@ struct FramePoint {
   std::uint64_t oldest_record_age = 0;
   double estimate = 0.0;            // estimator snapshot N-hat
   double estimate_abs_error = 0.0;  // |N-hat - n_tags| (header truth)
+  // Churn columns (service-mode soaks; all 0 for one-shot runs).
+  std::uint64_t population = 0;     // live tags after the latest churn event
+  std::uint64_t detected = 0;       // detected-and-present, latest kEpoch
+  double staleness_p99 = 0.0;       // staleness p99 in slots, latest kEpoch
 };
 
 // Extracts the series for one reader (0 = a single-reader run; deployment

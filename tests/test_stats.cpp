@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/rng.h"
 
@@ -110,6 +112,139 @@ TEST(RunningStats, Ci95ShrinksWithSamples) {
   for (int i = 0; i < 10; ++i) small.Add(rng.Normal());
   for (int i = 0; i < 1000; ++i) large.Add(rng.Normal());
   EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+// Exact quantile of a sample by sorting: value at position (n-1)q,
+// linearly interpolated. Used as ground truth for the large-sample
+// accuracy checks (P2's small-sample fallback uses nearest rank, which
+// differs on tiny samples — those tests assert the nearest-rank value).
+double ExactQuantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  if (xs.empty()) return 0.0;
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= xs.size()) return xs.back();
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
+}
+
+TEST(P2Quantile, EmptyIsZero) {
+  P2Quantile p(0.99);
+  EXPECT_EQ(p.count(), 0u);
+  EXPECT_EQ(p.value(), 0.0);
+}
+
+TEST(P2Quantile, SmallSamplesAreExact) {
+  // Below 5 observations the estimator must fall back to the exact
+  // sorted-sample quantile.
+  P2Quantile median(0.5);
+  median.Add(9.0);
+  EXPECT_DOUBLE_EQ(median.value(), 9.0);
+  median.Add(1.0);
+  median.Add(5.0);
+  EXPECT_DOUBLE_EQ(median.value(), 5.0);
+
+  P2Quantile p99(0.99);
+  for (double x : {4.0, 2.0, 8.0, 6.0}) p99.Add(x);
+  // Nearest rank: round(0.99 * 3) = 3 -> the largest sample.
+  EXPECT_DOUBLE_EQ(p99.value(), 8.0);
+}
+
+TEST(P2Quantile, MedianOfUniformStream) {
+  Pcg32 rng(17);
+  P2Quantile p(0.5);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.UniformDouble();
+    xs.push_back(x);
+    p.Add(x);
+  }
+  EXPECT_EQ(p.count(), xs.size());
+  EXPECT_NEAR(p.value(), ExactQuantile(xs, 0.5), 0.01);
+  EXPECT_NEAR(p.value(), 0.5, 0.02);  // the distribution's true median
+}
+
+TEST(P2Quantile, TailQuantileOfSkewedStream) {
+  // Exponential via inversion: heavy right tail, the regime P2's p99
+  // markers are hardest on.
+  Pcg32 rng(23);
+  P2Quantile p(0.99);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = -std::log(1.0 - rng.UniformDouble());
+    xs.push_back(x);
+    p.Add(x);
+  }
+  const double exact = ExactQuantile(xs, 0.99);
+  EXPECT_NEAR(p.value(), exact, 0.15 * exact);
+}
+
+TEST(P2Quantile, MedianOfBimodalStream) {
+  Pcg32 rng(31);
+  P2Quantile p(0.5);
+  std::vector<double> xs;
+  for (int i = 0; i < 30000; ++i) {
+    const double x =
+        (rng.UniformDouble() < 0.5 ? 0.0 : 10.0) + rng.Normal() * 0.5;
+    xs.push_back(x);
+    p.Add(x);
+  }
+  // The exact median of a balanced bimodal sample sits between the
+  // modes; P2 must land in the inter-mode gap, not on a mode.
+  EXPECT_GT(p.value(), 1.0);
+  EXPECT_LT(p.value(), 9.0);
+}
+
+TEST(P2Quantile, MergeOfExactSidesIsExact) {
+  P2Quantile a(0.5), b(0.5);
+  a.Add(1.0);
+  a.Add(3.0);
+  b.Add(2.0);
+  b.Add(4.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  // Still under 5 samples, so the merge pools the raw samples and value()
+  // is the nearest-rank median of {1,2,3,4}: round(0.5 * 3) = 2 -> 3.0.
+  EXPECT_DOUBLE_EQ(a.value(), 3.0);
+}
+
+TEST(P2Quantile, MergeWithEmptyIsIdentity) {
+  Pcg32 rng(7);
+  P2Quantile a(0.99), empty(0.99);
+  for (int i = 0; i < 1000; ++i) a.Add(rng.UniformDouble());
+  const double before = a.value();
+  const std::size_t count = a.count();
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), count);
+  EXPECT_DOUBLE_EQ(a.value(), before);
+
+  P2Quantile other(0.99);
+  for (int i = 0; i < 1000; ++i) other.Add(rng.UniformDouble());
+  empty.Merge(other);
+  EXPECT_EQ(empty.count(), other.count());
+  EXPECT_DOUBLE_EQ(empty.value(), other.value());
+}
+
+TEST(P2Quantile, ShardedMergeTracksCombinedStream) {
+  // The RunningStats::Merge story: shards accumulate independently, fold
+  // at the end. P2's fold is approximate — assert it stays close to the
+  // combined-stream estimate, not bit-equal.
+  Pcg32 rng(41);
+  P2Quantile all(0.9);
+  P2Quantile shards[4] = {P2Quantile(0.9), P2Quantile(0.9), P2Quantile(0.9),
+                          P2Quantile(0.9)};
+  std::vector<double> xs;
+  for (int i = 0; i < 40000; ++i) {
+    const double x = -std::log(1.0 - rng.UniformDouble());
+    xs.push_back(x);
+    all.Add(x);
+    shards[i % 4].Add(x);
+  }
+  P2Quantile merged(0.9);
+  for (const P2Quantile& s : shards) merged.Merge(s);
+  EXPECT_EQ(merged.count(), all.count());
+  const double exact = ExactQuantile(xs, 0.9);
+  EXPECT_NEAR(merged.value(), exact, 0.2 * exact);
 }
 
 }  // namespace

@@ -25,6 +25,8 @@
 #include "common/cli.h"
 #include "core/factories.h"
 #include "fault/injector.h"
+#include "service/replay.h"
+#include "service/service.h"
 #include "trace/binary.h"
 #include "trace/diff.h"
 #include "trace/jsonl.h"
@@ -53,8 +55,11 @@ int Usage() {
       "                        crdsa|irsa|seeded|mpr|perfect]\n"
       "         [--lambda=L] [--capacity=M] [--n=TAGS] [--runs=R] "
       "[--seed=S]\n"
-      "         [--faults=PROFILE] [--demod-pool=T]\n"
-      "                                       record a reference trace\n");
+      "         [--faults=PROFILE] [--demod-pool=T] [--service=PROFILE]\n"
+      "                                       record a reference trace\n"
+      "                                       (--service: continuous-\n"
+      "                                       inventory soak; --n is the\n"
+      "                                       initial population)\n");
   return 2;
 }
 
@@ -145,12 +150,17 @@ int Summarize(const CliArgs& args) {
   std::printf("%s: %zu run%s\n", args.positional()[1].c_str(),
               file.runs.size(), file.runs.size() == 1 ? "" : "s");
   for (const trace::RunTrace& run : file.runs) {
-    std::uint64_t counts[10] = {};
+    std::uint64_t counts[16] = {};
+    std::uint64_t missed = 0, ghosts = 0;
     const trace::TraceEvent* end = nullptr;
+    const trace::TraceEvent* last_epoch = nullptr;
     for (const trace::TraceEvent& e : run.events) {
       const auto k = static_cast<std::size_t>(e.kind);
-      if (k < 10) ++counts[k];
+      if (k < 16) ++counts[k];
       if (e.kind == trace::EventKind::kRunEnd) end = &e;
+      if (e.kind == trace::EventKind::kDepart && e.estimate_q8) ++missed;
+      if (e.kind == trace::EventKind::kDetect && e.cascade) ++ghosts;
+      if (e.kind == trace::EventKind::kEpoch) last_epoch = &e;
     }
     std::printf(
         "run %llu: protocol=%s n_tags=%llu base_seed=%llu events=%zu\n",
@@ -161,7 +171,7 @@ int Summarize(const CliArgs& args) {
         run.events.size());
     std::printf("  ");
     bool first = true;
-    for (std::size_t k = 1; k < 10; ++k) {
+    for (std::size_t k = 1; k < 14; ++k) {
       if (counts[k] == 0) continue;
       std::printf("%s%s=%llu", first ? "" : " ",
                   trace::KindName(static_cast<trace::EventKind>(k)),
@@ -169,6 +179,26 @@ int Summarize(const CliArgs& args) {
       first = false;
     }
     std::printf("\n");
+    // Churned (service-mode) runs: the open-world ledger at a glance.
+    const auto arrive = static_cast<std::size_t>(trace::EventKind::kArrive);
+    const auto depart = static_cast<std::size_t>(trace::EventKind::kDepart);
+    const auto detect = static_cast<std::size_t>(trace::EventKind::kDetect);
+    if (counts[arrive] + counts[depart] + counts[detect] > 0) {
+      std::printf("  churn: arrived=%llu departed=%llu detected=%llu "
+                  "missed=%llu ghosts=%llu",
+                  static_cast<unsigned long long>(counts[arrive]),
+                  static_cast<unsigned long long>(counts[depart]),
+                  static_cast<unsigned long long>(counts[detect] - ghosts),
+                  static_cast<unsigned long long>(missed),
+                  static_cast<unsigned long long>(ghosts));
+      if (last_epoch != nullptr) {
+        std::printf(" final_population=%llu staleness_p99=%.3f",
+                    static_cast<unsigned long long>(last_epoch->n_c),
+                    static_cast<double>(last_epoch->estimate_q8) /
+                        trace::kEstimateScale);
+      }
+      std::printf("\n");
+    }
     if (end != nullptr) {
       std::printf("  %s\n", trace::Describe(*end).c_str());
     }
@@ -183,7 +213,7 @@ int Filter(const CliArgs& args) {
           {"run", "only this run index"},
           {"kind", "only this event kind (slot, frame, record_open, "
                    "record_resolve, ack, inject, tdma_slot, run_end, "
-                   "fault)"},
+                   "fault, arrive, depart, detect, epoch)"},
           {"reader", "only this reader id (deployments: 1..R)"},
           {"limit", "stop after this many events (default 100; 0 = all)"},
           {"format", "text (default) or jsonl"},
@@ -293,16 +323,30 @@ int Replay(const CliArgs& args) {
   const trace::TraceFile file = Load(args.positional()[1]);
   for (const trace::RunTrace& run : file.runs) {
     std::string err;
-    const sim::ProtocolFactory factory = FactoryFor(run.header.protocol, &err);
+    // Service-mode runs carry a "~<profile>" suffix; the base name still
+    // selects the factory, the service layer re-drives the soak.
+    const sim::ProtocolFactory factory =
+        FactoryFor(service::ServiceBaseName(run.header.protocol), &err);
     if (!factory) {
       std::fprintf(stderr, "trace_inspect: %s\n", err.c_str());
       return 2;
     }
-    const trace::ReplayReport report = trace::VerifyReplay(run, factory);
+    std::string message;
+    bool ok = false;
+    if (service::IsServiceRun(run.header)) {
+      const service::ServiceReplayReport report =
+          service::VerifyServiceReplay(run, factory);
+      ok = report.ok;
+      message = report.message;
+    } else {
+      const trace::ReplayReport report = trace::VerifyReplay(run, factory);
+      ok = report.ok;
+      message = report.message;
+    }
     std::printf("run %llu: %s\n",
                 static_cast<unsigned long long>(run.header.run_index),
-                report.message.c_str());
-    if (!report.ok) return 1;
+                message.c_str());
+    if (!ok) return 1;
   }
   return 0;
 }
@@ -323,6 +367,10 @@ int Record(const CliArgs& args) {
                         {"demod-pool",
                          "fcat-signal: demod worker threads (default 0; "
                          "any value records the same bytes)"},
+                        {"service",
+                         "record a continuous-inventory soak under this "
+                         "service profile (smoke, soak, batch, flow); "
+                         "--n becomes the initial population"},
                     });
   const std::string out = args.GetString("out", "");
   if (out.empty() || args.positional().size() != 1) return Usage();
@@ -383,6 +431,34 @@ int Record(const CliArgs& args) {
     std::fprintf(stderr, "trace_inspect: bad --protocol=%s\n",
                  protocol.c_str());
     return 2;
+  }
+
+  const std::string service = args.GetString("service", "");
+  if (!service.empty()) {
+    service::ServiceConfig config;
+    if (!service::LookupServiceProfile(service, &config)) {
+      std::fprintf(stderr,
+                   "trace_inspect: unknown --service=%s (known: %s)\n",
+                   service.c_str(), service::ServiceProfileList().c_str());
+      return 2;
+    }
+    service::SoakOptions so;
+    so.n_initial = static_cast<std::size_t>(args.GetInt("n", 60));
+    so.runs = static_cast<std::size_t>(args.GetInt("runs", 1));
+    so.base_seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+    trace::MultiRunRecorder recorder(so.runs);
+    so.trace_factory = recorder.Factory();
+    service::RunSoakExperiment(factory, config, so);
+    const std::string err = trace::WriteTraceFile(out, recorder.File());
+    if (!err.empty()) {
+      std::fprintf(stderr, "trace_inspect: %s\n", err.c_str());
+      return 2;
+    }
+    std::size_t events = 0;
+    for (const auto& run : recorder.runs()) events += run.events.size();
+    std::printf("recorded %zu service run%s (%zu events) to %s\n", so.runs,
+                so.runs == 1 ? "" : "s", events, out.c_str());
+    return 0;
   }
 
   sim::ExperimentOptions eo;
