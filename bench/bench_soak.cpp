@@ -20,11 +20,18 @@
 //   --n=N         initial population per run (default 50)
 //   --faults=F    off | chaos | sweep (default sweep; chaos is FCAT-only
 //                 — the coded-ALOHA readers take no fault config)
+//   --store=S     container for --trace recordings: compressed (default)
+//                 writes one indexed ANCSTORE file covering every cell;
+//                 raw appends v1 ANCTRACE run blocks (byte-identical to
+//                 the pre-store recording path, for golden-trace jobs)
 #include "bench_common.h"
+
+#include <memory>
 
 #include "common/table.h"
 #include "fault/injector.h"
 #include "service/service.h"
+#include "store/container.h"
 
 namespace {
 
@@ -39,18 +46,47 @@ service::SoakAggregate RunCell(const sim::ProtocolFactory& factory,
                                const service::ServiceConfig& config,
                                const bench::HarnessOptions& opts,
                                std::size_t n_initial,
-                               const std::string& label) {
+                               const std::string& label,
+                               store::StoreWriter* store_writer) {
   service::SoakOptions so;
   so.n_initial = n_initial;
   so.runs = opts.runs;
   so.base_seed = opts.seed;
   so.n_threads = opts.threads;
+  // Record per-run (disjoint slots, thread-safe) and serialize after the
+  // experiment: the store writer is single-writer, the recorder is not.
+  std::unique_ptr<trace::MultiRunRecorder> recorder;
+  if (!opts.trace_path.empty()) {
+    recorder = std::make_unique<trace::MultiRunRecorder>(opts.runs);
+    so.trace_factory = recorder->Factory();
+  }
   const auto start = std::chrono::steady_clock::now();
   const service::SoakAggregate agg =
       service::RunSoakExperiment(factory, config, so);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+
+  if (recorder) {
+    if (store_writer != nullptr) {
+      for (const trace::RunTrace& run : recorder->runs()) {
+        store_writer->BeginRun(run.header);
+        for (const trace::TraceEvent& e : run.events) store_writer->Add(e);
+        const std::string err = store_writer->EndRun();
+        if (!err.empty()) {
+          std::fprintf(stderr, "warning: store write failed for %s: %s\n",
+                       label.c_str(), err.c_str());
+          break;
+        }
+      }
+    } else {
+      const std::string err = recorder->AppendToFile(opts.trace_path);
+      if (!err.empty()) {
+        std::fprintf(stderr, "warning: cannot append trace to %s: %s\n",
+                     opts.trace_path.c_str(), err.c_str());
+      }
+    }
+  }
 
   // Service-mode JSON point: SLO quantiles + the ledger totals the CI
   // schema gate checks (staleness_p99 / missed_rate present and finite).
@@ -99,7 +135,8 @@ int main(int argc, char** argv) {
       args, argv[0],
       {{"profile", "service profile: smoke | soak | batch | flow"},
        {"n", "initial population per run (default 50)"},
-       {"faults", "off | chaos | sweep (chaos is FCAT-only)"}});
+       {"faults", "off | chaos | sweep (chaos is FCAT-only)"},
+       {"store", "--trace container: compressed (default) | raw"}});
   const auto opts = bench::ParseHarness(args, 3);
   bench::PrintHeader("Continuous-inventory soak: service-mode SLOs",
                      "service subsystem, no paper analogue", opts);
@@ -117,6 +154,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown --faults=%s (off | chaos | sweep)\n",
                  faults.c_str());
     return 2;
+  }
+  const std::string store_mode = args.GetString("store", "compressed");
+  if (store_mode != "compressed" && store_mode != "raw") {
+    std::fprintf(stderr, "unknown --store=%s (compressed | raw)\n",
+                 store_mode.c_str());
+    return 2;
+  }
+  // Compressed recording: one ANCSTORE container spanning every cell's
+  // runs (cells append in table order). Raw keeps the pre-store v1
+  // append path so golden-trace jobs stay byte-identical.
+  store::StoreWriter store_writer;
+  const bool use_store = !opts.trace_path.empty() && store_mode == "compressed";
+  if (use_store) {
+    const std::string err = store_writer.Open(opts.trace_path);
+    if (!err.empty()) {
+      std::fprintf(stderr, "cannot open --trace store %s: %s\n",
+                   opts.trace_path.c_str(), err.c_str());
+      return 2;
+    }
   }
 
   std::vector<std::pair<std::string, sim::ProtocolFactory>> cells;
@@ -138,7 +194,8 @@ int main(int argc, char** argv) {
   std::uint64_t unsupported = 0;
   for (const auto& [label, factory] : cells) {
     const service::SoakAggregate agg =
-        RunCell(factory, config, opts, n_initial, label);
+        RunCell(factory, config, opts, n_initial, label,
+                use_store ? &store_writer : nullptr);
     table.AddRow({label, TextTable::Num(agg.detect_p50.mean(), 1),
                   TextTable::Num(agg.detect_p99.mean(), 1),
                   TextTable::Num(agg.staleness_p99.mean(), 1),
@@ -150,6 +207,20 @@ int main(int argc, char** argv) {
     conservation_failures += agg.conservation_failures;
     open_records += agg.open_records_after_shutdown;
     unsupported += agg.churn_unsupported_runs;
+  }
+
+  if (use_store) {
+    const std::string err = store_writer.Finish();
+    if (err.empty()) {
+      std::printf("trace store: %zu runs, %zu blocks, %llu bytes -> %s\n",
+                  store_writer.runs().size(), store_writer.blocks().size(),
+                  static_cast<unsigned long long>(
+                      store_writer.bytes_written()),
+                  opts.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: trace store finish failed: %s\n",
+                   err.c_str());
+    }
   }
 
   std::printf("%s\n", table.Render().c_str());

@@ -79,13 +79,15 @@ InventoryService::InventoryService(const ServiceConfig& config,
                                    std::span<const TagId> universe,
                                    std::size_t n_initial,
                                    const ChurnSchedule& schedule,
-                                   trace::TraceContext trace)
+                                   trace::TraceContext trace,
+                                   store::EpochSnapshotLog* snapshot_log)
     : config_(config),
       protocol_(protocol),
       universe_(universe),
       n_initial_(n_initial < universe.size() ? n_initial : universe.size()),
       events_(schedule.events),
-      trace_(trace) {
+      trace_(trace),
+      snapshot_log_(snapshot_log) {
   report_.suppressed_arrivals = schedule.suppressed_arrivals;
   states_.resize(universe_.size());
   digest_to_index_.reserve(universe_.size() * 2);
@@ -196,6 +198,17 @@ void InventoryService::Snapshot(std::uint64_t slot) {
       reported > 0 ? static_cast<double>(ghosts) / static_cast<double>(reported)
                    : 0.0);
   epoch_population_.Add(static_cast<double>(live_));
+  if (snapshot_log_ != nullptr) {
+    store::EpochSnapshot snap;
+    snap.epoch = report_.epochs;
+    snap.population = live_;
+    snap.detected = detected_present;
+    snap.ghosts = ghosts;
+    snap.staleness_q8 = trace::QuantizeEstimate(staleness_p99_.value());
+    snap.elapsed_us =
+        trace::QuantizeSeconds(protocol_.metrics().elapsed_seconds);
+    snapshot_log_->Publish(snap);
+  }
   if (trace_) {
     auto ev = ChurnEvt(trace::EventKind::kEpoch, slot, report_.epochs);
     ev.n_c = live_;
@@ -302,7 +315,8 @@ SloReport RunSoakSingle(const sim::ProtocolFactory& factory,
   }
 
   InventoryService service(config, *protocol, universe, options.n_initial,
-                           schedule, trace::TraceContext{sink, 0});
+                           schedule, trace::TraceContext{sink, 0},
+                           options.snapshot_log);
   SloReport report = service.Run();
 
   if (sink != nullptr) {
@@ -344,10 +358,15 @@ SoakAggregate RunSoakExperiment(const sim::ProtocolFactory& factory,
                                 const ServiceConfig& config,
                                 const SoakOptions& options) {
   SoakAggregate agg;
+  // The snapshot log is single-writer: with more than one run it would
+  // see interleaved epochs from concurrent services, so only a lone run
+  // keeps the live feed (RunSoakSingle callers wire it directly).
+  SoakOptions per_run = options;
+  if (options.runs > 1) per_run.snapshot_log = nullptr;
   const auto execute = [&](std::size_t run) {
     std::unique_ptr<trace::TraceSink> sink;
     if (options.trace_factory) sink = options.trace_factory(run);
-    return RunSoakSingle(factory, config, options, run, sink.get());
+    return RunSoakSingle(factory, config, per_run, run, sink.get());
   };
 
   const std::size_t n_threads =

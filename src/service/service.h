@@ -35,6 +35,7 @@
 #include "sim/metrics.h"
 #include "sim/protocol.h"
 #include "sim/runner.h"
+#include "store/snapshot.h"
 #include "trace/sink.h"
 
 namespace anc::service {
@@ -107,10 +108,14 @@ struct SloReport {
 // default TraceContext to run untraced.
 class InventoryService {
  public:
+  // `snapshot_log` (optional) receives every epoch the service emits, so
+  // monitor threads can read live inventory state while the run is in
+  // flight (store/snapshot.h seqlock: this service is the single writer).
   InventoryService(const ServiceConfig& config, sim::Protocol& protocol,
                    std::span<const TagId> universe, std::size_t n_initial,
                    const ChurnSchedule& schedule,
-                   trace::TraceContext trace = {});
+                   trace::TraceContext trace = {},
+                   store::EpochSnapshotLog* snapshot_log = nullptr);
 
   // Runs to drain or budget, snapshots, shuts the protocol down, and
   // returns the report. Call at most once.
@@ -137,6 +142,7 @@ class InventoryService {
   std::size_t n_initial_;
   std::span<const ChurnEvent> events_;
   trace::TraceContext trace_;
+  store::EpochSnapshotLog* snapshot_log_ = nullptr;
 
   std::vector<TagState> states_;
   std::unordered_map<std::uint64_t, std::uint32_t> digest_to_index_;
@@ -161,6 +167,10 @@ struct SoakOptions {
   std::uint64_t base_seed = 1;
   std::size_t n_threads = 1;  // bit-identical aggregate at any value
   trace::TraceSinkFactory trace_factory;
+  // Live epoch feed (single-writer seqlock): set only for single-run
+  // soaks or direct RunSoakSingle calls — concurrent runs would all
+  // write the one log. Null = no live feed.
+  store::EpochSnapshotLog* snapshot_log = nullptr;
 };
 
 // Executes soak run `run_index` exactly as RunSoakExperiment would (same

@@ -1,0 +1,746 @@
+#include "store/container.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "store/crc32.h"
+#include "store/lz.h"
+
+namespace anc::store {
+namespace {
+
+namespace wire = trace::wire;
+using trace::EventKind;
+using trace::FieldSpec;
+using trace::TraceEvent;
+
+constexpr char kBlockMarker = 'B';
+constexpr char kFooterMarker = 'F';
+constexpr std::size_t kTrailerBytes = 8 + 4 + 8;  // offset, crc, end magic
+constexpr std::uint8_t kMinKind = static_cast<std::uint8_t>(EventKind::kSlot);
+constexpr std::uint8_t kMaxKind = static_cast<std::uint8_t>(EventKind::kEpoch);
+constexpr std::size_t kLegacyBlockEvents = 4096;
+// Fail-closed cap on a single block's decoded size: no writer produces
+// blocks remotely this large, so a bigger claim is corruption.
+constexpr std::uint64_t kMaxBlockRawLen = 1ull << 30;
+
+// Wrap-exact zigzag over the two's-complement difference: works for any
+// pair of u64 values, monotone or not.
+inline std::uint64_t ZigZag(std::uint64_t delta_bits) {
+  const std::uint64_t sign = delta_bits >> 63 ? ~0ull : 0ull;
+  return (delta_bits << 1) ^ sign;
+}
+
+inline std::uint64_t UnZigZag(std::uint64_t enc) {
+  return (enc >> 1) ^ (0ull - (enc & 1));
+}
+
+inline void PutU64Le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+inline void PutU32Le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+inline std::uint64_t GetU64Le(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline std::uint32_t GetU32Le(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+// Per-run cumulative counters the footer carries for query seeding
+// (shared between the store writer and the legacy indexing pass).
+struct RunCounters {
+  std::uint64_t acks = 0, arrives = 0, departs = 0, detects = 0,
+                population = 0;
+
+  void Update(const TraceEvent& e) {
+    switch (e.kind) {
+      case EventKind::kAck:
+        // First-time reads only: re-acks and injection silencing do not
+        // advance inventory progress.
+        if (e.ack == trace::AckKind::kSingletonId ||
+            e.ack == trace::AckKind::kSlotIndex ||
+            e.ack == trace::AckKind::kFullId) {
+          ++acks;
+        }
+        break;
+      case EventKind::kArrive:
+        ++arrives;
+        population = e.n_c;
+        break;
+      case EventKind::kDepart:
+        ++departs;
+        population = e.n_c;
+        break;
+      case EventKind::kDetect:
+        ++detects;
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+void FillBlockCoverage(const std::vector<TraceEvent>& events, BlockMeta* m) {
+  m->n_events = events.size();
+  m->first_slot = events.front().slot;
+  m->last_slot = events.back().slot;
+  m->min_frame = events.front().frame;
+  m->max_frame = events.front().frame;
+  for (const TraceEvent& e : events) {
+    m->min_frame = std::min(m->min_frame, e.frame);
+    m->max_frame = std::max(m->max_frame, e.frame);
+  }
+}
+
+void PutBlockMeta(std::string& out, const BlockMeta& m) {
+  wire::PutVarint(out, m.run_ordinal);
+  wire::PutVarint(out, m.offset);
+  wire::PutVarint(out, m.raw_len);
+  wire::PutVarint(out, m.comp_len);
+  wire::PutVarint(out, m.crc32);
+  wire::PutVarint(out, m.first_event);
+  wire::PutVarint(out, m.n_events);
+  wire::PutVarint(out, m.min_frame);
+  wire::PutVarint(out, m.max_frame);
+  wire::PutVarint(out, m.first_slot);
+  wire::PutVarint(out, m.last_slot);
+  wire::PutVarint(out, m.acks_cum);
+  wire::PutVarint(out, m.arrives_cum);
+  wire::PutVarint(out, m.departs_cum);
+  wire::PutVarint(out, m.detects_cum);
+  wire::PutVarint(out, m.population_end);
+}
+
+bool GetBlockMeta(wire::Reader& r, BlockMeta* m) {
+  m->run_ordinal = r.Varint();
+  m->offset = r.Varint();
+  m->raw_len = r.Varint();
+  m->comp_len = r.Varint();
+  m->crc32 = static_cast<std::uint32_t>(r.Varint());
+  m->first_event = r.Varint();
+  m->n_events = r.Varint();
+  m->min_frame = r.Varint();
+  m->max_frame = r.Varint();
+  m->first_slot = r.Varint();
+  m->last_slot = r.Varint();
+  m->acks_cum = r.Varint();
+  m->arrives_cum = r.Varint();
+  m->departs_cum = r.Varint();
+  m->detects_cum = r.Varint();
+  m->population_end = r.Varint();
+  return r.ok;
+}
+
+}  // namespace
+
+// ---- Columnar block payload ------------------------------------------------
+
+std::string EncodeBlockPayload(const std::vector<TraceEvent>& events) {
+  std::string out;
+  wire::PutVarint(out, events.size());
+  // Kind column.
+  for (const TraceEvent& e : events) {
+    wire::PutByte(out, static_cast<std::uint8_t>(e.kind));
+  }
+  // Reader column.
+  for (const TraceEvent& e : events) wire::PutVarint(out, e.reader);
+  // Slot and frame columns: zigzag deltas in stream order, chains reset
+  // at the block boundary so blocks decode independently.
+  std::uint64_t prev = 0;
+  for (const TraceEvent& e : events) {
+    wire::PutVarint(out, ZigZag(e.slot - prev));
+    prev = e.slot;
+  }
+  prev = 0;
+  for (const TraceEvent& e : events) {
+    wire::PutVarint(out, ZigZag(e.frame - prev));
+    prev = e.frame;
+  }
+  // One column per (kind, field): values of that field across all events
+  // of that kind, stream order. Cumulative clocks delta within the column.
+  for (std::uint8_t k = kMinKind; k <= kMaxKind; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    const auto fields = trace::EventFields(kind);
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      prev = 0;
+      for (const TraceEvent& e : events) {
+        if (e.kind != kind) continue;
+        const std::uint64_t v = trace::GetEventField(e, f);
+        if (fields[f].type == FieldSpec::Type::kByte) {
+          wire::PutByte(out, static_cast<std::uint8_t>(v));
+        } else if (fields[f].cumulative_clock) {
+          wire::PutVarint(out, ZigZag(v - prev));
+          prev = v;
+        } else {
+          wire::PutVarint(out, v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string DecodeBlockPayload(std::string_view raw,
+                               std::uint64_t expect_events,
+                               std::vector<TraceEvent>* out) {
+  out->clear();
+  wire::Reader r{raw};
+  const std::uint64_t n = r.Varint();
+  if (!r.ok) return "truncated block payload header";
+  if (n != expect_events) {
+    return "block declares " + std::to_string(n) + " events, index says " +
+           std::to_string(expect_events);
+  }
+  if (n > raw.size()) return "event count exceeds payload size";
+  out->resize(static_cast<std::size_t>(n));
+  std::array<std::uint64_t, kMaxKind + 1> per_kind{};
+  for (TraceEvent& e : *out) {
+    const std::uint8_t kb = r.Byte();
+    if (!r.ok) return "truncated kind column";
+    if (!trace::ValidEventKind(kb)) {
+      return "invalid event kind " + std::to_string(kb) + " in kind column";
+    }
+    e.kind = static_cast<EventKind>(kb);
+    ++per_kind[kb];
+  }
+  for (TraceEvent& e : *out) {
+    e.reader = static_cast<std::uint32_t>(r.Varint());
+  }
+  std::uint64_t prev = 0;
+  for (TraceEvent& e : *out) {
+    e.slot = prev + UnZigZag(r.Varint());
+    prev = e.slot;
+  }
+  prev = 0;
+  for (TraceEvent& e : *out) {
+    e.frame = prev + UnZigZag(r.Varint());
+    prev = e.frame;
+  }
+  if (!r.ok) return "truncated reader/slot/frame columns";
+  for (std::uint8_t k = kMinKind; k <= kMaxKind; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    const auto fields = trace::EventFields(kind);
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      prev = 0;
+      for (TraceEvent& e : *out) {
+        if (e.kind != kind) continue;
+        std::uint64_t v;
+        if (fields[f].type == FieldSpec::Type::kByte) {
+          v = r.Byte();
+          if (r.ok && v > fields[f].max_value) {
+            return "field value " + std::to_string(v) + " out of range for " +
+                   trace::KindName(kind);
+          }
+        } else if (fields[f].cumulative_clock) {
+          v = prev + UnZigZag(r.Varint());
+          prev = v;
+        } else {
+          v = r.Varint();
+        }
+        trace::SetEventField(e, f, v);
+      }
+    }
+  }
+  if (!r.ok) return "truncated field columns";
+  if (!r.AtEnd()) {
+    return std::to_string(raw.size() - r.pos) +
+           " trailing bytes after block payload";
+  }
+  return "";
+}
+
+// ---- StoreWriter -----------------------------------------------------------
+
+StoreWriter::~StoreWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::string StoreWriter::Open(const std::string& path,
+                              const StoreWriterOptions& options) {
+  options_ = options;
+  if (options_.block_events == 0) options_.block_events = 1;
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return error_ = "cannot open " + path + " for write";
+  std::string header(kStoreMagic);
+  wire::PutVarint(header, kStoreVersion);
+  wire::PutVarint(header, trace::kTraceVersion);
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    return error_ = "short write to " + path;
+  }
+  offset_ = header.size();
+  return "";
+}
+
+void StoreWriter::BeginRun(const trace::RunHeader& header) {
+  if (!error_.empty() || finished_ || file_ == nullptr) return;
+  if (run_open_) EndRun();
+  StoredRun run;
+  run.header = header;
+  run.first_block = blocks_.size();
+  runs_.push_back(std::move(run));
+  run_open_ = true;
+  events_in_run_ = 0;
+  acks_cum_ = arrives_cum_ = departs_cum_ = detects_cum_ = population_ = 0;
+}
+
+void StoreWriter::Add(const trace::TraceEvent& event) {
+  if (!error_.empty() || !run_open_) return;
+  RunCounters c{acks_cum_, arrives_cum_, departs_cum_, detects_cum_,
+                population_};
+  c.Update(event);
+  acks_cum_ = c.acks;
+  arrives_cum_ = c.arrives;
+  departs_cum_ = c.departs;
+  detects_cum_ = c.detects;
+  population_ = c.population;
+  buffer_.push_back(event);
+  ++events_in_run_;
+  if (buffer_.size() >= options_.block_events) error_ = FlushBlock();
+}
+
+std::string StoreWriter::FlushBlock() {
+  if (buffer_.empty()) return "";
+  const std::string raw = EncodeBlockPayload(buffer_);
+  std::string compressed;
+  if (options_.compress) compressed = LzCompress(raw);
+  // Stored raw (comp_len == raw_len) when compression is off or not a win.
+  const bool use_raw = !options_.compress || compressed.size() >= raw.size();
+  const std::string& payload = use_raw ? raw : compressed;
+
+  BlockMeta meta;
+  meta.run_ordinal = runs_.size() - 1;
+  meta.raw_len = raw.size();
+  meta.comp_len = payload.size();
+  meta.crc32 = Crc32(payload);
+  meta.first_event = events_in_run_ - buffer_.size();
+  FillBlockCoverage(buffer_, &meta);
+  meta.acks_cum = acks_cum_;
+  meta.arrives_cum = arrives_cum_;
+  meta.departs_cum = departs_cum_;
+  meta.detects_cum = detects_cum_;
+  meta.population_end = population_;
+
+  std::string head;
+  head.push_back(kBlockMarker);
+  wire::PutVarint(head, meta.raw_len);
+  wire::PutVarint(head, meta.comp_len);
+  if (std::fwrite(head.data(), 1, head.size(), file_) != head.size()) {
+    return "short write (block header)";
+  }
+  offset_ += head.size();
+  meta.offset = offset_;
+  if (std::fwrite(payload.data(), 1, payload.size(), file_) !=
+      payload.size()) {
+    return "short write (block payload)";
+  }
+  offset_ += payload.size();
+  blocks_.push_back(meta);
+  buffer_.clear();
+  return "";
+}
+
+std::string StoreWriter::EndRun() {
+  if (!run_open_) return error_;
+  if (error_.empty()) error_ = FlushBlock();
+  runs_.back().n_events = events_in_run_;
+  runs_.back().n_blocks = blocks_.size() - runs_.back().first_block;
+  run_open_ = false;
+  return error_;
+}
+
+std::string StoreWriter::Finish() {
+  if (finished_ || file_ == nullptr) return error_;
+  if (run_open_) EndRun();
+  finished_ = true;
+  if (error_.empty()) {
+    std::string footer;
+    footer.push_back(kFooterMarker);
+    wire::PutVarint(footer, runs_.size());
+    for (const StoredRun& run : runs_) {
+      wire::PutVarint(footer, run.header.run_index);
+      wire::PutVarint(footer, run.header.base_seed);
+      wire::PutVarint(footer, run.header.n_tags);
+      wire::PutVarint(footer, run.header.max_slots_per_tag);
+      wire::PutVarint(footer, run.header.protocol.size());
+      footer += run.header.protocol;
+      wire::PutVarint(footer, run.n_events);
+      wire::PutVarint(footer, run.first_block);
+      wire::PutVarint(footer, run.n_blocks);
+    }
+    wire::PutVarint(footer, blocks_.size());
+    for (const BlockMeta& meta : blocks_) PutBlockMeta(footer, meta);
+
+    std::string tail;
+    PutU64Le(tail, offset_);  // footer offset
+    PutU32Le(tail, Crc32(footer));
+    tail += kStoreEndMagic;
+    if (std::fwrite(footer.data(), 1, footer.size(), file_) != footer.size() ||
+        std::fwrite(tail.data(), 1, tail.size(), file_) != tail.size()) {
+      error_ = "short write (footer)";
+    }
+    offset_ += footer.size() + tail.size();
+  }
+  if (std::fclose(file_) != 0 && error_.empty()) {
+    error_ = "close failed (disk full?)";
+  }
+  file_ = nullptr;
+  return error_;
+}
+
+// ---- StoreReader -----------------------------------------------------------
+
+StoreReader::~StoreReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::string StoreReader::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "cannot open " + path;
+  char magic[8] = {};
+  const std::size_t got = std::fread(magic, 1, sizeof magic, f);
+  if (got == sizeof magic &&
+      std::string_view(magic, 8) == trace::kTraceMagic) {
+    // Legacy v1 uncompressed trace: slurp and index in one pass.
+    std::string bytes(magic, sizeof magic);
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+    std::fclose(f);
+    return OpenLegacy(std::move(bytes), path);
+  }
+  std::fclose(f);
+  if (got != sizeof magic || std::string_view(magic, 8) != kStoreMagic) {
+    return path + ": not an ANCSTORE or ANCTRACE file";
+  }
+  return OpenStore(path);
+}
+
+std::string StoreReader::OpenLegacy(std::string bytes,
+                                    const std::string& path) {
+  legacy_ = true;
+  legacy_bytes_ = std::move(bytes);
+  file_bytes_ = legacy_bytes_.size();
+  const std::string_view view = legacy_bytes_;
+  wire::Reader r{view, trace::kTraceMagic.size()};
+  const std::uint64_t version = r.Varint();
+  if (!r.ok) return path + ": truncated header";
+  if (version != trace::kTraceVersion) {
+    return path + ": unsupported trace version " + std::to_string(version);
+  }
+  // One streaming pass: decode each event to learn its span and coverage,
+  // retain only pseudo-block index entries (kLegacyBlockEvents each).
+  while (!r.AtEnd()) {
+    if (r.Byte() != 'R') {
+      return path + ": corrupt run marker at offset " +
+             std::to_string(r.pos - 1);
+    }
+    StoredRun run;
+    run.header.run_index = r.Varint();
+    run.header.base_seed = r.Varint();
+    run.header.n_tags = r.Varint();
+    run.header.max_slots_per_tag = r.Varint();
+    const std::uint64_t name_len = r.Varint();
+    if (!r.ok || r.pos + name_len > view.size()) {
+      return path + ": truncated run header at offset " +
+             std::to_string(r.pos);
+    }
+    run.header.protocol = std::string(view.substr(r.pos, name_len));
+    r.pos += name_len;
+    run.first_block = blocks_.size();
+    RunCounters counters;
+    std::vector<TraceEvent> pending;
+    std::size_t block_start = r.pos;
+    const auto flush = [&]() {
+      if (pending.empty()) return;
+      BlockMeta meta;
+      meta.run_ordinal = runs_.size();
+      meta.offset = block_start;
+      meta.raw_len = r.pos - block_start;
+      meta.comp_len = meta.raw_len;
+      meta.crc32 = Crc32(view.substr(block_start, r.pos - block_start));
+      meta.first_event = run.n_events - pending.size();
+      FillBlockCoverage(pending, &meta);
+      meta.acks_cum = counters.acks;
+      meta.arrives_cum = counters.arrives;
+      meta.departs_cum = counters.departs;
+      meta.detects_cum = counters.detects;
+      meta.population_end = counters.population;
+      blocks_.push_back(meta);
+      pending.clear();
+      block_start = r.pos;
+    };
+    for (;;) {
+      const std::size_t event_start = r.pos;
+      const std::uint8_t kind = r.Byte();
+      if (!r.ok) {
+        return path + ": unterminated run block at offset " +
+               std::to_string(r.pos);
+      }
+      if (kind == 0x00) {
+        // Exclude the terminator from the last pseudo-block's byte span.
+        r.pos = event_start;
+        flush();
+        r.pos = event_start + 1;
+        break;
+      }
+      TraceEvent e;
+      if (!trace::DecodeEvent(r, kind, &e)) {
+        return path + ": corrupt event at offset " + std::to_string(r.pos);
+      }
+      counters.Update(e);
+      ++run.n_events;
+      pending.push_back(e);
+      if (pending.size() >= kLegacyBlockEvents) flush();
+    }
+    run.n_blocks = blocks_.size() - run.first_block;
+    runs_.push_back(std::move(run));
+  }
+  cummax_frame_.resize(runs_.size());
+  for (std::size_t ri = 0; ri < runs_.size(); ++ri) {
+    std::uint64_t running = 0;
+    for (std::size_t b = 0; b < runs_[ri].n_blocks; ++b) {
+      running = std::max(running, blocks_[runs_[ri].first_block + b].max_frame);
+      cummax_frame_[ri].push_back(running);
+    }
+  }
+  return "";
+}
+
+std::string StoreReader::OpenStore(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) return "cannot open " + path;
+  std::fseek(file_, 0, SEEK_END);
+  const long end = std::ftell(file_);
+  if (end < 0) return path + ": cannot stat";
+  file_bytes_ = static_cast<std::uint64_t>(end);
+
+  // Fixed-size trailer first: it locates (and checksums) the footer, so a
+  // truncated file fails here instead of misparsing.
+  std::string header(kStoreMagic);
+  wire::PutVarint(header, kStoreVersion);
+  wire::PutVarint(header, trace::kTraceVersion);
+  if (file_bytes_ < header.size() + kTrailerBytes) {
+    return path + ": truncated store (no room for trailer)";
+  }
+  unsigned char tail[kTrailerBytes];
+  std::fseek(file_, end - static_cast<long>(kTrailerBytes), SEEK_SET);
+  if (std::fread(tail, 1, kTrailerBytes, file_) != kTrailerBytes) {
+    return path + ": short read (trailer)";
+  }
+  if (std::string_view(reinterpret_cast<const char*>(tail) + 12, 8) !=
+      kStoreEndMagic) {
+    return path + ": missing end magic (truncated or not finalized)";
+  }
+  const std::uint64_t footer_offset = GetU64Le(tail);
+  const std::uint32_t footer_crc = GetU32Le(tail + 8);
+  if (footer_offset < header.size() ||
+      footer_offset > file_bytes_ - kTrailerBytes) {
+    return path + ": footer offset " + std::to_string(footer_offset) +
+           " outside file";
+  }
+
+  // Verify the versioned header bytes match this build's format exactly.
+  char head_buf[16];
+  std::fseek(file_, 0, SEEK_SET);
+  if (header.size() > sizeof head_buf ||
+      std::fread(head_buf, 1, header.size(), file_) != header.size() ||
+      std::string_view(head_buf, header.size()) != header) {
+    return path + ": unsupported store header (version mismatch?)";
+  }
+
+  std::string footer(
+      static_cast<std::size_t>(file_bytes_ - kTrailerBytes - footer_offset),
+      '\0');
+  std::fseek(file_, static_cast<long>(footer_offset), SEEK_SET);
+  if (std::fread(footer.data(), 1, footer.size(), file_) != footer.size()) {
+    return path + ": short read (footer)";
+  }
+  if (Crc32(footer) != footer_crc) {
+    return path + ": footer CRC mismatch (corrupt index)";
+  }
+
+  wire::Reader r{footer};
+  if (r.Byte() != kFooterMarker) return path + ": bad footer marker";
+  const std::uint64_t n_runs = r.Varint();
+  if (!r.ok || n_runs > footer.size()) return path + ": corrupt footer";
+  runs_.reserve(static_cast<std::size_t>(n_runs));
+  for (std::uint64_t i = 0; i < n_runs; ++i) {
+    StoredRun run;
+    run.header.run_index = r.Varint();
+    run.header.base_seed = r.Varint();
+    run.header.n_tags = r.Varint();
+    run.header.max_slots_per_tag = r.Varint();
+    const std::uint64_t name_len = r.Varint();
+    if (!r.ok || r.pos + name_len > footer.size()) {
+      return path + ": corrupt footer (run " + std::to_string(i) + ")";
+    }
+    run.header.protocol =
+        std::string(std::string_view(footer).substr(r.pos, name_len));
+    r.pos += name_len;
+    run.n_events = r.Varint();
+    run.first_block = static_cast<std::size_t>(r.Varint());
+    run.n_blocks = static_cast<std::size_t>(r.Varint());
+    if (!r.ok) return path + ": corrupt footer (run " + std::to_string(i) + ")";
+    runs_.push_back(std::move(run));
+  }
+  const std::uint64_t n_blocks = r.Varint();
+  if (!r.ok || n_blocks > footer.size()) return path + ": corrupt footer";
+  blocks_.reserve(static_cast<std::size_t>(n_blocks));
+  for (std::uint64_t i = 0; i < n_blocks; ++i) {
+    BlockMeta meta;
+    if (!GetBlockMeta(r, &meta)) {
+      return path + ": corrupt footer (block " + std::to_string(i) + ")";
+    }
+    if (meta.run_ordinal >= runs_.size()) {
+      return path + ": block " + std::to_string(i) + " references run " +
+             std::to_string(meta.run_ordinal) + " of " +
+             std::to_string(runs_.size());
+    }
+    if (meta.offset < header.size() || meta.comp_len > footer_offset ||
+        meta.offset > footer_offset - meta.comp_len) {
+      return path + ": block " + std::to_string(i) +
+             " points outside the data region";
+    }
+    if (meta.raw_len > kMaxBlockRawLen || meta.comp_len > meta.raw_len ||
+        meta.n_events == 0) {
+      return path + ": block " + std::to_string(i) + " has implausible sizes";
+    }
+    blocks_.push_back(meta);
+  }
+  if (!r.AtEnd()) return path + ": trailing bytes after footer";
+  for (const StoredRun& run : runs_) {
+    if (run.first_block > blocks_.size() ||
+        run.n_blocks > blocks_.size() - run.first_block) {
+      return path + ": run block range outside index";
+    }
+  }
+  cummax_frame_.resize(runs_.size());
+  for (std::size_t ri = 0; ri < runs_.size(); ++ri) {
+    std::uint64_t running = 0;
+    for (std::size_t b = 0; b < runs_[ri].n_blocks; ++b) {
+      running = std::max(running, blocks_[runs_[ri].first_block + b].max_frame);
+      cummax_frame_[ri].push_back(running);
+    }
+  }
+  return "";
+}
+
+std::string StoreReader::ReadBlock(std::size_t index,
+                                   std::vector<trace::TraceEvent>* out) {
+  out->clear();
+  if (index >= blocks_.size()) {
+    return "block index " + std::to_string(index) + " out of range";
+  }
+  const BlockMeta& meta = blocks_[index];
+  const auto tag = [&](const std::string& what) {
+    return "block " + std::to_string(index) + ": " + what;
+  };
+  std::string payload;
+  if (legacy_) {
+    payload = legacy_bytes_.substr(static_cast<std::size_t>(meta.offset),
+                                   static_cast<std::size_t>(meta.comp_len));
+  } else {
+    payload.resize(static_cast<std::size_t>(meta.comp_len));
+    std::fseek(file_, static_cast<long>(meta.offset), SEEK_SET);
+    if (std::fread(payload.data(), 1, payload.size(), file_) !=
+        payload.size()) {
+      return tag("short read");
+    }
+  }
+  if (Crc32(payload) != meta.crc32) {
+    return tag("payload CRC mismatch (corrupt data)");
+  }
+  if (legacy_) {
+    // Pseudo-block over v1 row-format bytes: decode events directly.
+    wire::Reader r{payload};
+    out->reserve(static_cast<std::size_t>(meta.n_events));
+    for (std::uint64_t i = 0; i < meta.n_events; ++i) {
+      const std::uint8_t kind = r.Byte();
+      trace::TraceEvent e;
+      if (!r.ok || !trace::DecodeEvent(r, kind, &e)) {
+        return tag("corrupt v1 event");
+      }
+      out->push_back(e);
+    }
+    if (!r.AtEnd()) return tag("trailing bytes in v1 block");
+    return "";
+  }
+  std::string raw;
+  if (meta.comp_len == meta.raw_len) {
+    raw = std::move(payload);
+  } else {
+    const std::string err =
+        LzDecompress(payload, static_cast<std::size_t>(meta.raw_len), &raw);
+    if (!err.empty()) return tag(err);
+  }
+  const std::string err = DecodeBlockPayload(raw, meta.n_events, out);
+  return err.empty() ? "" : tag(err);
+}
+
+std::size_t StoreReader::FindBlockForFrame(std::size_t run_ordinal,
+                                           std::uint64_t frame) const {
+  if (run_ordinal >= runs_.size()) return kNoBlock;
+  const auto& cummax = cummax_frame_[run_ordinal];
+  const auto it = std::lower_bound(cummax.begin(), cummax.end(), frame);
+  if (it == cummax.end()) return kNoBlock;
+  return runs_[run_ordinal].first_block +
+         static_cast<std::size_t>(it - cummax.begin());
+}
+
+std::string StoreReader::ReadAll(trace::TraceFile* out) {
+  out->runs.clear();
+  out->runs.reserve(runs_.size());
+  for (std::size_t ri = 0; ri < runs_.size(); ++ri) {
+    trace::RunTrace run;
+    run.header = runs_[ri].header;
+    run.events.reserve(static_cast<std::size_t>(runs_[ri].n_events));
+    std::vector<trace::TraceEvent> events;
+    for (std::size_t b = 0; b < runs_[ri].n_blocks; ++b) {
+      const std::string err = ReadBlock(runs_[ri].first_block + b, &events);
+      if (!err.empty()) return err;
+      run.events.insert(run.events.end(), events.begin(), events.end());
+    }
+    if (run.events.size() != runs_[ri].n_events) {
+      return "run " + std::to_string(ri) + " decoded " +
+             std::to_string(run.events.size()) + " events, index says " +
+             std::to_string(runs_[ri].n_events);
+    }
+    out->runs.push_back(std::move(run));
+  }
+  return "";
+}
+
+// ---- Conveniences ----------------------------------------------------------
+
+std::string WriteStoreFile(const std::string& path,
+                           const trace::TraceFile& file,
+                           const StoreWriterOptions& options) {
+  StoreWriter writer;
+  const std::string err = writer.Open(path, options);
+  if (!err.empty()) return err;
+  for (const trace::RunTrace& run : file.runs) {
+    writer.BeginRun(run.header);
+    for (const trace::TraceEvent& e : run.events) writer.Add(e);
+    writer.EndRun();
+  }
+  return writer.Finish();
+}
+
+std::string ReadStoreFile(const std::string& path, trace::TraceFile* out) {
+  StoreReader reader;
+  const std::string err = reader.Open(path);
+  if (!err.empty()) return err;
+  return reader.ReadAll(out);
+}
+
+}  // namespace anc::store

@@ -1,0 +1,221 @@
+// Block-based compressed trace container ("ANCSTORE"): the storage layer
+// that makes 100k-slot soak traces recordable, seekable and queryable
+// without ever holding a whole file (or a whole run) in memory.
+//
+// On-disk layout:
+//   file    := magic[8]="ANCSTORE" varint(store_version)
+//              varint(trace_version) block* footer trailer
+//   block   := 'B' varint(raw_len) varint(comp_len) payload[comp_len]
+//   footer  := 'F' varint(n_runs) runmeta* varint(n_blocks) blockmeta*
+//   trailer := u64le(footer_offset) u32le(crc32(footer)) magic[8]="ANCSEND1"
+//
+// Block payloads wrap the versioned varint event codec (trace/binary.h)
+// in a column-major transform: one column of kind bytes, then the
+// reader / slot-delta / frame-delta columns, then one column per
+// (kind, field) pair of the shared schema. Slot/frame (and the
+// cumulative elapsed_us clocks, per kind) are zigzag delta-encoded with
+// chains that reset at the block boundary, so every block decodes
+// independently. The columnar bytes then go through the self-contained
+// LZ compressor (store/lz.h); a block that does not shrink is stored
+// raw (comp_len == raw_len).
+//
+// The footer indexes every block with its (run, frame, slot) coverage
+// plus cumulative per-run counters (acks, arrivals, departures,
+// detections, live population), which is what lets the query layer
+// (store/query.h) answer summary/timeseries/epoch-window questions from
+// the index plus O(1) block decodes — seek-to-frame is a binary search
+// over the per-run running-max frame, O(log n_blocks).
+//
+// Integrity: the trailer carries a CRC over the footer and every block
+// carries a CRC over its stored payload. Truncation, bit flips and
+// index entries pointing outside the data region are all rejected at
+// Open()/ReadBlock() — a corrupt container never misparses into
+// plausible events.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/binary.h"
+#include "trace/sink.h"
+
+namespace anc::store {
+
+inline constexpr std::string_view kStoreMagic = "ANCSTORE";
+inline constexpr std::string_view kStoreEndMagic = "ANCSEND1";
+inline constexpr std::uint64_t kStoreVersion = 1;
+inline constexpr std::size_t kNoBlock = static_cast<std::size_t>(-1);
+
+struct StoreWriterOptions {
+  // Events buffered per block before a flush; the writer's working
+  // memory is O(block_events), independent of run length.
+  std::size_t block_events = 4096;
+  // Off stores every block raw (comp_len == raw_len) — the debug and
+  // ratio-baseline path.
+  bool compress = true;
+};
+
+// Footer index entry for one block.
+struct BlockMeta {
+  std::uint64_t run_ordinal = 0;  // index into runs()
+  std::uint64_t offset = 0;       // file offset of the stored payload
+  std::uint64_t raw_len = 0;      // columnar bytes before compression
+  std::uint64_t comp_len = 0;     // stored bytes (== raw_len: stored raw)
+  std::uint32_t crc32 = 0;        // CRC over the stored payload
+  std::uint64_t first_event = 0;  // event index within the run
+  std::uint64_t n_events = 0;
+  std::uint64_t min_frame = 0, max_frame = 0;
+  std::uint64_t first_slot = 0, last_slot = 0;
+  // Cumulative per-run counters at the END of this block (query seeds).
+  std::uint64_t acks_cum = 0;     // over-the-air reads so far
+  std::uint64_t arrives_cum = 0;
+  std::uint64_t departs_cum = 0;
+  std::uint64_t detects_cum = 0;
+  std::uint64_t population_end = 0;  // live population after last churn
+};
+
+struct StoredRun {
+  trace::RunHeader header;
+  std::uint64_t n_events = 0;
+  std::size_t first_block = 0;
+  std::size_t n_blocks = 0;
+};
+
+// Streaming writer: BeginRun/Add/EndRun/Finish. Keeps one block of
+// events plus the (small) index in memory; Finish() writes footer and
+// trailer. All errors latch into the returned strings; after a failed
+// call the writer is inert.
+class StoreWriter {
+ public:
+  StoreWriter() = default;
+  ~StoreWriter();
+  StoreWriter(const StoreWriter&) = delete;
+  StoreWriter& operator=(const StoreWriter&) = delete;
+
+  std::string Open(const std::string& path,
+                   const StoreWriterOptions& options = {});
+  void BeginRun(const trace::RunHeader& header);
+  void Add(const trace::TraceEvent& event);
+  std::string EndRun();
+  // Flushes, writes footer + trailer, closes. Returns "" on success.
+  std::string Finish();
+
+  const std::vector<StoredRun>& runs() const { return runs_; }
+  const std::vector<BlockMeta>& blocks() const { return blocks_; }
+  std::uint64_t bytes_written() const { return offset_; }
+
+ private:
+  std::string FlushBlock();
+
+  std::FILE* file_ = nullptr;
+  StoreWriterOptions options_;
+  std::vector<StoredRun> runs_;
+  std::vector<BlockMeta> blocks_;
+  std::vector<trace::TraceEvent> buffer_;
+  bool run_open_ = false;
+  bool finished_ = false;
+  std::uint64_t offset_ = 0;
+  std::uint64_t events_in_run_ = 0;
+  // Cumulative per-run counters (see BlockMeta).
+  std::uint64_t acks_cum_ = 0, arrives_cum_ = 0, departs_cum_ = 0,
+                detects_cum_ = 0, population_ = 0;
+  std::string error_;
+};
+
+// TraceSink adapter: lets a soak recording stream straight into a store
+// (bench_soak --trace with --store=compressed). Call Finish() when the
+// experiment is done; errors latch into error().
+class StoreFileSink final : public trace::TraceSink {
+ public:
+  StoreFileSink(const std::string& path,
+                const StoreWriterOptions& options = {}) {
+    error_ = writer_.Open(path, options);
+  }
+
+  void BeginRun(const trace::RunHeader& header) override {
+    writer_.BeginRun(header);
+  }
+  void OnEvent(const trace::TraceEvent& event) override {
+    writer_.Add(event);
+  }
+  void EndRun() override { Latch(writer_.EndRun()); }
+  std::string Finish() {
+    Latch(writer_.Finish());
+    return error_;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  void Latch(const std::string& err) {
+    if (error_.empty() && !err.empty()) error_ = err;
+  }
+
+  StoreWriter writer_;
+  std::string error_;
+};
+
+// Indexed reader over a store file — or, backward-compatibly, over a v1
+// uncompressed "ANCTRACE" file, which Open() indexes in one streaming
+// pass into the same pseudo-block shape (events are decoded on demand,
+// never retained). Blocks decode independently; a Reader instance is
+// single-threaded (open one per concurrent reader).
+class StoreReader {
+ public:
+  StoreReader() = default;
+  ~StoreReader();
+  StoreReader(const StoreReader&) = delete;
+  StoreReader& operator=(const StoreReader&) = delete;
+
+  std::string Open(const std::string& path);
+
+  bool legacy() const { return legacy_; }
+  std::uint64_t file_bytes() const { return file_bytes_; }
+  const std::vector<StoredRun>& runs() const { return runs_; }
+  const std::vector<BlockMeta>& blocks() const { return blocks_; }
+
+  // Decodes one block (CRC-verified). Returns "" on success.
+  std::string ReadBlock(std::size_t index,
+                        std::vector<trace::TraceEvent>* out);
+
+  // First block of `run_ordinal` that can contain an event of `frame`
+  // (binary search over running-max frame). kNoBlock when the frame is
+  // beyond the run's last event.
+  std::size_t FindBlockForFrame(std::size_t run_ordinal,
+                                std::uint64_t frame) const;
+
+  // Full decode, for round-trip verification and format conversion.
+  std::string ReadAll(trace::TraceFile* out);
+
+ private:
+  std::string OpenLegacy(std::string bytes, const std::string& path);
+  std::string OpenStore(const std::string& path);
+
+  std::FILE* file_ = nullptr;   // store mode
+  std::string legacy_bytes_;    // legacy mode: raw v1 file bytes
+  bool legacy_ = false;
+  std::vector<StoredRun> runs_;
+  std::vector<BlockMeta> blocks_;
+  // Per run: running max frame per block, the seek search structure.
+  std::vector<std::vector<std::uint64_t>> cummax_frame_;
+  std::uint64_t file_bytes_ = 0;
+};
+
+// Columnar block payload codec (exposed for tests). Decode validates
+// that exactly `expect_events` events are present and the payload is
+// fully consumed.
+std::string EncodeBlockPayload(const std::vector<trace::TraceEvent>& events);
+std::string DecodeBlockPayload(std::string_view raw,
+                               std::uint64_t expect_events,
+                               std::vector<trace::TraceEvent>* out);
+
+// One-shot conveniences (compress / decompress whole files).
+std::string WriteStoreFile(const std::string& path,
+                           const trace::TraceFile& file,
+                           const StoreWriterOptions& options = {});
+std::string ReadStoreFile(const std::string& path, trace::TraceFile* out);
+
+}  // namespace anc::store

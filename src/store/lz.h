@@ -1,0 +1,37 @@
+// Self-contained LZ77 byte compressor for trace-store blocks.
+//
+// Token format (LZ4-flavoured, not LZ4-compatible):
+//   sequence := token[1] literal_ext* literals[L] (offset[2] match_ext*)?
+//   token    := (L:4 | M:4) — L literals follow; a match of M+4 bytes at
+//               distance `offset` (little-endian, 1..65535) follows the
+//               literals. Nibble value 15 extends with 255-run bytes.
+//   The final sequence of a block carries literals only (the stream ends
+//   after them); minimum match length is 4.
+//
+// The compressor uses hash chains (depth-capped) with one-step lazy
+// matching over a 64 KiB window. Output depends only on the input bytes —
+// no timestamps, addresses or platform-dependent hashing — so compressed
+// blocks are byte-stable across compilers and machines, which the
+// golden-store CI jobs rely on.
+//
+// Decompression is fully bounds-checked and fails closed: any truncated
+// token, out-of-range offset or length mismatch against `raw_len` returns
+// an error instead of partial output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace anc::store {
+
+// Compresses `raw`. The result never exceeds raw.size() + raw.size()/255
+// + 16; callers store the input uncompressed when that is not a win.
+std::string LzCompress(std::string_view raw);
+
+// Decompresses `comp` into exactly `raw_len` bytes. Returns "" on
+// success, else a human-readable error ("truncated literals at ...").
+std::string LzDecompress(std::string_view comp, std::size_t raw_len,
+                         std::string* out);
+
+}  // namespace anc::store

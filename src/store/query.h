@@ -1,0 +1,73 @@
+// Index-backed queries over an opened StoreReader: the `trace_inspect
+// query`/`serve` answer path. Summarize() and BlockTimeseriesCsv() read
+// only the footer index — zero block decodes regardless of trace size.
+// The window queries decode just the blocks that can overlap the request:
+// a frame window starts at FindBlockForFrame (O(log n) seek) and stops at
+// the first frame past the window; an epoch window stops at the first
+// epoch past the window. Both seed their cumulative counters from the
+// preceding block's footer entry instead of replaying the run prefix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/container.h"
+
+namespace anc::store {
+
+struct RunSummary {
+  std::size_t run_ordinal = 0;
+  trace::RunHeader header;
+  std::uint64_t n_events = 0;
+  std::uint64_t n_blocks = 0;
+  std::uint64_t stored_bytes = 0;  // block payload bytes on disk
+  std::uint64_t raw_bytes = 0;     // block payload bytes before compression
+  std::uint64_t max_frame = 0;
+  std::uint64_t last_slot = 0;
+  // Final cumulative counters (last block's footer entry).
+  std::uint64_t acks = 0, arrives = 0, departs = 0, detects = 0;
+  std::uint64_t final_population = 0;
+};
+
+struct StoreSummary {
+  bool legacy = false;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t n_events = 0;
+  std::uint64_t stored_bytes = 0;
+  std::uint64_t raw_bytes = 0;
+  std::vector<RunSummary> runs;
+};
+
+// Pure index walk (no block decodes).
+StoreSummary Summarize(const StoreReader& reader);
+
+// Block-granularity timeseries for one run, straight from the index:
+// one CSV row per block with frame/slot coverage, event count, and the
+// per-block deltas of the cumulative counters. Header row included.
+std::string BlockTimeseriesCsv(const StoreReader& reader,
+                               std::size_t run_ordinal);
+
+// Cumulative counters in force just before a window's first block — the
+// footer entry of the preceding block (all zero at the start of a run).
+struct WindowSeed {
+  std::uint64_t acks = 0, arrives = 0, departs = 0, detects = 0,
+                population = 0;
+};
+
+// Events of `run_ordinal` whose frame lies in [frame_lo, frame_hi]
+// (frame-bearing kinds only; kEpoch uses epoch numbering and kTdmaSlot/
+// kRunEnd carry no frame, so those kinds are excluded). Decodes only the
+// overlapping blocks. Returns "" on success.
+std::string QueryFrameWindow(StoreReader& reader, std::size_t run_ordinal,
+                             std::uint64_t frame_lo, std::uint64_t frame_hi,
+                             std::vector<trace::TraceEvent>* out,
+                             WindowSeed* seed);
+
+// kEpoch events of `run_ordinal` with epoch index in [epoch_lo, epoch_hi].
+// Stops decoding at the first epoch past the window. Returns "" on success.
+std::string QueryEpochWindow(StoreReader& reader, std::size_t run_ordinal,
+                             std::uint64_t epoch_lo, std::uint64_t epoch_hi,
+                             std::vector<trace::TraceEvent>* out);
+
+}  // namespace anc::store

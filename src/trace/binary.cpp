@@ -3,10 +3,8 @@
 #include <cstdio>
 
 namespace anc::trace {
-namespace {
 
-constexpr char kRunMarker = 'R';
-constexpr char kEndOfRun = 0x00;
+namespace wire {
 
 void PutVarint(std::string& out, std::uint64_t v) {
   while (v >= 0x80) {
@@ -20,201 +18,277 @@ void PutByte(std::string& out, std::uint8_t b) {
   out.push_back(static_cast<char>(b));
 }
 
-// Cursor over the input with error state; decode helpers return 0 on
-// underflow and latch `ok = false` so callers can check once per unit.
-struct Reader {
-  std::string_view bytes;
-  std::size_t pos = 0;
-  bool ok = true;
+}  // namespace wire
 
-  bool AtEnd() const { return pos >= bytes.size(); }
+namespace {
 
-  std::uint8_t Byte() {
-    if (AtEnd()) {
-      ok = false;
-      return 0;
-    }
-    return static_cast<std::uint8_t>(bytes[pos++]);
-  }
+constexpr char kRunMarker = 'R';
+constexpr char kEndOfRun = 0x00;
 
-  std::uint64_t Varint() {
-    std::uint64_t v = 0;
-    for (int shift = 0; shift < 64; shift += 7) {
-      const std::uint8_t b = Byte();
-      if (!ok) return 0;
-      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
-      if ((b & 0x80) == 0) return v;
-    }
-    ok = false;  // varint longer than 64 bits
-    return 0;
-  }
+using Type = FieldSpec::Type;
+
+// Per-kind payload schemas, wire order. This table *is* the v1 format:
+// EncodeEvent/DecodeEvent below and the store's columnar block codec all
+// walk it, so a new event kind (or field) is added here exactly once.
+constexpr FieldSpec kSlotFields[] = {
+    {Type::kByte, 2, false},     // outcome
+    {Type::kVarint, 0, false},   // responders
 };
-
-void EncodeEvent(std::string& out, const TraceEvent& e) {
-  PutByte(out, static_cast<std::uint8_t>(e.kind));
-  PutVarint(out, e.reader);
-  PutVarint(out, e.slot);
-  PutVarint(out, e.frame);
-  switch (e.kind) {
-    case EventKind::kSlot:
-      PutByte(out, static_cast<std::uint8_t>(e.outcome));
-      PutVarint(out, e.responders);
-      break;
-    case EventKind::kFrame:
-      PutVarint(out, e.n_c);
-      PutVarint(out, e.record);
-      PutVarint(out, e.estimate_q8);
-      PutVarint(out, e.elapsed_us);
-      break;
-    case EventKind::kRecordOpen:
-      PutVarint(out, e.record);
-      break;
-    case EventKind::kRecordResolve:
-      PutVarint(out, e.record);
-      PutVarint(out, e.id_digest);
-      PutByte(out, e.cascade ? 1 : 0);
-      break;
-    case EventKind::kAck:
-      PutByte(out, static_cast<std::uint8_t>(e.ack));
-      PutVarint(out, e.id_digest);
-      break;
-    case EventKind::kInject:
-      PutVarint(out, e.id_digest);
-      break;
-    case EventKind::kTdmaSlot:
-      PutVarint(out, e.responders);
-      break;
-    case EventKind::kRunEnd:
-      PutVarint(out, e.record);
-      PutVarint(out, e.n_c);
-      PutVarint(out, e.estimate_q8);
-      PutVarint(out, e.elapsed_us);
-      break;
-    case EventKind::kFault:
-      PutByte(out, static_cast<std::uint8_t>(e.fault));
-      PutVarint(out, e.record);
-      PutVarint(out, e.n_c);
-      break;
-    case EventKind::kArrive:
-      PutVarint(out, e.id_digest);
-      PutVarint(out, e.n_c);
-      break;
-    case EventKind::kDepart:
-      PutVarint(out, e.id_digest);
-      PutVarint(out, e.n_c);
-      PutByte(out, e.estimate_q8 ? 1 : 0);
-      break;
-    case EventKind::kDetect:
-      PutVarint(out, e.id_digest);
-      PutVarint(out, e.n_c);
-      PutByte(out, e.cascade ? 1 : 0);
-      break;
-    case EventKind::kEpoch:
-      PutVarint(out, e.n_c);
-      PutVarint(out, e.record);
-      PutVarint(out, e.responders);
-      PutVarint(out, e.estimate_q8);
-      PutVarint(out, e.elapsed_us);
-      break;
-  }
-}
-
-bool DecodeEvent(Reader& r, std::uint8_t kind_byte, TraceEvent* e) {
-  if (kind_byte < 1 || kind_byte > 13) return false;
-  e->kind = static_cast<EventKind>(kind_byte);
-  e->reader = static_cast<std::uint32_t>(r.Varint());
-  e->slot = r.Varint();
-  e->frame = r.Varint();
-  switch (e->kind) {
-    case EventKind::kSlot: {
-      const std::uint8_t outcome = r.Byte();
-      if (outcome > 2) return false;
-      e->outcome = static_cast<SlotOutcome>(outcome);
-      e->responders = static_cast<std::uint32_t>(r.Varint());
-      break;
-    }
-    case EventKind::kFrame:
-      e->n_c = r.Varint();
-      e->record = r.Varint();
-      e->estimate_q8 = r.Varint();
-      e->elapsed_us = r.Varint();
-      break;
-    case EventKind::kRecordOpen:
-      e->record = r.Varint();
-      break;
-    case EventKind::kRecordResolve:
-      e->record = r.Varint();
-      e->id_digest = r.Varint();
-      e->cascade = r.Byte() != 0;
-      break;
-    case EventKind::kAck: {
-      const std::uint8_t ack = r.Byte();
-      if (ack > 5) return false;
-      e->ack = static_cast<AckKind>(ack);
-      e->id_digest = r.Varint();
-      break;
-    }
-    case EventKind::kInject:
-      e->id_digest = r.Varint();
-      break;
-    case EventKind::kTdmaSlot:
-      e->responders = static_cast<std::uint32_t>(r.Varint());
-      break;
-    case EventKind::kRunEnd:
-      e->record = r.Varint();
-      e->n_c = r.Varint();
-      e->estimate_q8 = r.Varint();
-      e->elapsed_us = r.Varint();
-      break;
-    case EventKind::kFault: {
-      const std::uint8_t fault = r.Byte();
-      if (fault > 8) return false;
-      e->fault = static_cast<FaultKind>(fault);
-      e->record = r.Varint();
-      e->n_c = r.Varint();
-      break;
-    }
-    case EventKind::kArrive:
-      e->id_digest = r.Varint();
-      e->n_c = r.Varint();
-      break;
-    case EventKind::kDepart:
-      e->id_digest = r.Varint();
-      e->n_c = r.Varint();
-      e->estimate_q8 = r.Byte() != 0 ? 1 : 0;
-      break;
-    case EventKind::kDetect:
-      e->id_digest = r.Varint();
-      e->n_c = r.Varint();
-      e->cascade = r.Byte() != 0;
-      break;
-    case EventKind::kEpoch:
-      e->n_c = r.Varint();
-      e->record = r.Varint();
-      e->responders = static_cast<std::uint32_t>(r.Varint());
-      e->estimate_q8 = r.Varint();
-      e->elapsed_us = r.Varint();
-      break;
-  }
-  return r.ok;
-}
+constexpr FieldSpec kFrameFields[] = {
+    {Type::kVarint, 0, false},   // n_c
+    {Type::kVarint, 0, false},   // record (open records)
+    {Type::kVarint, 0, false},   // estimate_q8
+    {Type::kVarint, 0, true},    // elapsed_us (cumulative clock)
+};
+constexpr FieldSpec kRecordOpenFields[] = {
+    {Type::kVarint, 0, false},   // record
+};
+constexpr FieldSpec kRecordResolveFields[] = {
+    {Type::kVarint, 0, false},   // record
+    {Type::kVarint, 0, false},   // id_digest
+    {Type::kByte, 1, false},     // cascade
+};
+constexpr FieldSpec kAckFields[] = {
+    {Type::kByte, 5, false},     // ack
+    {Type::kVarint, 0, false},   // id_digest
+};
+constexpr FieldSpec kInjectFields[] = {
+    {Type::kVarint, 0, false},   // id_digest
+};
+constexpr FieldSpec kTdmaSlotFields[] = {
+    {Type::kVarint, 0, false},   // responders (active readers)
+};
+constexpr FieldSpec kRunEndFields[] = {
+    {Type::kVarint, 0, false},   // record (tags_read)
+    {Type::kVarint, 0, false},   // n_c (unresolved)
+    {Type::kVarint, 0, false},   // estimate_q8 (capped flag)
+    {Type::kVarint, 0, true},    // elapsed_us (cumulative clock)
+};
+constexpr FieldSpec kFaultFields[] = {
+    {Type::kByte, 8, false},     // fault sub-kind
+    {Type::kVarint, 0, false},   // record
+    {Type::kVarint, 0, false},   // n_c (aux)
+};
+constexpr FieldSpec kArriveFields[] = {
+    {Type::kVarint, 0, false},   // id_digest
+    {Type::kVarint, 0, false},   // n_c (population)
+};
+constexpr FieldSpec kDepartFields[] = {
+    {Type::kVarint, 0, false},   // id_digest
+    {Type::kVarint, 0, false},   // n_c (population)
+    {Type::kByte, 1, false},     // estimate_q8 (missed flag)
+};
+constexpr FieldSpec kDetectFields[] = {
+    {Type::kVarint, 0, false},   // id_digest
+    {Type::kVarint, 0, false},   // n_c (latency)
+    {Type::kByte, 1, false},     // cascade (ghost flag)
+};
+constexpr FieldSpec kEpochFields[] = {
+    {Type::kVarint, 0, false},   // n_c (population)
+    {Type::kVarint, 0, false},   // record (detected)
+    {Type::kVarint, 0, false},   // responders (ghosts)
+    {Type::kVarint, 0, false},   // estimate_q8 (staleness p99)
+    {Type::kVarint, 0, true},    // elapsed_us (cumulative clock)
+};
 
 std::string FileHeaderBytes() {
   std::string out(kTraceMagic);
-  PutVarint(out, kTraceVersion);
+  wire::PutVarint(out, kTraceVersion);
   return out;
 }
 
 }  // namespace
 
+std::span<const FieldSpec> EventFields(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSlot: return kSlotFields;
+    case EventKind::kFrame: return kFrameFields;
+    case EventKind::kRecordOpen: return kRecordOpenFields;
+    case EventKind::kRecordResolve: return kRecordResolveFields;
+    case EventKind::kAck: return kAckFields;
+    case EventKind::kInject: return kInjectFields;
+    case EventKind::kTdmaSlot: return kTdmaSlotFields;
+    case EventKind::kRunEnd: return kRunEndFields;
+    case EventKind::kFault: return kFaultFields;
+    case EventKind::kArrive: return kArriveFields;
+    case EventKind::kDepart: return kDepartFields;
+    case EventKind::kDetect: return kDetectFields;
+    case EventKind::kEpoch: return kEpochFields;
+  }
+  return {};
+}
+
+bool ValidEventKind(std::uint8_t kind_byte) {
+  return kind_byte >= static_cast<std::uint8_t>(EventKind::kSlot) &&
+         kind_byte <= static_cast<std::uint8_t>(EventKind::kEpoch);
+}
+
+std::uint64_t GetEventField(const TraceEvent& e, std::size_t index) {
+  switch (e.kind) {
+    case EventKind::kSlot:
+      return index == 0 ? static_cast<std::uint64_t>(e.outcome) : e.responders;
+    case EventKind::kFrame: {
+      const std::uint64_t v[] = {e.n_c, e.record, e.estimate_q8, e.elapsed_us};
+      return v[index];
+    }
+    case EventKind::kRecordOpen:
+      return e.record;
+    case EventKind::kRecordResolve: {
+      const std::uint64_t v[] = {e.record, e.id_digest,
+                                 e.cascade ? 1ull : 0ull};
+      return v[index];
+    }
+    case EventKind::kAck:
+      return index == 0 ? static_cast<std::uint64_t>(e.ack) : e.id_digest;
+    case EventKind::kInject:
+      return e.id_digest;
+    case EventKind::kTdmaSlot:
+      return e.responders;
+    case EventKind::kRunEnd: {
+      const std::uint64_t v[] = {e.record, e.n_c, e.estimate_q8, e.elapsed_us};
+      return v[index];
+    }
+    case EventKind::kFault: {
+      const std::uint64_t v[] = {static_cast<std::uint64_t>(e.fault), e.record,
+                                 e.n_c};
+      return v[index];
+    }
+    case EventKind::kArrive:
+      return index == 0 ? e.id_digest : e.n_c;
+    case EventKind::kDepart: {
+      const std::uint64_t v[] = {e.id_digest, e.n_c,
+                                 e.estimate_q8 ? 1ull : 0ull};
+      return v[index];
+    }
+    case EventKind::kDetect: {
+      const std::uint64_t v[] = {e.id_digest, e.n_c, e.cascade ? 1ull : 0ull};
+      return v[index];
+    }
+    case EventKind::kEpoch: {
+      const std::uint64_t v[] = {e.n_c, e.record, e.responders, e.estimate_q8,
+                                 e.elapsed_us};
+      return v[index];
+    }
+  }
+  return 0;
+}
+
+void SetEventField(TraceEvent& e, std::size_t index, std::uint64_t value) {
+  switch (e.kind) {
+    case EventKind::kSlot:
+      if (index == 0) e.outcome = static_cast<SlotOutcome>(value);
+      else e.responders = static_cast<std::uint32_t>(value);
+      return;
+    case EventKind::kFrame:
+      switch (index) {
+        case 0: e.n_c = value; return;
+        case 1: e.record = value; return;
+        case 2: e.estimate_q8 = value; return;
+        default: e.elapsed_us = value; return;
+      }
+    case EventKind::kRecordOpen:
+      e.record = value;
+      return;
+    case EventKind::kRecordResolve:
+      switch (index) {
+        case 0: e.record = value; return;
+        case 1: e.id_digest = value; return;
+        default: e.cascade = value != 0; return;
+      }
+    case EventKind::kAck:
+      if (index == 0) e.ack = static_cast<AckKind>(value);
+      else e.id_digest = value;
+      return;
+    case EventKind::kInject:
+      e.id_digest = value;
+      return;
+    case EventKind::kTdmaSlot:
+      e.responders = static_cast<std::uint32_t>(value);
+      return;
+    case EventKind::kRunEnd:
+      switch (index) {
+        case 0: e.record = value; return;
+        case 1: e.n_c = value; return;
+        case 2: e.estimate_q8 = value; return;
+        default: e.elapsed_us = value; return;
+      }
+    case EventKind::kFault:
+      switch (index) {
+        case 0: e.fault = static_cast<FaultKind>(value); return;
+        case 1: e.record = value; return;
+        default: e.n_c = value; return;
+      }
+    case EventKind::kArrive:
+      if (index == 0) e.id_digest = value;
+      else e.n_c = value;
+      return;
+    case EventKind::kDepart:
+      switch (index) {
+        case 0: e.id_digest = value; return;
+        case 1: e.n_c = value; return;
+        default: e.estimate_q8 = value != 0 ? 1 : 0; return;
+      }
+    case EventKind::kDetect:
+      switch (index) {
+        case 0: e.id_digest = value; return;
+        case 1: e.n_c = value; return;
+        default: e.cascade = value != 0; return;
+      }
+    case EventKind::kEpoch:
+      switch (index) {
+        case 0: e.n_c = value; return;
+        case 1: e.record = value; return;
+        case 2: e.responders = static_cast<std::uint32_t>(value); return;
+        case 3: e.estimate_q8 = value; return;
+        default: e.elapsed_us = value; return;
+      }
+  }
+}
+
+void EncodeEvent(std::string& out, const TraceEvent& e) {
+  wire::PutByte(out, static_cast<std::uint8_t>(e.kind));
+  wire::PutVarint(out, e.reader);
+  wire::PutVarint(out, e.slot);
+  wire::PutVarint(out, e.frame);
+  const auto fields = EventFields(e.kind);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const std::uint64_t v = GetEventField(e, i);
+    if (fields[i].type == Type::kByte) {
+      wire::PutByte(out, static_cast<std::uint8_t>(v));
+    } else {
+      wire::PutVarint(out, v);
+    }
+  }
+}
+
+bool DecodeEvent(wire::Reader& r, std::uint8_t kind_byte, TraceEvent* e) {
+  if (!ValidEventKind(kind_byte)) return false;
+  e->kind = static_cast<EventKind>(kind_byte);
+  e->reader = static_cast<std::uint32_t>(r.Varint());
+  e->slot = r.Varint();
+  e->frame = r.Varint();
+  const auto fields = EventFields(e->kind);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    std::uint64_t v;
+    if (fields[i].type == Type::kByte) {
+      v = r.Byte();
+      if (v > fields[i].max_value) return false;
+    } else {
+      v = r.Varint();
+    }
+    SetEventField(*e, i, v);
+  }
+  return r.ok;
+}
+
 std::string EncodeRun(const RunTrace& run) {
   std::string out;
   out.push_back(kRunMarker);
-  PutVarint(out, run.header.run_index);
-  PutVarint(out, run.header.base_seed);
-  PutVarint(out, run.header.n_tags);
-  PutVarint(out, run.header.max_slots_per_tag);
-  PutVarint(out, run.header.protocol.size());
+  wire::PutVarint(out, run.header.run_index);
+  wire::PutVarint(out, run.header.base_seed);
+  wire::PutVarint(out, run.header.n_tags);
+  wire::PutVarint(out, run.header.max_slots_per_tag);
+  wire::PutVarint(out, run.header.protocol.size());
   out += run.header.protocol;
   for (const TraceEvent& e : run.events) EncodeEvent(out, e);
   out.push_back(kEndOfRun);
@@ -233,7 +307,7 @@ std::string DecodeTrace(std::string_view bytes, TraceFile* out) {
       bytes.substr(0, kTraceMagic.size()) != kTraceMagic) {
     return "bad magic: not an ANCTRACE file";
   }
-  Reader r{bytes, kTraceMagic.size()};
+  wire::Reader r{bytes, kTraceMagic.size()};
   const std::uint64_t version = r.Varint();
   if (!r.ok) return "truncated header";
   if (version != kTraceVersion) {

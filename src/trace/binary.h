@@ -25,6 +25,80 @@ namespace anc::trace {
 inline constexpr std::string_view kTraceMagic = "ANCTRACE";
 inline constexpr std::uint64_t kTraceVersion = 1;
 
+// ---- Wire primitives -------------------------------------------------------
+//
+// The varint encoding and the per-kind payload schema are shared with the
+// block-compressed container (src/store), which re-serializes the same
+// fields in a column-major layout. Everything here is the single source
+// of truth for "what bytes does event kind K carry".
+namespace wire {
+
+void PutVarint(std::string& out, std::uint64_t v);
+void PutByte(std::string& out, std::uint8_t b);
+
+// Cursor over encoded input with latched error state; decode helpers
+// return 0 on underflow and set `ok = false` so callers check once.
+struct Reader {
+  std::string_view bytes;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool AtEnd() const { return pos >= bytes.size(); }
+
+  std::uint8_t Byte() {
+    if (AtEnd()) {
+      ok = false;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(bytes[pos++]);
+  }
+
+  std::uint64_t Varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t b = Byte();
+      if (!ok) return 0;
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    ok = false;  // varint longer than 64 bits
+    return 0;
+  }
+};
+
+}  // namespace wire
+
+// One payload field of an event kind (the fields after the common
+// reader/slot/frame prefix), in wire order.
+struct FieldSpec {
+  enum class Type : std::uint8_t { kByte, kVarint };
+  Type type = Type::kVarint;
+  // Highest value a kByte field may carry on the wire (enum range check);
+  // ignored for kVarint fields.
+  std::uint64_t max_value = 0xFF;
+  // True for cumulative-clock fields (elapsed_us): the store's block
+  // codec delta-encodes these against the previous event of the same
+  // kind, which is what makes soak traces compress.
+  bool cumulative_clock = false;
+};
+
+// Payload schema for `kind` in exact wire order. Every kind the format
+// knows has an entry; an empty span with ValidEventKind()==false means
+// the kind byte itself is corrupt.
+std::span<const FieldSpec> EventFields(EventKind kind);
+bool ValidEventKind(std::uint8_t kind_byte);
+
+// Field accessors by schema index (meaning depends on e.kind). Bool-like
+// fields are normalized to 0/1 on read, exactly as the v1 encoder did.
+std::uint64_t GetEventField(const TraceEvent& e, std::size_t index);
+void SetEventField(TraceEvent& e, std::size_t index, std::uint64_t value);
+
+// Single-event codec over the schema (the v1 run-block payload format:
+// kind byte, reader/slot/frame varints, then the schema fields).
+// DecodeEvent returns false on a malformed or truncated event.
+void EncodeEvent(std::string& out, const TraceEvent& e);
+bool DecodeEvent(wire::Reader& r, std::uint8_t kind_byte, TraceEvent* e);
+
 // In-memory encode/decode. Decode* return "" on success, else a
 // human-readable error ("bad magic", "truncated event at offset N", ...).
 std::string EncodeRun(const RunTrace& run);

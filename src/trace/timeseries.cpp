@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <map>
 
+#include "common/stats.h"
+
 namespace anc::trace {
 
 std::vector<FramePoint> ExtractFrameSeries(const RunTrace& run,
@@ -13,6 +15,10 @@ std::vector<FramePoint> ExtractFrameSeries(const RunTrace& run,
   std::uint64_t population = 0;
   std::uint64_t detected = 0;
   double staleness_p99 = 0.0;
+  // Running SLO state (mirrors service::SloReport's definitions).
+  P2Quantile detect_p99{0.99};
+  std::uint64_t arrived = 0, missed = 0;
+  RunningStats ghost_rate;
   // Open-record birth slots, keyed by handle; std::map keeps the oldest
   // (smallest slot is not guaranteed by handle order, so scan on demand).
   std::map<std::uint64_t, std::uint64_t> open_since;
@@ -46,13 +52,25 @@ std::vector<FramePoint> ExtractFrameSeries(const RunTrace& run,
         }
         break;
       case EventKind::kArrive:
+        population = e.n_c;
+        ++arrived;
+        break;
       case EventKind::kDepart:
         population = e.n_c;
+        if (e.estimate_q8) ++missed;  // departed without ever being detected
         break;
-      case EventKind::kEpoch:
+      case EventKind::kDetect:
+        detect_p99.Add(static_cast<double>(e.n_c));
+        break;
+      case EventKind::kEpoch: {
         detected = e.record;
         staleness_p99 = static_cast<double>(e.estimate_q8) / kEstimateScale;
+        const std::uint64_t reported = e.record + e.responders;
+        ghost_rate.Add(reported > 0 ? static_cast<double>(e.responders) /
+                                          static_cast<double>(reported)
+                                    : 0.0);
         break;
+      }
       case EventKind::kFrame: {
         FramePoint p;
         p.frame = e.frame;
@@ -76,6 +94,11 @@ std::vector<FramePoint> ExtractFrameSeries(const RunTrace& run,
         p.population = population;
         p.detected = detected;
         p.staleness_p99 = staleness_p99;
+        p.detect_p99 = detect_p99.count() > 0 ? detect_p99.value() : 0.0;
+        p.missed_rate = arrived > 0 ? static_cast<double>(missed) /
+                                          static_cast<double>(arrived)
+                                    : 0.0;
+        p.ghost_rate = ghost_rate.count() > 0 ? ghost_rate.mean() : 0.0;
         series.push_back(p);
         break;
       }
@@ -90,12 +113,13 @@ std::string FrameSeriesCsv(const std::vector<FramePoint>& series) {
   std::string csv =
       "frame,end_slot,tags_read,elapsed_seconds,throughput_so_far,"
       "n_c,open_records,oldest_record_age,estimate,estimate_abs_error,"
-      "population,detected,staleness_p99\n";
-  char line[256];
+      "population,detected,staleness_p99,detect_p99,missed_rate,"
+      "ghost_rate\n";
+  char line[320];
   for (const FramePoint& p : series) {
     std::snprintf(line, sizeof line,
                   "%llu,%llu,%llu,%.6f,%.3f,%llu,%llu,%llu,%.3f,%.3f,"
-                  "%llu,%llu,%.3f\n",
+                  "%llu,%llu,%.3f,%.3f,%.6f,%.6f\n",
                   static_cast<unsigned long long>(p.frame),
                   static_cast<unsigned long long>(p.end_slot),
                   static_cast<unsigned long long>(p.tags_read),
@@ -106,7 +130,8 @@ std::string FrameSeriesCsv(const std::vector<FramePoint>& series) {
                   p.estimate, p.estimate_abs_error,
                   static_cast<unsigned long long>(p.population),
                   static_cast<unsigned long long>(p.detected),
-                  p.staleness_p99);
+                  p.staleness_p99, p.detect_p99, p.missed_rate,
+                  p.ghost_rate);
     csv += line;
   }
   return csv;

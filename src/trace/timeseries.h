@@ -29,6 +29,11 @@ struct FramePoint {
   std::uint64_t population = 0;     // live tags after the latest churn event
   std::uint64_t detected = 0;       // detected-and-present, latest kEpoch
   double staleness_p99 = 0.0;       // staleness p99 in slots, latest kEpoch
+  // SLO columns, running versions of service::SloReport so dashboards can
+  // watch a soak trace converge (all 0 for one-shot runs):
+  double detect_p99 = 0.0;   // p99 detection latency (slots) so far
+  double missed_rate = 0.0;  // departed-never-detected / arrived so far
+  double ghost_rate = 0.0;   // mean per-epoch ghosts / reported so far
 };
 
 // Extracts the series for one reader (0 = a single-reader run; deployment

@@ -1,0 +1,548 @@
+// Tests for the ANCSTORE container (src/store): LZ codec round-trips,
+// byte-identical store round-trips, O(log n) seek correctness, the
+// adversarial fail-closed paths (truncation, bit flips, out-of-bounds
+// index entries), legacy v1 reads, index-backed queries against full
+// decodes, and the seqlock snapshot log under concurrent readers.
+#include "store/container.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/factories.h"
+#include "service/service.h"
+#include "store/crc32.h"
+#include "store/lz.h"
+#include "store/query.h"
+#include "store/snapshot.h"
+#include "trace/binary.h"
+#include "trace/recorder.h"
+
+namespace anc::store {
+namespace {
+
+// Records a deterministic FCAT-2 soak (service smoke profile) — churny
+// enough to exercise every event kind the store indexes (arrive/depart/
+// detect/epoch), unlike a closed inventory run.
+trace::TraceFile RecordSoak(std::size_t runs, std::uint64_t base_seed = 1,
+                            std::size_t n_initial = 30) {
+  service::ServiceConfig config;
+  EXPECT_TRUE(service::LookupServiceProfile("smoke", &config));
+  core::FcatOptions options;
+  options.lambda = 2;
+  service::SoakOptions so;
+  so.n_initial = n_initial;
+  so.runs = runs;
+  so.base_seed = base_seed;
+  trace::MultiRunRecorder recorder(runs);
+  so.trace_factory = recorder.Factory();
+  service::RunSoakExperiment(core::MakeFcatFactory(options), config, so);
+  return recorder.File();
+}
+
+std::string TempPath(const char* name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string Slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string bytes;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return bytes;
+}
+
+void Spit(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+// ---------------------------------------------------------------- LZ --
+
+TEST(Lz, RoundTripsAssortedInputs) {
+  std::vector<std::string> inputs = {
+      "",
+      "a",
+      "abc",
+      std::string(100000, 'x'),
+      "abcdabcdabcdabcdabcdabcdabcd",
+  };
+  // Deterministic pseudo-random bytes: the incompressible case.
+  std::string noise;
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 50000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    noise.push_back(static_cast<char>(state >> 56));
+  }
+  inputs.push_back(noise);
+  // Long-range repetition: matches far beyond one 64k window must still
+  // decode (the compressor just will not reference them).
+  std::string far = noise + std::string(70000, 'q') + noise;
+  inputs.push_back(far);
+
+  for (const std::string& raw : inputs) {
+    const std::string comp = LzCompress(raw);
+    std::string back;
+    ASSERT_EQ(LzDecompress(comp, raw.size(), &back), "")
+        << "raw size " << raw.size();
+    EXPECT_EQ(back, raw) << "raw size " << raw.size();
+  }
+}
+
+TEST(Lz, CompressesRepetitiveInput) {
+  const std::string raw(100000, 'x');
+  EXPECT_LT(LzCompress(raw).size(), raw.size() / 50);
+}
+
+TEST(Lz, DecompressFailsClosed) {
+  const std::string raw = "the quick brown fox jumps over the lazy dog "
+                          "the quick brown fox jumps over the lazy dog";
+  const std::string comp = LzCompress(raw);
+  std::string out;
+  // Truncated stream: must error, or — when the cut only drops the
+  // empty final-literal token — still decode the exact original bytes.
+  // What it must never do is hand back raw_len bytes that differ.
+  for (std::size_t cut = 0; cut < comp.size(); ++cut) {
+    const std::string err =
+        LzDecompress(comp.substr(0, cut), raw.size(), &out);
+    if (err.empty()) {
+      EXPECT_EQ(out, raw) << "cut at " << cut;
+    }
+  }
+  EXPECT_NE(LzDecompress(comp.substr(0, comp.size() / 2), raw.size(), &out),
+            "");
+  // Wrong declared length, both directions.
+  EXPECT_NE(LzDecompress(comp, raw.size() + 1, &out), "");
+  EXPECT_NE(LzDecompress(comp, raw.size() - 1, &out), "");
+  // Every single-byte corruption either errors or mis-decodes — it must
+  // never crash or over-run. (CRC catches silent mis-decodes upstream.)
+  for (std::size_t i = 0; i < comp.size(); ++i) {
+    std::string bad = comp;
+    bad[i] = static_cast<char>(bad[i] ^ 0xff);
+    (void)LzDecompress(bad, raw.size(), &out);
+  }
+}
+
+// ---------------------------------------------------- container I/O --
+
+TEST(StoreContainer, RoundTripIsByteIdentical) {
+  const trace::TraceFile file = RecordSoak(2);
+  ASSERT_EQ(file.runs.size(), 2u);
+  const std::string path = TempPath("anc_store_roundtrip.ancstore");
+
+  StoreWriterOptions options;
+  options.block_events = 512;  // force multiple blocks per run
+  ASSERT_EQ(WriteStoreFile(path, file, options), "");
+
+  trace::TraceFile back;
+  ASSERT_EQ(ReadStoreFile(path, &back), "");
+  EXPECT_EQ(trace::EncodeTrace(back), trace::EncodeTrace(file));
+
+  // And it actually compressed.
+  const std::string raw = trace::EncodeTrace(file);
+  EXPECT_LT(Slurp(path).size(), raw.size());
+  std::remove(path.c_str());
+}
+
+TEST(StoreContainer, UncompressedOptionRoundTrips) {
+  const trace::TraceFile file = RecordSoak(1);
+  const std::string path = TempPath("anc_store_rawblocks.ancstore");
+  StoreWriterOptions options;
+  options.compress = false;
+  ASSERT_EQ(WriteStoreFile(path, file, options), "");
+
+  StoreReader reader;
+  ASSERT_EQ(reader.Open(path), "");
+  for (const BlockMeta& b : reader.blocks()) {
+    EXPECT_EQ(b.comp_len, b.raw_len);
+  }
+  trace::TraceFile back;
+  ASSERT_EQ(reader.ReadAll(&back), "");
+  EXPECT_EQ(trace::EncodeTrace(back), trace::EncodeTrace(file));
+  std::remove(path.c_str());
+}
+
+TEST(StoreContainer, LegacyV1ReadsByteIdentically) {
+  const trace::TraceFile file = RecordSoak(2);
+  const std::string path = TempPath("anc_store_legacy.trace");
+  ASSERT_EQ(trace::WriteTraceFile(path, file), "");
+
+  StoreReader reader;
+  ASSERT_EQ(reader.Open(path), "");
+  EXPECT_TRUE(reader.legacy());
+  EXPECT_EQ(reader.runs().size(), 2u);
+  trace::TraceFile back;
+  ASSERT_EQ(reader.ReadAll(&back), "");
+  EXPECT_EQ(trace::EncodeTrace(back), trace::EncodeTrace(file));
+  std::remove(path.c_str());
+}
+
+TEST(StoreContainer, SeekFindsEveryFrame) {
+  const trace::TraceFile file = RecordSoak(1);
+  const std::string path = TempPath("anc_store_seek.ancstore");
+  StoreWriterOptions options;
+  options.block_events = 256;  // many blocks: exercise the binary search
+  ASSERT_EQ(WriteStoreFile(path, file, options), "");
+
+  StoreReader reader;
+  ASSERT_EQ(reader.Open(path), "");
+  ASSERT_GT(reader.blocks().size(), 4u);
+
+  std::uint64_t max_frame = 0;
+  for (const BlockMeta& b : reader.blocks()) {
+    if (b.max_frame > max_frame) max_frame = b.max_frame;
+  }
+  std::vector<trace::TraceEvent> events;
+  for (std::uint64_t frame = 0; frame <= max_frame; ++frame) {
+    const std::size_t block = reader.FindBlockForFrame(0, frame);
+    ASSERT_NE(block, kNoBlock) << "frame " << frame;
+    // The index must point at the first block whose coverage can hold
+    // the frame: every earlier block tops out below it.
+    for (std::size_t b = reader.runs()[0].first_block; b < block; ++b) {
+      EXPECT_LT(reader.blocks()[b].max_frame, frame);
+    }
+    EXPECT_GE(reader.blocks()[block].max_frame, frame);
+    ASSERT_EQ(reader.ReadBlock(block, &events), "");
+  }
+  EXPECT_EQ(reader.FindBlockForFrame(0, max_frame + 1), kNoBlock);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- adversarial --
+
+struct CorruptionCase {
+  const trace::TraceFile file = RecordSoak(1);
+  std::string path = TempPath("anc_store_adversarial.ancstore");
+  std::string bytes;
+
+  CorruptionCase() {
+    StoreWriterOptions options;
+    options.block_events = 512;
+    EXPECT_EQ(WriteStoreFile(path, file, options), "");
+    bytes = Slurp(path);
+    EXPECT_GT(bytes.size(), 40u);
+  }
+  ~CorruptionCase() { std::remove(path.c_str()); }
+
+  std::uint64_t FooterOffset() const {
+    std::uint64_t v = 0;
+    const std::size_t at = bytes.size() - 20;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes[at + i]))
+           << (8 * i);
+    }
+    return v;
+  }
+};
+
+TEST(StoreContainer, MidBlockTruncationIsRejected) {
+  CorruptionCase c;
+  // Cut inside the data region (past the header, before the footer):
+  // the trailer magic disappears, so Open must fail outright.
+  const std::uint64_t footer = c.FooterOffset();
+  Spit(c.path, c.bytes.substr(0, footer / 2));
+  StoreReader reader;
+  EXPECT_NE(reader.Open(c.path), "");
+}
+
+TEST(StoreContainer, TruncatedTrailerIsRejected) {
+  CorruptionCase c;
+  Spit(c.path, c.bytes.substr(0, c.bytes.size() - 3));
+  StoreReader reader;
+  EXPECT_NE(reader.Open(c.path), "");
+}
+
+TEST(StoreContainer, FlippedBlockByteFailsCrc) {
+  CorruptionCase c;
+  StoreReader clean;
+  ASSERT_EQ(clean.Open(c.path), "");
+  ASSERT_FALSE(clean.blocks().empty());
+  const BlockMeta& b = clean.blocks()[0];
+
+  std::string bad = c.bytes;
+  bad[b.offset + b.comp_len / 2] ^= 0x01;
+  Spit(c.path, bad);
+
+  // The footer is intact, so Open succeeds — the damage must surface as
+  // a CRC error on the damaged block, and only that block.
+  StoreReader reader;
+  ASSERT_EQ(reader.Open(c.path), "");
+  std::vector<trace::TraceEvent> events;
+  EXPECT_NE(reader.ReadBlock(0, &events), "");
+  if (reader.blocks().size() > 1) {
+    EXPECT_EQ(reader.ReadBlock(1, &events), "");
+  }
+}
+
+TEST(StoreContainer, FlippedFooterByteIsRejected) {
+  CorruptionCase c;
+  std::string bad = c.bytes;
+  bad[c.FooterOffset() + 5] ^= 0x20;
+  Spit(c.path, bad);
+  StoreReader reader;
+  EXPECT_NE(reader.Open(c.path), "");
+}
+
+TEST(StoreContainer, IndexPastEofIsRejected) {
+  CorruptionCase c;
+  // Drop the tail of the data region but keep the (unchanged, so still
+  // CRC-valid) footer: block offsets now point past the data that
+  // remains. Open must reject on the bounds check, not misparse.
+  const std::uint64_t footer = c.FooterOffset();
+  const std::uint64_t cut = footer / 2;
+  std::string bad = c.bytes.substr(0, cut) +
+                    c.bytes.substr(footer, c.bytes.size() - 20 - footer);
+  const std::uint64_t new_footer = cut;
+  for (int i = 0; i < 8; ++i) {
+    bad.push_back(static_cast<char>((new_footer >> (8 * i)) & 0xff));
+  }
+  bad.append(c.bytes.substr(c.bytes.size() - 12));  // old CRC + end magic
+  Spit(c.path, bad);
+  StoreReader reader;
+  EXPECT_NE(reader.Open(c.path), "");
+}
+
+TEST(StoreContainer, BadMagicIsRejected) {
+  CorruptionCase c;
+  std::string bad = c.bytes;
+  bad[0] = 'X';
+  Spit(c.path, bad);
+  StoreReader reader;
+  EXPECT_NE(reader.Open(c.path), "");
+
+  Spit(c.path, "short");
+  StoreReader reader2;
+  EXPECT_NE(reader2.Open(c.path), "");
+}
+
+TEST(StoreContainer, TruncatedLegacyV1IsRejected) {
+  const trace::TraceFile file = RecordSoak(1);
+  const std::string path = TempPath("anc_store_legacy_trunc.trace");
+  ASSERT_EQ(trace::WriteTraceFile(path, file), "");
+  const std::string bytes = Slurp(path);
+  Spit(path, bytes.substr(0, bytes.size() / 2));
+  StoreReader reader;
+  EXPECT_NE(reader.Open(path), "");
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ query --
+
+TEST(StoreQuery, SummarizeMatchesFullDecode) {
+  const trace::TraceFile file = RecordSoak(2);
+  const std::string path = TempPath("anc_store_query_sum.ancstore");
+  StoreWriterOptions options;
+  options.block_events = 512;
+  ASSERT_EQ(WriteStoreFile(path, file, options), "");
+  StoreReader reader;
+  ASSERT_EQ(reader.Open(path), "");
+
+  const StoreSummary summary = Summarize(reader);
+  ASSERT_EQ(summary.runs.size(), file.runs.size());
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < file.runs.size(); ++r) {
+    const auto& events = file.runs[r].events;
+    total += events.size();
+    EXPECT_EQ(summary.runs[r].n_events, events.size());
+    std::uint64_t arrives = 0, departs = 0, detects = 0;
+    for (const trace::TraceEvent& e : events) {
+      arrives += e.kind == trace::EventKind::kArrive;
+      departs += e.kind == trace::EventKind::kDepart;
+      detects += e.kind == trace::EventKind::kDetect;
+    }
+    EXPECT_EQ(summary.runs[r].arrives, arrives);
+    EXPECT_EQ(summary.runs[r].departs, departs);
+    EXPECT_EQ(summary.runs[r].detects, detects);
+  }
+  EXPECT_EQ(summary.n_events, total);
+  std::remove(path.c_str());
+}
+
+TEST(StoreQuery, FrameWindowMatchesFullDecode) {
+  const trace::TraceFile file = RecordSoak(1);
+  const std::string path = TempPath("anc_store_query_win.ancstore");
+  StoreWriterOptions options;
+  options.block_events = 256;
+  ASSERT_EQ(WriteStoreFile(path, file, options), "");
+  StoreReader reader;
+  ASSERT_EQ(reader.Open(path), "");
+
+  auto frame_bearing = [](const trace::TraceEvent& e) {
+    return e.kind != trace::EventKind::kEpoch &&
+           e.kind != trace::EventKind::kTdmaSlot &&
+           e.kind != trace::EventKind::kRunEnd;
+  };
+  std::uint64_t max_frame = 0;
+  for (const trace::TraceEvent& e : file.runs[0].events) {
+    if (frame_bearing(e) && e.frame > max_frame) max_frame = e.frame;
+  }
+  const std::uint64_t lo = max_frame / 3;
+  const std::uint64_t hi = 2 * max_frame / 3;
+
+  std::vector<trace::TraceEvent> expect;
+  for (const trace::TraceEvent& e : file.runs[0].events) {
+    if (frame_bearing(e) && e.frame >= lo && e.frame <= hi) {
+      expect.push_back(e);
+    }
+  }
+  std::vector<trace::TraceEvent> got;
+  WindowSeed seed;
+  ASSERT_EQ(QueryFrameWindow(reader, 0, lo, hi, &got, &seed), "");
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expect[i]) << "event " << i;
+  }
+
+  // The seed must replay the prefix: counters over all events strictly
+  // before the window's first block.
+  const std::size_t first_block = reader.FindBlockForFrame(0, lo);
+  ASSERT_NE(first_block, kNoBlock);
+  const std::uint64_t prefix = reader.blocks()[first_block].first_event;
+  std::uint64_t arrives = 0;
+  for (std::uint64_t i = 0; i < prefix; ++i) {
+    arrives +=
+        file.runs[0].events[i].kind == trace::EventKind::kArrive;
+  }
+  EXPECT_EQ(seed.arrives, arrives);
+  std::remove(path.c_str());
+}
+
+TEST(StoreQuery, EpochWindowMatchesFullDecode) {
+  const trace::TraceFile file = RecordSoak(1);
+  const std::string path = TempPath("anc_store_query_epoch.ancstore");
+  StoreWriterOptions options;
+  options.block_events = 256;
+  ASSERT_EQ(WriteStoreFile(path, file, options), "");
+  StoreReader reader;
+  ASSERT_EQ(reader.Open(path), "");
+
+  std::vector<trace::TraceEvent> epochs;
+  for (const trace::TraceEvent& e : file.runs[0].events) {
+    if (e.kind == trace::EventKind::kEpoch) epochs.push_back(e);
+  }
+  ASSERT_GT(epochs.size(), 2u);
+
+  // Epoch indices are 1-based (kEpoch.frame = running epoch count), so
+  // the interior window [2, n-1] maps to vector entries [1, n-2].
+  std::vector<trace::TraceEvent> got;
+  ASSERT_EQ(QueryEpochWindow(reader, 0, 2, epochs.size() - 1, &got), "");
+  ASSERT_EQ(got.size(), epochs.size() - 2);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], epochs[i + 1]);
+  }
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------- snapshot --
+
+TEST(EpochSnapshotLog, PublishReadLatestWindow) {
+  EpochSnapshotLog log(4);
+  EpochSnapshot snap;
+  EXPECT_FALSE(log.Latest(&snap));
+  EXPECT_FALSE(log.Read(0, &snap));
+
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    EpochSnapshot s;
+    s.epoch = i;
+    s.population = 10 + i;
+    log.Publish(s);
+  }
+  EXPECT_EQ(log.published(), 6u);
+  // 0 and 1 fell off the 4-entry ring.
+  EXPECT_FALSE(log.Read(0, &snap));
+  EXPECT_FALSE(log.Read(1, &snap));
+  ASSERT_TRUE(log.Read(2, &snap));
+  EXPECT_EQ(snap.epoch, 2u);
+  ASSERT_TRUE(log.Latest(&snap));
+  EXPECT_EQ(snap.epoch, 5u);
+  EXPECT_EQ(snap.population, 15u);
+
+  const std::vector<EpochSnapshot> window = log.Window(3);
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_EQ(window.front().epoch, 3u);
+  EXPECT_EQ(window.back().epoch, 5u);
+}
+
+TEST(EpochSnapshotLog, ConcurrentReadersNeverSeeTornData) {
+  // Payload fields are derived from the epoch; any torn read breaks the
+  // relation. Small capacity maximizes wraparound pressure.
+  EpochSnapshotLog log(2);
+  constexpr std::uint64_t kPublishes = 200000;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reads{0}, failures{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      EpochSnapshot s;
+      while (!done.load(std::memory_order_acquire)) {
+        if (log.Latest(&s)) {
+          reads.fetch_add(1, std::memory_order_relaxed);
+          if (s.population != s.epoch * 3 + 1 ||
+              s.detected != s.epoch * 7 + 2 ||
+              s.ghosts != s.epoch + 5) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        // Window entries must each be internally consistent too.
+        for (const EpochSnapshot& w : log.Window(2)) {
+          if (w.population != w.epoch * 3 + 1) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  for (std::uint64_t i = 0; i < kPublishes; ++i) {
+    EpochSnapshot s;
+    s.epoch = i;
+    s.population = i * 3 + 1;
+    s.detected = i * 7 + 2;
+    s.ghosts = i + 5;
+    log.Publish(s);
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(reads.load(), 0u);
+  EpochSnapshot last;
+  ASSERT_TRUE(log.Latest(&last));
+  EXPECT_EQ(last.epoch, kPublishes - 1);
+}
+
+// The service publishes one snapshot per epoch when handed a log.
+TEST(EpochSnapshotLog, ServicePublishesEpochs) {
+  service::ServiceConfig config;
+  ASSERT_TRUE(service::LookupServiceProfile("smoke", &config));
+  core::FcatOptions options;
+  options.lambda = 2;
+  EpochSnapshotLog log(128);
+  service::SoakOptions so;
+  so.n_initial = 30;
+  so.runs = 1;
+  so.base_seed = 7;
+  so.snapshot_log = &log;
+  const service::SloReport report = service::RunSoakSingle(
+      core::MakeFcatFactory(options), config, so, 0);
+  EXPECT_EQ(log.published(), report.epochs);
+  EpochSnapshot last;
+  ASSERT_TRUE(log.Latest(&last));
+  EXPECT_EQ(last.epoch, report.epochs);
+}
+
+}  // namespace
+}  // namespace anc::store

@@ -6,9 +6,22 @@
 //   trace_inspect diff <a> <b>                  first divergence; exit 1
 //   trace_inspect timeseries <file> [--run=] [--reader=] [--csv=path]
 //   trace_inspect replay <file>                 re-drive + verify each run
+//   trace_inspect query <file> [--op=summarize|blocks|frames|epochs]
+//                  [--run=] [--lo=] [--hi=]     index-backed queries
+//   trace_inspect serve <file>                  query REPL over stdin
+//   trace_inspect compress <in> <out> [--block-events=] [--raw]
+//   trace_inspect decompress <in> <out>
 //   trace_inspect record --out=<file>
 //                  [--protocol=fcat|scat|dfsa|crdsa|irsa|seeded|mpr|perfect]
 //                  [--lambda=] [--capacity=] [--n=] [--runs=] [--seed=]
+//
+// Every reading command accepts both v1 "ANCTRACE" files and block-
+// compressed "ANCSTORE" containers (src/store): files are opened through
+// the store reader, which indexes either format. filter and diff stream
+// block-by-block — memory stays O(block) no matter how large the soak
+// trace is — and query/serve answer summarize/blocks/frames/epochs
+// requests from the footer index, decoding only the blocks a window
+// touches (frame windows start at an O(log n) seek).
 //
 // `record` produces the small golden traces CI diffs against; `replay`
 // re-drives each run from its recorded (base_seed, run_index) header and
@@ -19,6 +32,7 @@
 // diff fine but cannot be replayed here.
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -27,8 +41,9 @@
 #include "fault/injector.h"
 #include "service/replay.h"
 #include "service/service.h"
+#include "store/container.h"
+#include "store/query.h"
 #include "trace/binary.h"
-#include "trace/diff.h"
 #include "trace/jsonl.h"
 #include "trace/recorder.h"
 #include "trace/replay.h"
@@ -51,6 +66,13 @@ int Usage() {
       "                                       per-frame series (CSV)\n"
       "  replay <file>                        re-drive runs, verify "
       "identity\n"
+      "  query <file> [--op=summarize|blocks|frames|epochs] [--run=I]\n"
+      "        [--lo=N] [--hi=N] [--limit=N]  index-backed queries\n"
+      "  serve <file>                         answer query lines from "
+      "stdin\n"
+      "  compress <in> <out> [--block-events=N] [--raw]\n"
+      "                                       trace -> ANCSTORE container\n"
+      "  decompress <in> <out>                ANCSTORE -> v1 trace\n"
       "  record --out=<file> [--protocol=fcat|fcat-signal|scat|dfsa|\n"
       "                        crdsa|irsa|seeded|mpr|perfect]\n"
       "         [--lambda=L] [--capacity=M] [--n=TAGS] [--runs=R] "
@@ -63,9 +85,11 @@ int Usage() {
   return 2;
 }
 
+// Full-file load via the store reader, so every command reads both v1
+// traces and ANCSTORE containers.
 trace::TraceFile Load(const std::string& path) {
   trace::TraceFile file;
-  const std::string err = trace::ReadTraceFile(path, &file);
+  const std::string err = store::ReadStoreFile(path, &file);
   if (!err.empty()) {
     std::fprintf(stderr, "trace_inspect: %s: %s\n", path.c_str(),
                  err.c_str());
@@ -73,6 +97,48 @@ trace::TraceFile Load(const std::string& path) {
   }
   return file;
 }
+
+store::StoreReader& OpenReader(store::StoreReader& reader,
+                               const std::string& path) {
+  const std::string err = reader.Open(path);
+  if (!err.empty()) {
+    std::fprintf(stderr, "trace_inspect: %s\n", err.c_str());
+    std::exit(2);
+  }
+  return reader;
+}
+
+// Sequential event cursor over one run of an opened reader: pulls one
+// block at a time, so scans stay O(block) in memory.
+class RunCursor {
+ public:
+  RunCursor(store::StoreReader& reader, std::size_t run_ordinal)
+      : reader_(reader), run_(reader.runs()[run_ordinal]) {}
+
+  // Advances to the next event. Returns false at end-of-run or on error
+  // (error() distinguishes the two).
+  bool Next(trace::TraceEvent* out) {
+    while (pos_ >= events_.size()) {
+      if (!error_.empty() || next_block_ >= run_.n_blocks) return false;
+      error_ = reader_.ReadBlock(run_.first_block + next_block_, &events_);
+      if (!error_.empty()) return false;
+      ++next_block_;
+      pos_ = 0;
+    }
+    *out = events_[pos_++];
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  store::StoreReader& reader_;
+  const store::StoredRun& run_;
+  std::vector<trace::TraceEvent> events_;
+  std::size_t pos_ = 0;
+  std::size_t next_block_ = 0;
+  std::string error_;
+};
 
 // Rebuilds the factory a recorded run used from its header's protocol
 // name. Returns a null factory (and sets *error) for names this tool
@@ -219,7 +285,8 @@ int Filter(const CliArgs& args) {
           {"format", "text (default) or jsonl"},
       });
   if (args.positional().size() != 2) return Usage();
-  const trace::TraceFile file = Load(args.positional()[1]);
+  store::StoreReader reader;
+  OpenReader(reader, args.positional()[1]);
 
   const std::int64_t want_run = args.GetInt("run", -1);
   const std::int64_t want_reader = args.GetInt("reader", -1);
@@ -232,20 +299,23 @@ int Filter(const CliArgs& args) {
   }
 
   std::int64_t printed = 0;
-  for (const trace::RunTrace& run : file.runs) {
+  for (std::size_t ri = 0; ri < reader.runs().size(); ++ri) {
+    const trace::RunHeader& header = reader.runs()[ri].header;
     if (want_run >= 0 &&
-        run.header.run_index != static_cast<std::uint64_t>(want_run)) {
+        header.run_index != static_cast<std::uint64_t>(want_run)) {
       continue;
     }
     if (format == "jsonl") {
-      std::printf("%s\n", trace::RunHeaderToJson(run.header).c_str());
+      std::printf("%s\n", trace::RunHeaderToJson(header).c_str());
     } else {
       std::printf("# run %llu (%s, n_tags=%llu)\n",
-                  static_cast<unsigned long long>(run.header.run_index),
-                  run.header.protocol.c_str(),
-                  static_cast<unsigned long long>(run.header.n_tags));
+                  static_cast<unsigned long long>(header.run_index),
+                  header.protocol.c_str(),
+                  static_cast<unsigned long long>(header.n_tags));
     }
-    for (const trace::TraceEvent& e : run.events) {
+    RunCursor cursor(reader, ri);
+    trace::TraceEvent e;
+    while (cursor.Next(&e)) {
       if (!want_kind.empty() && want_kind != trace::KindName(e.kind)) continue;
       if (want_reader >= 0 &&
           e.reader != static_cast<std::uint32_t>(want_reader)) {
@@ -262,26 +332,78 @@ int Filter(const CliArgs& args) {
         return 0;
       }
     }
+    if (!cursor.error().empty()) {
+      std::fprintf(stderr, "trace_inspect: %s\n", cursor.error().c_str());
+      return 2;
+    }
   }
   return 0;
 }
 
+// Streaming diff: both inputs are walked block-by-block through their
+// store indexes (never fully resident), and the first divergence is
+// reported with its (run, frame, slot) coordinates.
 int Diff(const CliArgs& args) {
   DieOnUnknownFlags(args, "trace_inspect diff", std::vector<FlagSpec>{});
   if (args.positional().size() != 3) return Usage();
-  const trace::TraceFile a = Load(args.positional()[1]);
-  const trace::TraceFile b = Load(args.positional()[2]);
-  const trace::TraceDiff diff = trace::DiffTraces(a, b);
-  if (diff.identical) {
-    std::printf("identical: %zu runs\n", a.runs.size());
-    return 0;
+  store::StoreReader a, b;
+  OpenReader(a, args.positional()[1]);
+  OpenReader(b, args.positional()[2]);
+  if (a.runs().size() != b.runs().size()) {
+    std::printf("divergent: %zu runs vs %zu runs\n", a.runs().size(),
+                b.runs().size());
+    return 1;
   }
-  std::printf("divergent at run %zu", diff.run_index);
-  if (diff.event_index != static_cast<std::size_t>(-1)) {
-    std::printf(", event %zu", diff.event_index);
+  for (std::size_t ri = 0; ri < a.runs().size(); ++ri) {
+    const trace::RunHeader& ha = a.runs()[ri].header;
+    const trace::RunHeader& hb = b.runs()[ri].header;
+    if (!(ha == hb)) {
+      std::printf(
+          "divergent at run %zu: headers differ\n"
+          "  a: protocol=%s run_index=%llu base_seed=%llu n_tags=%llu\n"
+          "  b: protocol=%s run_index=%llu base_seed=%llu n_tags=%llu\n",
+          ri, ha.protocol.c_str(),
+          static_cast<unsigned long long>(ha.run_index),
+          static_cast<unsigned long long>(ha.base_seed),
+          static_cast<unsigned long long>(ha.n_tags), hb.protocol.c_str(),
+          static_cast<unsigned long long>(hb.run_index),
+          static_cast<unsigned long long>(hb.base_seed),
+          static_cast<unsigned long long>(hb.n_tags));
+      return 1;
+    }
+    RunCursor ca(a, ri), cb(b, ri);
+    std::uint64_t index = 0;
+    for (;; ++index) {
+      trace::TraceEvent ea, eb;
+      const bool more_a = ca.Next(&ea);
+      const bool more_b = cb.Next(&eb);
+      for (const RunCursor* c : {&ca, &cb}) {
+        if (!c->error().empty()) {
+          std::fprintf(stderr, "trace_inspect: %s\n", c->error().c_str());
+          return 2;
+        }
+      }
+      if (!more_a && !more_b) break;
+      if (more_a != more_b) {
+        std::printf("divergent at run %zu, event %llu: %s ends early\n", ri,
+                    static_cast<unsigned long long>(index),
+                    more_a ? "b" : "a");
+        return 1;
+      }
+      if (!(ea == eb)) {
+        std::printf(
+            "divergent at run %zu, event %llu (frame %llu, slot %llu):\n"
+            "  a: %s\n  b: %s\n",
+            ri, static_cast<unsigned long long>(index),
+            static_cast<unsigned long long>(ea.frame),
+            static_cast<unsigned long long>(ea.slot),
+            trace::Describe(ea).c_str(), trace::Describe(eb).c_str());
+        return 1;
+      }
+    }
   }
-  std::printf(":\n%s\n", diff.message.c_str());
-  return 1;
+  std::printf("identical: %zu runs\n", a.runs().size());
+  return 0;
 }
 
 int TimeSeries(const CliArgs& args) {
@@ -348,6 +470,204 @@ int Replay(const CliArgs& args) {
                 message.c_str());
     if (!ok) return 1;
   }
+  return 0;
+}
+
+void PrintSummary(const store::StoreReader& reader, const std::string& path) {
+  const store::StoreSummary s = store::Summarize(reader);
+  std::printf("%s: %s, %zu run%s, %llu events, %llu bytes",
+              path.c_str(), s.legacy ? "v1 trace" : "store",
+              s.runs.size(), s.runs.size() == 1 ? "" : "s",
+              static_cast<unsigned long long>(s.n_events),
+              static_cast<unsigned long long>(s.file_bytes));
+  if (!s.legacy && s.stored_bytes > 0) {
+    std::printf(" (payload %.2fx)", static_cast<double>(s.raw_bytes) /
+                                        static_cast<double>(s.stored_bytes));
+  }
+  std::printf("\n");
+  for (const store::RunSummary& r : s.runs) {
+    std::printf(
+        "run %llu: protocol=%s n_tags=%llu events=%llu blocks=%llu "
+        "frames=%llu last_slot=%llu\n"
+        "  acks=%llu arrives=%llu departs=%llu detects=%llu "
+        "population=%llu\n",
+        static_cast<unsigned long long>(r.header.run_index),
+        r.header.protocol.c_str(),
+        static_cast<unsigned long long>(r.header.n_tags),
+        static_cast<unsigned long long>(r.n_events),
+        static_cast<unsigned long long>(r.n_blocks),
+        static_cast<unsigned long long>(r.max_frame),
+        static_cast<unsigned long long>(r.last_slot),
+        static_cast<unsigned long long>(r.acks),
+        static_cast<unsigned long long>(r.arrives),
+        static_cast<unsigned long long>(r.departs),
+        static_cast<unsigned long long>(r.detects),
+        static_cast<unsigned long long>(r.final_population));
+  }
+}
+
+// One query against an open reader; shared by `query` (one-shot) and
+// `serve` (REPL). Returns 0/1/2 like a command.
+int RunQuery(store::StoreReader& reader, const std::string& path,
+             const std::string& op, std::size_t run, std::uint64_t lo,
+             std::uint64_t hi, std::int64_t limit) {
+  if (op == "summarize") {
+    PrintSummary(reader, path);
+    return 0;
+  }
+  if (op == "blocks") {
+    std::fputs(store::BlockTimeseriesCsv(reader, run).c_str(), stdout);
+    return 0;
+  }
+  if (op == "frames" || op == "epochs") {
+    std::vector<trace::TraceEvent> events;
+    std::string err;
+    if (op == "frames") {
+      store::WindowSeed seed;
+      err = store::QueryFrameWindow(reader, run, lo, hi, &events, &seed);
+      if (err.empty()) {
+        std::printf(
+            "# window seed: acks=%llu arrives=%llu departs=%llu "
+            "detects=%llu population=%llu\n",
+            static_cast<unsigned long long>(seed.acks),
+            static_cast<unsigned long long>(seed.arrives),
+            static_cast<unsigned long long>(seed.departs),
+            static_cast<unsigned long long>(seed.detects),
+            static_cast<unsigned long long>(seed.population));
+      }
+    } else {
+      err = store::QueryEpochWindow(reader, run, lo, hi, &events);
+    }
+    if (!err.empty()) {
+      std::fprintf(stderr, "trace_inspect: %s\n", err.c_str());
+      return 2;
+    }
+    std::int64_t printed = 0;
+    for (const trace::TraceEvent& e : events) {
+      std::printf("%s\n", trace::Describe(e).c_str());
+      if (limit > 0 && ++printed >= limit) {
+        std::printf("... (--limit=%lld reached, %zu matched)\n",
+                    static_cast<long long>(limit), events.size());
+        break;
+      }
+    }
+    return 0;
+  }
+  std::fprintf(stderr,
+               "trace_inspect: bad op '%s' (summarize, blocks, frames, "
+               "epochs)\n",
+               op.c_str());
+  return 2;
+}
+
+int Query(const CliArgs& args) {
+  DieOnUnknownFlags(args, "trace_inspect query",
+                    std::vector<FlagSpec>{
+                        {"op", "summarize (default), blocks, frames, epochs"},
+                        {"run", "run ordinal (default 0)"},
+                        {"lo", "window lower bound (frame/epoch, default 0)"},
+                        {"hi", "window upper bound (default: no bound)"},
+                        {"limit", "stop after this many events (default "
+                                  "100; 0 = all)"},
+                    });
+  if (args.positional().size() != 2) return Usage();
+  store::StoreReader reader;
+  OpenReader(reader, args.positional()[1]);
+  return RunQuery(reader, args.positional()[1],
+                  args.GetString("op", "summarize"),
+                  static_cast<std::size_t>(args.GetInt("run", 0)),
+                  static_cast<std::uint64_t>(args.GetInt("lo", 0)),
+                  static_cast<std::uint64_t>(
+                      args.GetInt("hi", std::numeric_limits<std::int64_t>::max())),
+                  args.GetInt("limit", 100));
+}
+
+// Line-oriented query server: indexes the file once, then answers
+// queries from stdin until EOF — the cheap "serve" mode for dashboards
+// and scripts that issue many windowed queries against one soak trace.
+//   summarize | blocks [run] | frames [run lo hi] | epochs [run lo hi]
+int Serve(const CliArgs& args) {
+  DieOnUnknownFlags(args, "trace_inspect serve", std::vector<FlagSpec>{});
+  if (args.positional().size() != 2) return Usage();
+  store::StoreReader reader;
+  OpenReader(reader, args.positional()[1]);
+  std::printf("serving %s (%zu runs, %zu blocks); "
+              "summarize | blocks [run] | frames [run lo hi] | "
+              "epochs [run lo hi] | quit\n",
+              args.positional()[1].c_str(), reader.runs().size(),
+              reader.blocks().size());
+  std::fflush(stdout);
+  char line[256];
+  while (std::fgets(line, sizeof line, stdin) != nullptr) {
+    char op[32] = "";
+    unsigned long long run = 0, lo = 0;
+    unsigned long long hi = std::numeric_limits<unsigned long long>::max();
+    const int n = std::sscanf(line, "%31s %llu %llu %llu", op, &run, &lo, &hi);
+    if (n < 1) continue;
+    const std::string op_str(op);
+    if (op_str == "quit" || op_str == "exit") break;
+    RunQuery(reader, args.positional()[1], op_str,
+             static_cast<std::size_t>(run), lo, hi, /*limit=*/0);
+    std::printf("ok\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+int Compress(const CliArgs& args) {
+  DieOnUnknownFlags(
+      args, "trace_inspect compress",
+      std::vector<FlagSpec>{
+          {"block-events", "events per block (default 4096)"},
+          {"raw", "store blocks uncompressed (ratio baseline)"},
+      });
+  if (args.positional().size() != 3) return Usage();
+  store::StoreReader reader;
+  OpenReader(reader, args.positional()[1]);
+
+  store::StoreWriterOptions options;
+  options.block_events =
+      static_cast<std::size_t>(args.GetInt("block-events", 4096));
+  options.compress = !args.GetBool("raw");
+  store::StoreWriter writer;
+  std::string err = writer.Open(args.positional()[2], options);
+  // Stream block-by-block: neither file is ever fully resident.
+  std::vector<trace::TraceEvent> events;
+  for (std::size_t ri = 0; err.empty() && ri < reader.runs().size(); ++ri) {
+    writer.BeginRun(reader.runs()[ri].header);
+    const store::StoredRun& run = reader.runs()[ri];
+    for (std::size_t b = 0; err.empty() && b < run.n_blocks; ++b) {
+      err = reader.ReadBlock(run.first_block + b, &events);
+      for (const trace::TraceEvent& e : events) writer.Add(e);
+    }
+    if (err.empty()) err = writer.EndRun();
+  }
+  if (err.empty()) err = writer.Finish();
+  if (!err.empty()) {
+    std::fprintf(stderr, "trace_inspect: %s\n", err.c_str());
+    return 2;
+  }
+  std::printf("%s: %llu bytes -> %s: %llu bytes (%.2fx)\n",
+              args.positional()[1].c_str(),
+              static_cast<unsigned long long>(reader.file_bytes()),
+              args.positional()[2].c_str(),
+              static_cast<unsigned long long>(writer.bytes_written()),
+              static_cast<double>(reader.file_bytes()) /
+                  static_cast<double>(writer.bytes_written()));
+  return 0;
+}
+
+int Decompress(const CliArgs& args) {
+  DieOnUnknownFlags(args, "trace_inspect decompress", std::vector<FlagSpec>{});
+  if (args.positional().size() != 3) return Usage();
+  const trace::TraceFile file = Load(args.positional()[1]);
+  const std::string err = trace::WriteTraceFile(args.positional()[2], file);
+  if (!err.empty()) {
+    std::fprintf(stderr, "trace_inspect: %s\n", err.c_str());
+    return 2;
+  }
+  std::printf("wrote %zu run%s to %s\n", file.runs.size(),
+              file.runs.size() == 1 ? "" : "s", args.positional()[2].c_str());
   return 0;
 }
 
@@ -492,6 +812,10 @@ int main(int argc, char** argv) {
   if (command == "diff") return Diff(args);
   if (command == "timeseries") return TimeSeries(args);
   if (command == "replay") return Replay(args);
+  if (command == "query") return Query(args);
+  if (command == "serve") return Serve(args);
+  if (command == "compress") return Compress(args);
+  if (command == "decompress") return Decompress(args);
   if (command == "record") return Record(args);
   std::fprintf(stderr, "trace_inspect: unknown command '%s'\n",
                command.c_str());
