@@ -24,12 +24,18 @@
 //                 writes one indexed ANCSTORE file covering every cell;
 //                 raw appends v1 ANCTRACE run blocks (byte-identical to
 //                 the pre-store recording path, for golden-trace jobs)
+//   --kill-at=K   crash-recovery cell (src/service checkpoints): run the
+//                 FCAT-2 cell's run 0 once uninterrupted and once killed
+//                 dead at slot K then resumed from its last checkpoint,
+//                 and require trace file + report byte-identity
 #include "bench_common.h"
 
+#include <cstdio>
 #include <memory>
 
 #include "common/table.h"
 #include "fault/injector.h"
+#include "service/checkpoint.h"
 #include "service/service.h"
 #include "store/container.h"
 
@@ -126,6 +132,120 @@ service::SoakAggregate RunCell(const sim::ProtocolFactory& factory,
   return agg;
 }
 
+bool FilesEqual(const std::string& a, const std::string& b) {
+  const auto slurp = [](const std::string& path, std::string* out) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return false;
+    char buf[1 << 16];
+    for (;;) {
+      const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+      out->append(buf, n);
+      if (n < sizeof buf) break;
+    }
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+  };
+  std::string da, db;
+  return slurp(a, &da) && slurp(b, &db) && da == db;
+}
+
+// --kill-at cell: run FCAT-2 run 0 uninterrupted, then again with a
+// SIGKILL-emulating abort at the given slot followed by a checkpoint
+// resume, and require the torn-then-resumed trace file and report to be
+// byte-identical to the uninterrupted ones. Returns true on identity.
+bool RunKillAtCell(const bench::HarnessOptions& opts,
+                   const service::ServiceConfig& config,
+                   std::size_t n_initial, std::uint64_t kill_at) {
+  const sim::ProtocolFactory factory =
+      core::MakeFcatFactory(bench::FcatFor(2));
+  service::SoakOptions so;
+  so.n_initial = n_initial;
+  so.runs = 1;
+  so.base_seed = opts.seed;
+
+  const std::string base = "bench_soak_killat";
+  const std::string ref_path = base + ".ref.ancs";
+  const std::string torn_path = base + ".torn.ancs";
+  const std::string ref_ckpt = base + ".ref.ckpt";
+  const std::string ckpt = base + ".ckpt";
+  store::StoreWriterOptions wo;
+  wo.sync = store::SyncPolicy::kFlush;
+
+  const auto start = std::chrono::steady_clock::now();
+
+  service::ResumableOptions res;
+  res.checkpoint_every_epochs = 1;
+  res.checkpoint_path = ref_ckpt;
+  service::SloReport ref_report;
+  {
+    store::StoreFileSink sink(ref_path, wo);
+    ref_report =
+        service::RunSoakResumable(factory, config, so, 0, &sink, res);
+    if (!sink.Finish().empty()) return false;
+  }
+
+  bool aborted = false;
+  {
+    auto sink = std::make_unique<store::StoreFileSink>(torn_path, wo);
+    service::ResumableOptions kr = res;
+    kr.checkpoint_path = ckpt;
+    kr.abort_before_slot = kill_at;
+    service::RunSoakResumable(factory, config, so, 0, sink.get(), kr,
+                              &aborted);
+    // Dropped unfinished: the file keeps its torn tail and the
+    // checkpoint its last durable offset — the post-SIGKILL disk state.
+  }
+
+  service::SloReport resumed;
+  std::string err;
+  if (!aborted) {
+    err = "kill slot never reached (choose --kill-at within the run)";
+  } else {
+    std::unique_ptr<store::StoreFileSink> rsink;
+    service::ResumableOptions rr = res;
+    rr.checkpoint_path = ckpt;
+    err = service::ResumeSoak(factory, config, so, 0, ckpt, torn_path, wo,
+                              rr, &resumed, &rsink);
+    if (err.empty() && rsink != nullptr) err = rsink->Finish();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  bool identical = false;
+  if (err.empty()) {
+    std::string ra, rb;
+    service::PutSloReport(ra, ref_report);
+    service::PutSloReport(rb, resumed);
+    identical = ra == rb && FilesEqual(ref_path, torn_path);
+  } else {
+    std::fprintf(stderr, "kill-at cell failed: %s\n", err.c_str());
+  }
+
+  bench::detail::JsonState& j = bench::detail::Json();
+  if (!j.path.empty()) {
+    j.points.push_back(
+        "{\"label\":\"FCAT-2@kill\",\"profile\":" +
+        bench::detail::JsonStr(config.label) +
+        ",\"kill_at\":" + std::to_string(kill_at) +
+        ",\"checkpoint_every_epochs\":1,\"killed\":" +
+        (aborted ? std::string("true") : std::string("false")) +
+        ",\"resume_identical\":" +
+        (identical ? std::string("true") : std::string("false")) +
+        ",\"wall_seconds\":" + bench::detail::JsonNum(wall) + "}");
+  }
+  std::printf("kill-at cell: killed at slot %llu, resumed from last "
+              "checkpoint: trace+report %s\n",
+              static_cast<unsigned long long>(kill_at),
+              identical ? "byte-identical" : "DIVERGED");
+
+  for (const std::string& p : {ref_path, torn_path, ref_ckpt, ckpt}) {
+    std::remove(p.c_str());
+  }
+  return identical;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -136,7 +256,9 @@ int main(int argc, char** argv) {
       {{"profile", "service profile: smoke | soak | batch | flow"},
        {"n", "initial population per run (default 50)"},
        {"faults", "off | chaos | sweep (chaos is FCAT-only)"},
-       {"store", "--trace container: compressed (default) | raw"}});
+       {"store", "--trace container: compressed (default) | raw"},
+       {"kill-at", "crash-recovery cell: kill run 0 at this slot, resume "
+                   "from checkpoint, verify byte-identity"}});
   const auto opts = bench::ParseHarness(args, 3);
   bench::PrintHeader("Continuous-inventory soak: service-mode SLOs",
                      "service subsystem, no paper analogue", opts);
@@ -223,6 +345,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  bool kill_cell_ok = true;
+  if (args.Has("kill-at")) {
+    kill_cell_ok = RunKillAtCell(
+        opts, config, n_initial,
+        static_cast<std::uint64_t>(args.GetInt("kill-at", 0)));
+  }
+
   std::printf("%s\n", table.Render().c_str());
   std::printf("profile %s: %llu-slot budget, churn stops at slot %llu\n",
               config.label.c_str(),
@@ -237,5 +366,8 @@ int main(int argc, char** argv) {
   std::printf("fault-free cells must report missed=0 (every tag dwells past "
               "the detection floor); @chaos sheds latency and may miss, "
               "boundedly.\n");
-  return (conservation_failures || open_records || unsupported) ? 1 : 0;
+  return (conservation_failures || open_records || unsupported ||
+          !kill_cell_ok)
+             ? 1
+             : 0;
 }

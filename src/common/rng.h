@@ -8,6 +8,9 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
+
+#include "common/serialize.h"
 
 namespace anc {
 
@@ -42,11 +45,51 @@ class Pcg32 {
   // Fork a statistically independent generator (distinct stream).
   Pcg32 Split();
 
+  // Exact generator state, for service checkpoints: a restored generator
+  // continues the identical output stream (including the cached
+  // Box-Muller half-sample).
+  struct State {
+    std::uint64_t state = 0;
+    std::uint64_t inc = 0;
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State SaveState() const {
+    return State{state_, inc_, has_cached_normal_, cached_normal_};
+  }
+  void RestoreState(const State& s) {
+    state_ = s.state;
+    inc_ = s.inc;
+    has_cached_normal_ = s.has_cached_normal;
+    cached_normal_ = s.cached_normal;
+  }
+
  private:
   std::uint64_t state_;
   std::uint64_t inc_;
   bool has_cached_normal_ = false;
   double cached_normal_ = 0.0;
 };
+
+// Checkpoint codec for the generator state (common/serialize.h wire
+// format), shared by every layer that snapshots an RNG stream.
+inline void PutPcg32(std::string& out, const Pcg32& rng) {
+  const Pcg32::State s = rng.SaveState();
+  ser::PutVarint(out, s.state);
+  ser::PutVarint(out, s.inc);
+  ser::PutBool(out, s.has_cached_normal);
+  ser::PutF64(out, s.cached_normal);
+}
+
+inline bool ReadPcg32(ser::Reader& r, Pcg32& rng) {
+  Pcg32::State s;
+  s.state = r.Varint();
+  s.inc = r.Varint();
+  s.has_cached_normal = r.Bool();
+  s.cached_normal = r.F64();
+  if (!r.ok) return false;
+  rng.RestoreState(s);
+  return true;
+}
 
 }  // namespace anc

@@ -3,6 +3,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+
+#include "common/serialize.h"
 
 namespace anc {
 
@@ -26,6 +29,34 @@ class P2Quantile {
 
   std::size_t count() const { return count_; }
   double quantile() const { return q_; }
+
+  // Exact five-marker state, for service checkpoints. RestoreState keeps
+  // the construction-time quantile (the checkpoint layer verifies it
+  // matches); a restored estimator continues bit-identically.
+  struct State {
+    std::size_t count = 0;
+    double height[5] = {0, 0, 0, 0, 0};
+    double position[5] = {0, 0, 0, 0, 0};
+    double desired[5] = {0, 0, 0, 0, 0};
+  };
+  State SaveState() const {
+    State s;
+    s.count = count_;
+    for (int i = 0; i < 5; ++i) {
+      s.height[i] = height_[i];
+      s.position[i] = position_[i];
+      s.desired[i] = desired_[i];
+    }
+    return s;
+  }
+  void RestoreState(const State& s) {
+    count_ = s.count;
+    for (int i = 0; i < 5; ++i) {
+      height_[i] = s.height[i];
+      position_[i] = s.position[i];
+      desired_[i] = s.desired[i];
+    }
+  }
 
   // Pools another estimator into this one (same quantile required).
   //
@@ -68,6 +99,23 @@ class RunningStats {
   // Pools another accumulator into this one (parallel Welford merge).
   void Merge(const RunningStats& other);
 
+  // Exact accumulator state, for service checkpoints.
+  struct State {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  State SaveState() const { return State{count_, mean_, m2_, min_, max_}; }
+  void RestoreState(const State& s) {
+    count_ = s.count;
+    mean_ = s.mean;
+    m2_ = s.m2;
+    min_ = s.min;
+    max_ = s.max;
+  }
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;
@@ -75,5 +123,48 @@ class RunningStats {
   double min_ = 0.0;
   double max_ = 0.0;
 };
+
+// Checkpoint codecs (common/serialize.h wire format). Doubles travel as
+// exact IEEE-754 bit patterns, so a restored accumulator continues
+// bit-identically.
+inline void PutRunningStats(std::string& out, const RunningStats& stats) {
+  const RunningStats::State s = stats.SaveState();
+  ser::PutVarint(out, s.count);
+  ser::PutF64(out, s.mean);
+  ser::PutF64(out, s.m2);
+  ser::PutF64(out, s.min);
+  ser::PutF64(out, s.max);
+}
+
+inline bool ReadRunningStats(ser::Reader& r, RunningStats& stats) {
+  RunningStats::State s;
+  s.count = static_cast<std::size_t>(r.Varint());
+  s.mean = r.F64();
+  s.m2 = r.F64();
+  s.min = r.F64();
+  s.max = r.F64();
+  if (!r.ok) return false;
+  stats.RestoreState(s);
+  return true;
+}
+
+inline void PutP2Quantile(std::string& out, const P2Quantile& q) {
+  const P2Quantile::State s = q.SaveState();
+  ser::PutVarint(out, s.count);
+  for (int i = 0; i < 5; ++i) ser::PutF64(out, s.height[i]);
+  for (int i = 0; i < 5; ++i) ser::PutF64(out, s.position[i]);
+  for (int i = 0; i < 5; ++i) ser::PutF64(out, s.desired[i]);
+}
+
+inline bool ReadP2Quantile(ser::Reader& r, P2Quantile& q) {
+  P2Quantile::State s;
+  s.count = static_cast<std::size_t>(r.Varint());
+  for (int i = 0; i < 5; ++i) s.height[i] = r.F64();
+  for (int i = 0; i < 5; ++i) s.position[i] = r.F64();
+  for (int i = 0; i < 5; ++i) s.desired[i] = r.F64();
+  if (!r.ok) return false;
+  q.RestoreState(s);
+  return true;
+}
 
 }  // namespace anc

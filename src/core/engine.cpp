@@ -571,4 +571,83 @@ void CollisionAwareEngine::Step() {
   }
 }
 
+void CollisionAwareEngine::SaveEngineState(std::string* out) const {
+  PutPcg32(*out, rng_);
+  ser::PutVarint(*out, active_.size());
+  for (std::uint32_t tag : active_) ser::PutVarint(*out, tag);
+  ser::PutVarint(*out, pos_in_active_.size());
+  for (std::uint32_t pos : pos_in_active_) ser::PutVarint(*out, pos);
+  ser::PutVarint(*out, read_.size());
+  for (bool b : read_) ser::PutBool(*out, b);
+  for (bool b : present_) ser::PutBool(*out, b);
+  tracker_.SaveState(out);
+  estimator_.SaveState(out);
+  ser::PutBool(*out, fault_ != nullptr);
+  if (fault_) fault_->SaveState(out);
+  ser::PutVarint(*out, cascade_queue_.size());
+  for (const auto& [tag, from_collision] : cascade_queue_) {
+    ser::PutVarint(*out, tag);
+    ser::PutBool(*out, from_collision);
+  }
+  ser::PutVarint(*out, slot_index_);
+  ser::PutVarint(*out, slot_in_frame_);
+  ser::PutVarint(*out, frame_nc_);
+  ser::PutVarint(*out, frame_acked_at_start_);
+  ser::PutF64(*out, frame_p_effective_);
+  ser::PutF64(*out, frame_backlog_used_);
+  ser::PutBool(*out, frame_had_probe_);
+  ser::PutVarint(*out, static_cast<std::uint64_t>(consecutive_empties_));
+  ser::PutVarint(*out, static_cast<std::uint64_t>(consecutive_collisions_));
+  ser::PutF64(*out, collision_boost_);
+  ser::PutBool(*out, probe_pending_);
+  ser::PutBool(*out, finished_);
+  ser::PutVarint(*out, resolved_this_slot_);
+  sim::PutRunMetrics(*out, metrics_);
+}
+
+bool CollisionAwareEngine::RestoreEngineState(anc::ser::Reader& r) {
+  if (!ReadPcg32(r, rng_)) return false;
+  active_.assign(static_cast<std::size_t>(r.Varint()), 0);
+  for (std::uint32_t& tag : active_) {
+    tag = static_cast<std::uint32_t>(r.Varint());
+  }
+  if (static_cast<std::size_t>(r.Varint()) != pos_in_active_.size()) {
+    return false;  // universe size mismatch: wrong configuration
+  }
+  for (std::uint32_t& pos : pos_in_active_) {
+    pos = static_cast<std::uint32_t>(r.Varint());
+  }
+  if (static_cast<std::size_t>(r.Varint()) != read_.size()) return false;
+  for (std::size_t i = 0; i < read_.size(); ++i) read_[i] = r.Bool();
+  for (std::size_t i = 0; i < present_.size(); ++i) present_[i] = r.Bool();
+  if (!tracker_.RestoreState(r)) return false;
+  if (!estimator_.RestoreState(r)) return false;
+  const bool has_fault = r.Bool();
+  if (has_fault != (fault_ != nullptr)) return false;  // config mismatch
+  if (fault_ && !fault_->RestoreState(r)) return false;
+  cascade_queue_.clear();
+  const auto n_cascade = static_cast<std::size_t>(r.Varint());
+  for (std::size_t i = 0; i < n_cascade && r.ok; ++i) {
+    const auto tag = static_cast<std::uint32_t>(r.Varint());
+    const bool from_collision = r.Bool();
+    cascade_queue_.emplace_back(tag, from_collision);
+  }
+  slot_index_ = r.Varint();
+  slot_in_frame_ = r.Varint();
+  frame_nc_ = r.Varint();
+  frame_acked_at_start_ = r.Varint();
+  frame_p_effective_ = r.F64();
+  frame_backlog_used_ = r.F64();
+  frame_had_probe_ = r.Bool();
+  consecutive_empties_ = static_cast<int>(r.Varint());
+  consecutive_collisions_ = static_cast<int>(r.Varint());
+  collision_boost_ = r.F64();
+  probe_pending_ = r.Bool();
+  finished_ = r.Bool();
+  resolved_this_slot_ = r.Varint();
+  if (!sim::ReadRunMetrics(r, metrics_)) return false;
+  learned_this_step_.clear();
+  return r.ok;
+}
+
 }  // namespace anc::core

@@ -37,6 +37,7 @@
 
 #include "common/fixed_point.h"
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "core/config.h"
 #include "core/estimator.h"
 #include "core/record_tracker.h"
@@ -93,6 +94,14 @@ class CollisionAwareEngine : public sim::Protocol {
   bool ArriveTag(const TagId& id) override;
   bool DepartTag(const TagId& id) override;
   bool BeginInventoryRound(bool refresh) override;
+
+  // Checkpoint hooks. Deliberately NOT the sim::Protocol blob interface:
+  // the engine serializes only its own mutable state — the phy it runs
+  // over is an external reference, and the owning protocol (Fcat/Scat)
+  // pairs the two blobs and implements the Protocol-level hooks. Must be
+  // called between Step()s (per-step scratch is empty then).
+  void SaveEngineState(std::string* out) const;
+  bool RestoreEngineState(anc::ser::Reader& r);
 
   // Introspection for tests and the estimator benches.
   double EstimatedTotal() const;

@@ -15,7 +15,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 
+#include "common/serialize.h"
 #include "common/stats.h"
 
 namespace anc::core {
@@ -50,6 +52,28 @@ class EmbeddedEstimator {
   // Raises the estimate floor (used after a p=1 probe slot collides: at
   // least `minimum` tags are known to remain).
   void RaiseBacklogFloor(std::uint64_t acked_now, double minimum);
+
+  // Checkpoint hooks (common/serialize.h wire format): the running
+  // average (all-time or windowed) plus the probe floor; frame size,
+  // omega, bootstrap and window are construction parameters.
+  void SaveState(std::string* out) const {
+    ser::PutF64(*out, floor_total_);
+    ser::PutVarint(*out, informative_frames_);
+    anc::PutRunningStats(*out, samples_);
+    ser::PutVarint(*out, recent_.size());
+    for (double v : recent_) ser::PutF64(*out, v);
+    ser::PutF64(*out, recent_sum_);
+  }
+  bool RestoreState(ser::Reader& r) {
+    floor_total_ = r.F64();
+    informative_frames_ = static_cast<std::size_t>(r.Varint());
+    if (!anc::ReadRunningStats(r, samples_)) return false;
+    const auto n = static_cast<std::size_t>(r.Varint());
+    recent_.clear();
+    for (std::size_t i = 0; i < n && r.ok; ++i) recent_.push_back(r.F64());
+    recent_sum_ = r.F64();
+    return r.ok;
+  }
 
  private:
   std::uint64_t frame_size_;

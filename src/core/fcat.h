@@ -19,7 +19,10 @@
 
 #include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 
+#include "common/serialize.h"
 #include "core/config.h"
 #include "core/engine.h"
 #include "phy/ideal_phy.h"
@@ -81,6 +84,29 @@ class Fcat final : public sim::Protocol {
   }
   const CollisionAwareEngine& engine() const { return engine_; }
 
+  // Checkpoint hooks (sim::Protocol): the phy record store and the engine
+  // state as two length-prefixed blobs; the options (and the whole
+  // construction path) are rederived by the factory before restore.
+  bool SupportsCheckpoint() const override { return true; }
+  void SaveState(std::string* out) const override {
+    std::string blob;
+    phy_.SaveState(&blob);
+    ser::PutBytes(*out, blob);
+    blob.clear();
+    engine_.SaveEngineState(&blob);
+    ser::PutBytes(*out, blob);
+  }
+  bool RestoreState(std::string_view bytes) override {
+    ser::Reader r{bytes};
+    ser::Reader phy_r{r.Bytes()};
+    if (!r.ok || !phy_.RestoreState(phy_r) || !phy_r.AtEnd()) return false;
+    ser::Reader eng_r{r.Bytes()};
+    if (!r.ok || !engine_.RestoreEngineState(eng_r) || !eng_r.AtEnd()) {
+      return false;
+    }
+    return r.AtEnd();
+  }
+
  private:
   phy::IdealPhy phy_;
   CollisionAwareEngine engine_;
@@ -135,6 +161,29 @@ class Scat final : public sim::Protocol {
   const CollisionAwareEngine& engine() const { return engine_; }
   // The pre-step's estimate of N (population size when disabled).
   double assumed_total() const { return assumed_total_; }
+
+  // Checkpoint hooks: same two-blob layout as Fcat. The estimation
+  // pre-step runs at construction from the same seed, so its metrics and
+  // assumed_total are rederived, not serialized.
+  bool SupportsCheckpoint() const override { return true; }
+  void SaveState(std::string* out) const override {
+    std::string blob;
+    phy_.SaveState(&blob);
+    ser::PutBytes(*out, blob);
+    blob.clear();
+    engine_.SaveEngineState(&blob);
+    ser::PutBytes(*out, blob);
+  }
+  bool RestoreState(std::string_view bytes) override {
+    ser::Reader r{bytes};
+    ser::Reader phy_r{r.Bytes()};
+    if (!r.ok || !phy_.RestoreState(phy_r) || !phy_r.AtEnd()) return false;
+    ser::Reader eng_r{r.Bytes()};
+    if (!r.ok || !engine_.RestoreEngineState(eng_r) || !eng_r.AtEnd()) {
+      return false;
+    }
+    return r.AtEnd();
+  }
 
  private:
   static CollisionAwareConfig BuildConfig(std::span<const TagId> population,

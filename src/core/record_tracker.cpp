@@ -172,4 +172,63 @@ std::vector<phy::RecordHandle> RecordTracker::TakeRetryAbandoned() {
   return std::exchange(retry_abandoned_, {});
 }
 
+void RecordTracker::SaveState(std::string* out) const {
+  ser::PutVarint(*out, records_.size());
+  for (const RecordState& state : records_) {
+    ser::PutVarint(*out, state.knowns_offset);
+    ser::PutVarint(*out, state.knowns_len);
+    ser::PutVarint(*out, state.knowns_cap);
+    ser::PutBool(*out, state.open);
+  }
+  ser::PutVarint(*out, knowns_arena_.size());
+  for (std::uint32_t tag : knowns_arena_) ser::PutVarint(*out, tag);
+  ser::PutVarint(*out, chain_nodes_.size());
+  for (const ChainNode& node : chain_nodes_) {
+    ser::PutVarint(*out, node.record.index());
+    ser::PutVarint(*out, node.next);
+  }
+  ser::PutVarint(*out, chain_head_.size());
+  for (std::uint32_t head : chain_head_) ser::PutVarint(*out, head);
+  for (std::uint32_t tail : chain_tail_) ser::PutVarint(*out, tail);
+  ser::PutVarint(*out, open_records_);
+  ser::PutVarint(*out, retry_abandoned_.size());
+  for (phy::RecordHandle h : retry_abandoned_) {
+    ser::PutVarint(*out, h.index());
+  }
+}
+
+bool RecordTracker::RestoreState(anc::ser::Reader& r) {
+  records_.assign(static_cast<std::size_t>(r.Varint()), RecordState{});
+  for (RecordState& state : records_) {
+    state.knowns_offset = static_cast<std::uint32_t>(r.Varint());
+    state.knowns_len = static_cast<std::uint32_t>(r.Varint());
+    state.knowns_cap = static_cast<std::uint32_t>(r.Varint());
+    state.open = r.Bool();
+  }
+  knowns_arena_.assign(static_cast<std::size_t>(r.Varint()), 0);
+  for (std::uint32_t& tag : knowns_arena_) {
+    tag = static_cast<std::uint32_t>(r.Varint());
+  }
+  chain_nodes_.assign(static_cast<std::size_t>(r.Varint()), ChainNode{});
+  for (ChainNode& node : chain_nodes_) {
+    node.record = phy::RecordHandle(static_cast<std::uint32_t>(r.Varint()));
+    node.next = static_cast<std::uint32_t>(r.Varint());
+  }
+  const auto n_tags = static_cast<std::size_t>(r.Varint());
+  if (n_tags != chain_head_.size()) return false;  // population mismatch
+  for (std::uint32_t& head : chain_head_) {
+    head = static_cast<std::uint32_t>(r.Varint());
+  }
+  for (std::uint32_t& tail : chain_tail_) {
+    tail = static_cast<std::uint32_t>(r.Varint());
+  }
+  open_records_ = static_cast<std::size_t>(r.Varint());
+  retry_abandoned_.assign(static_cast<std::size_t>(r.Varint()),
+                          phy::RecordHandle{});
+  for (phy::RecordHandle& h : retry_abandoned_) {
+    h = phy::RecordHandle(static_cast<std::uint32_t>(r.Varint()));
+  }
+  return r.ok;
+}
+
 }  // namespace anc::core

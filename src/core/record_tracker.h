@@ -33,8 +33,10 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "common/serialize.h"
 #include "common/tag_id.h"
 #include "fault/record_ledger.h"
 #include "phy/phy.h"
@@ -95,6 +97,12 @@ class RecordTracker {
   std::vector<phy::RecordHandle> TakeRetryAbandoned();
 
   [[nodiscard]] std::size_t open_records() const { return open_records_; }
+
+  // Checkpoint hooks (common/serialize.h wire format): the record arena,
+  // the per-tag chains and the pending retry-abandon list. The ledger
+  // pointer is re-attached by the owning engine after restore.
+  void SaveState(std::string* out) const;
+  bool RestoreState(anc::ser::Reader& r);
 
  private:
   static constexpr std::uint32_t kNil = ~std::uint32_t{0};

@@ -367,6 +367,96 @@ DeploymentResult DeploymentProtocol::Result() const {
   return result;
 }
 
+bool DeploymentProtocol::SupportsCheckpoint() const {
+  if (readers_.empty()) return false;
+  for (const auto& reader : readers_) {
+    if (!reader->protocol->SupportsCheckpoint()) return false;
+  }
+  return true;
+}
+
+void DeploymentProtocol::SaveState(std::string* out) const {
+  ser::PutVarint(*out, readers_.size());
+  std::string blob;
+  for (const auto& reader : readers_) {
+    blob.clear();
+    reader->protocol->SaveState(&blob);
+    ser::PutBytes(*out, blob);
+    ser::PutVarint(*out, reader->active_slots);
+    ser::PutBool(*out, reader->capped);
+    ser::PutBool(*out, reader->dead);
+    ser::PutBool(*out, reader->final_merged);
+  }
+  blob.clear();
+  scheduler_->SaveState(&blob);
+  ser::PutBytes(*out, blob);
+  PutPcg32(*out, resched_rng_);
+  ser::PutVarint(*out, identified_.size());
+  for (bool b : identified_) ser::PutBool(*out, b);
+  ser::PutVarint(*out, unique_ids_);
+  ser::PutVarint(*out, global_slots_);
+  ser::PutVarint(*out, busy_reader_slots_);
+  ser::PutVarint(*out, shared_resolutions_);
+  ser::PutF64(*out, makespan_seconds_);
+  ser::PutF64(*out, last_slot_seconds_);
+  ser::PutVarint(*out, stall_slots_);
+  ser::PutBool(*out, finished_);
+}
+
+bool DeploymentProtocol::RestoreState(std::string_view bytes) {
+  ser::Reader r{bytes};
+  if (static_cast<std::size_t>(r.Varint()) != readers_.size()) return false;
+  bool any_dead = false;
+  for (auto& reader : readers_) {
+    const std::string_view blob = r.Bytes();
+    if (!r.ok || !reader->protocol->RestoreState(blob)) return false;
+    reader->active_slots = r.Varint();
+    reader->capped = r.Bool();
+    reader->dead = r.Bool();
+    reader->final_merged = r.Bool();
+    any_dead |= reader->dead;
+  }
+  if (any_dead) {
+    // Rebuild the post-kill TDMA plan over the residual graph (dead
+    // readers interfere with nobody); the scheduler blob below then
+    // overwrites every mutable cursor, including Colorwave's RNG stream,
+    // so the construction-time rng copy passed here never surfaces.
+    InterferenceGraph residual = graph_;
+    for (std::size_t victim = 0; victim < readers_.size(); ++victim) {
+      if (!readers_[victim]->dead) continue;
+      for (std::uint32_t nb : residual.adjacency[victim]) {
+        auto& back = residual.adjacency[nb];
+        back.erase(std::remove(back.begin(), back.end(),
+                               static_cast<std::uint32_t>(victim)),
+                   back.end());
+      }
+      residual.adjacency[victim].clear();
+    }
+    scheduler_ = MakeScheduler(config_.policy, residual, resched_rng_);
+  }
+  ser::Reader sched_r{r.Bytes()};
+  if (!r.ok || !scheduler_->RestoreState(sched_r) || !sched_r.AtEnd()) {
+    return false;
+  }
+  if (!ReadPcg32(r, resched_rng_)) return false;
+  if (static_cast<std::size_t>(r.Varint()) != identified_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < identified_.size(); ++i) {
+    identified_[i] = r.Bool();
+  }
+  unique_ids_ = static_cast<std::size_t>(r.Varint());
+  global_slots_ = r.Varint();
+  busy_reader_slots_ = r.Varint();
+  shared_resolutions_ = r.Varint();
+  makespan_seconds_ = r.F64();
+  last_slot_seconds_ = r.F64();
+  stall_slots_ = r.Varint();
+  finished_ = r.Bool();
+  learned_this_step_.clear();
+  return r.ok && r.AtEnd();
+}
+
 DeploymentResult RunDeployment(std::span<const TagId> tags,
                                const DeploymentConfig& config,
                                const sim::ProtocolFactory& factory,

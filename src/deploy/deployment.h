@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -137,6 +139,16 @@ class DeploymentProtocol final : public sim::Protocol {
   std::span<const TagId> LearnedThisStep() const override {
     return learned_this_step_;
   }
+
+  // Checkpoint hooks (sim::Protocol): supported when every per-reader
+  // protocol is checkpointable. The blob carries each reader's protocol
+  // state, the TDMA scheduler cursor and the merge/accounting state; on
+  // restore, a deployment whose fault plan had already killed a reader
+  // rebuilds the scheduler over the residual interference graph before
+  // restoring the scheduler cursor, reproducing the post-kill schedule.
+  bool SupportsCheckpoint() const override;
+  void SaveState(std::string* out) const override;
+  bool RestoreState(std::string_view bytes) override;
 
  private:
   struct ReaderState;

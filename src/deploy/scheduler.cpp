@@ -26,6 +26,14 @@ class SequentialScheduler final : public Scheduler {
     return {};
   }
 
+  void SaveState(std::string* out) const override {
+    anc::ser::PutVarint(*out, cursor_);
+  }
+  bool RestoreState(anc::ser::Reader& r) override {
+    cursor_ = static_cast<std::uint32_t>(r.Varint());
+    return r.ok;
+  }
+
  private:
   std::size_t n_;
   std::uint32_t cursor_ = 0;
@@ -63,6 +71,14 @@ class ColoringScheduler final : public Scheduler {
       if (!active.empty()) return active;
     }
     return {};
+  }
+
+  void SaveState(std::string* out) const override {
+    anc::ser::PutVarint(*out, next_class_);
+  }
+  bool RestoreState(anc::ser::Reader& r) override {
+    next_class_ = static_cast<std::size_t>(r.Varint());
+    return r.ok && next_class_ < classes_.size();
   }
 
  private:
@@ -104,6 +120,38 @@ class ColorwaveScheduler final : public Scheduler {
     }
     ++round_slot_;
     return active;
+  }
+
+  void SaveState(std::string* out) const override {
+    anc::PutPcg32(*out, rng_);
+    anc::ser::PutVarint(*out, max_colors_.size());
+    for (std::uint32_t c : max_colors_) anc::ser::PutVarint(*out, c);
+    for (std::uint32_t c : colors_) anc::ser::PutVarint(*out, c);
+    for (bool b : blocked_) anc::ser::PutBool(*out, b);
+    for (int c : clean_rounds_) {
+      anc::ser::PutVarint(*out, static_cast<std::uint64_t>(c));
+    }
+    anc::ser::PutVarint(*out, round_slot_);
+    anc::ser::PutVarint(*out, round_length_);
+  }
+  bool RestoreState(anc::ser::Reader& r) override {
+    if (!anc::ReadPcg32(r, rng_)) return false;
+    if (static_cast<std::size_t>(r.Varint()) != max_colors_.size()) {
+      return false;  // reader-count mismatch
+    }
+    for (std::uint32_t& c : max_colors_) {
+      c = static_cast<std::uint32_t>(r.Varint());
+    }
+    for (std::uint32_t& c : colors_) {
+      c = static_cast<std::uint32_t>(r.Varint());
+    }
+    for (std::size_t i = 0; i < blocked_.size(); ++i) {
+      blocked_[i] = r.Bool();
+    }
+    for (int& c : clean_rounds_) c = static_cast<int>(r.Varint());
+    round_slot_ = static_cast<std::uint32_t>(r.Varint());
+    round_length_ = static_cast<std::uint32_t>(r.Varint());
+    return r.ok;
   }
 
  private:

@@ -7,10 +7,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "deploy/geometry.h"
 
 namespace anc::deploy {
@@ -35,6 +37,13 @@ class Scheduler {
   // scheduling correctness, asserted by tests for every policy.
   virtual std::vector<std::uint32_t> NextSlot(
       const std::vector<bool>& pending) = 0;
+
+  // Checkpoint hooks (common/serialize.h wire format): the mutable
+  // schedule cursor/frame state; the interference graph and policy are
+  // reconstructed by the caller before restore. Pure so every policy
+  // stays resumable by construction.
+  virtual void SaveState(std::string* out) const = 0;
+  virtual bool RestoreState(anc::ser::Reader& r) = 0;
 };
 
 // Greedy largest-degree-first proper coloring of the interference graph.

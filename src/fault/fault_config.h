@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/serialize.h"
+
 namespace anc::fault {
 
 // Which open collision record a full store sacrifices (Section IV-B's
@@ -130,5 +132,38 @@ struct FaultCounters {
                records_dropped_on_crash + records_released_at_end;
   }
 };
+
+// Checkpoint codec (common/serialize.h wire format): the counters are the
+// conservation ledger, so a resumed run must keep reconciling.
+inline void PutFaultCounters(std::string& out, const FaultCounters& c) {
+  ser::PutVarint(out, c.records_opened);
+  ser::PutVarint(out, c.records_resolved);
+  ser::PutVarint(out, c.records_evicted);
+  ser::PutVarint(out, c.records_abandoned_retry);
+  ser::PutVarint(out, c.records_abandoned_ttl);
+  ser::PutVarint(out, c.records_dropped_on_crash);
+  ser::PutVarint(out, c.records_released_at_end);
+  ser::PutVarint(out, c.records_corrupted);
+  ser::PutVarint(out, c.adverts_corrupted);
+  ser::PutVarint(out, c.acks_lost);
+  ser::PutVarint(out, c.reader_crashes);
+  ser::PutVarint(out, c.max_open_records);
+}
+
+inline bool ReadFaultCounters(ser::Reader& r, FaultCounters& c) {
+  c.records_opened = r.Varint();
+  c.records_resolved = r.Varint();
+  c.records_evicted = r.Varint();
+  c.records_abandoned_retry = r.Varint();
+  c.records_abandoned_ttl = r.Varint();
+  c.records_dropped_on_crash = r.Varint();
+  c.records_released_at_end = r.Varint();
+  c.records_corrupted = r.Varint();
+  c.adverts_corrupted = r.Varint();
+  c.acks_lost = r.Varint();
+  c.reader_crashes = r.Varint();
+  c.max_open_records = r.Varint();
+  return r.ok;
+}
 
 }  // namespace anc::fault

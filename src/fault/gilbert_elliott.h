@@ -19,6 +19,10 @@ class GilbertElliottChannel {
 
   bool enabled() const { return enabled_; }
   bool in_bad_state() const { return bad_; }
+  // Checkpoint hook: the Markov state is the channel's only mutable
+  // member (params are construction-time), so restoring it resumes the
+  // chain exactly.
+  void set_bad_state(bool bad) { bad_ = bad; }
 
   // Samples one channel use: advances the state chain, then draws the
   // error for the current state. Two RNG draws per sample when enabled

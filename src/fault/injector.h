@@ -76,6 +76,29 @@ class FaultInjector {
     return true;
   }
 
+  // Checkpoint hooks (common/serialize.h wire format). The config is
+  // construction-time; the RNG stream, counters, ledger, channel Markov
+  // states and the crash latch travel.
+  void SaveState(std::string* out) const {
+    PutPcg32(*out, rng_);
+    PutFaultCounters(*out, counters_);
+    ledger_.SaveState(out);
+    ser::PutBool(*out, advert_.in_bad_state());
+    ser::PutBool(*out, ack_.in_bad_state());
+    ser::PutBool(*out, bitrot_.in_bad_state());
+    ser::PutBool(*out, crashed_);
+  }
+  bool RestoreState(ser::Reader& r) {
+    if (!ReadPcg32(r, rng_)) return false;
+    if (!ReadFaultCounters(r, counters_)) return false;
+    if (!ledger_.RestoreState(r)) return false;
+    advert_.set_bad_state(r.Bool());
+    ack_.set_bad_state(r.Bool());
+    bitrot_.set_bad_state(r.Bool());
+    crashed_ = r.Bool();
+    return r.ok;
+  }
+
  private:
   FaultConfig config_;
   anc::Pcg32 rng_;

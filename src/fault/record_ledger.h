@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "fault/fault_config.h"
 #include "phy/slot.h"
 
@@ -71,6 +73,45 @@ class RecordLedger {
   std::size_t open_count() const { return open_.size(); }
   const RecordStorePolicy& policy() const { return policy_; }
   bool TtlEnabled() const { return policy_.max_open_frames > 0; }
+
+  // Checkpoint hooks (common/serialize.h wire format). The policy,
+  // counters and rng are construction-wired; only the clock and the
+  // per-record metadata travel.
+  void SaveState(std::string* out) const {
+    ser::PutVarint(*out, slot_);
+    ser::PutVarint(*out, frame_);
+    ser::PutVarint(*out, metas_.size());
+    for (const Meta& m : metas_) {
+      ser::PutVarint(*out, m.opened_slot);
+      ser::PutVarint(*out, m.opened_frame);
+      ser::PutVarint(*out, m.last_progress_slot);
+      ser::PutVarint(*out, m.k);
+      ser::PutVarint(*out, m.resolve_failures);
+      ser::PutBool(*out, m.open);
+      ser::PutBool(*out, m.corrupt);
+    }
+    ser::PutVarint(*out, open_.size());
+    for (phy::RecordHandle h : open_) ser::PutVarint(*out, h.index());
+  }
+  bool RestoreState(ser::Reader& r) {
+    slot_ = r.Varint();
+    frame_ = r.Varint();
+    metas_.assign(static_cast<std::size_t>(r.Varint()), Meta{});
+    for (Meta& m : metas_) {
+      m.opened_slot = r.Varint();
+      m.opened_frame = r.Varint();
+      m.last_progress_slot = r.Varint();
+      m.k = static_cast<std::uint32_t>(r.Varint());
+      m.resolve_failures = static_cast<std::uint32_t>(r.Varint());
+      m.open = r.Bool();
+      m.corrupt = r.Bool();
+    }
+    open_.assign(static_cast<std::size_t>(r.Varint()), phy::RecordHandle{});
+    for (phy::RecordHandle& h : open_) {
+      h = phy::RecordHandle(static_cast<std::uint32_t>(r.Varint()));
+    }
+    return r.ok;
+  }
 
  private:
   struct Meta {

@@ -91,4 +91,35 @@ void IdealPhy::ReleaseRecord(RecordHandle handle) {
   }
 }
 
+void IdealPhy::SaveState(std::string* out) const {
+  PutPcg32(*out, rng_);
+  ser::PutVarint(*out, records_.size());
+  for (const Record& record : records_) {
+    ser::PutVarint(*out, record.offset);
+    ser::PutVarint(*out, record.count);
+    ser::PutBool(*out, record.open);
+    ser::PutBool(*out, record.doomed);
+  }
+  ser::PutVarint(*out, participants_arena_.size());
+  for (std::uint32_t tag : participants_arena_) ser::PutVarint(*out, tag);
+  ser::PutVarint(*out, open_records_);
+}
+
+bool IdealPhy::RestoreState(anc::ser::Reader& r) {
+  if (!ReadPcg32(r, rng_)) return false;
+  records_.assign(static_cast<std::size_t>(r.Varint()), Record{});
+  for (Record& record : records_) {
+    record.offset = static_cast<std::uint32_t>(r.Varint());
+    record.count = static_cast<std::uint32_t>(r.Varint());
+    record.open = r.Bool();
+    record.doomed = r.Bool();
+  }
+  participants_arena_.assign(static_cast<std::size_t>(r.Varint()), 0);
+  for (std::uint32_t& tag : participants_arena_) {
+    tag = static_cast<std::uint32_t>(r.Varint());
+  }
+  open_records_ = static_cast<std::size_t>(r.Varint());
+  return r.ok;
+}
+
 }  // namespace anc::phy

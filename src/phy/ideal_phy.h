@@ -21,9 +21,11 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "phy/phy.h"
 
 namespace anc::phy {
@@ -50,6 +52,12 @@ class IdealPhy final : public PhyInterface {
   [[nodiscard]] std::size_t OpenRecords() const override {
     return open_records_;
   }
+
+  // Checkpoint hooks (common/serialize.h wire format): the noise RNG
+  // stream and the whole record arena; population and config are
+  // construction-time.
+  void SaveState(std::string* out) const;
+  bool RestoreState(anc::ser::Reader& r);
 
  private:
   struct Record {

@@ -5,9 +5,11 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <string_view>
 
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "common/tag_id.h"
 #include "phy/timing.h"
 #include "sim/metrics.h"
@@ -48,6 +50,21 @@ class BaselineBase : public sim::Protocol {
     metrics_.elapsed_seconds += timing_.SlotSeconds();
     EmitSlot(trace::SlotOutcome::kCollision, responders);
   }
+  // Checkpoint plumbing shared by the checkpointable baselines: the
+  // mutable base state is the RNG stream, the metrics and the global slot
+  // counter (name/population/timing are construction-time).
+  void SaveBaseState(std::string* out) const {
+    anc::PutPcg32(*out, rng_);
+    sim::PutRunMetrics(*out, metrics_);
+    anc::ser::PutVarint(*out, slot_index_);
+  }
+  bool RestoreBaseState(anc::ser::Reader& r) {
+    if (!anc::ReadPcg32(r, rng_)) return false;
+    if (!sim::ReadRunMetrics(r, metrics_)) return false;
+    slot_index_ = r.Varint();
+    return r.ok;
+  }
+
   void EmitSlot(trace::SlotOutcome outcome, std::uint64_t responders) {
     if (trace_) {
       trace::TraceEvent e;

@@ -64,6 +64,13 @@ class Irsa final : public BaselineBase {
     return learned_this_step_;
   }
 
+  // Checkpoint hooks (sim::Protocol). Serialized between Step()s: the
+  // base state plus the whole current frame (occupancy per slot included,
+  // so a mid-frame checkpoint resumes with the buffered signals intact).
+  bool SupportsCheckpoint() const override { return true; }
+  void SaveState(std::string* out) const override;
+  bool RestoreState(std::string_view bytes) override;
+
  private:
   void StartFrame();
   void DecodeFrame();  // SIC over the buffered frame, at the frame boundary

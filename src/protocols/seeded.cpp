@@ -310,4 +310,67 @@ void SeededAloha::Step() {
   needs_frame_ = true;
 }
 
+void SeededAloha::SaveState(std::string* out) const {
+  SaveBaseState(out);
+  ser::PutVarint(*out, unread_.size());
+  for (std::uint32_t tag : unread_) ser::PutVarint(*out, tag);
+  ser::PutVarint(*out, read_.size());
+  for (bool b : read_) ser::PutBool(*out, b);
+  for (bool b : present_) ser::PutBool(*out, b);
+  ser::PutVarint(*out, frame_size_);
+  ser::PutVarint(*out, slot_cursor_);
+  ser::PutVarint(*out, frame_transmissions_);
+  ser::PutVarint(*out, slot_tags_.size());
+  for (const auto& slot : slot_tags_) {
+    ser::PutVarint(*out, slot.size());
+    for (std::uint32_t tag : slot) ser::PutVarint(*out, tag);
+  }
+  ser::PutBool(*out, needs_frame_);
+  ser::PutBool(*out, finished_);
+  ser::PutVarint(*out, records_.size());
+  for (const StoredRecord& record : records_) {
+    ser::PutVarint(*out, record.id);
+    ser::PutVarint(*out, record.constituents.size());
+    for (std::uint32_t tag : record.constituents) {
+      ser::PutVarint(*out, tag);
+    }
+  }
+  ser::PutVarint(*out, next_record_id_);
+}
+
+bool SeededAloha::RestoreState(std::string_view bytes) {
+  ser::Reader r{bytes};
+  if (!RestoreBaseState(r)) return false;
+  unread_.assign(static_cast<std::size_t>(r.Varint()), 0);
+  for (std::uint32_t& tag : unread_) {
+    tag = static_cast<std::uint32_t>(r.Varint());
+  }
+  if (static_cast<std::size_t>(r.Varint()) != read_.size()) return false;
+  for (std::size_t i = 0; i < read_.size(); ++i) read_[i] = r.Bool();
+  for (std::size_t i = 0; i < present_.size(); ++i) present_[i] = r.Bool();
+  frame_size_ = r.Varint();
+  slot_cursor_ = r.Varint();
+  frame_transmissions_ = r.Varint();
+  slot_tags_.assign(static_cast<std::size_t>(r.Varint()), {});
+  for (auto& slot : slot_tags_) {
+    slot.assign(static_cast<std::size_t>(r.Varint()), 0);
+    for (std::uint32_t& tag : slot) {
+      tag = static_cast<std::uint32_t>(r.Varint());
+    }
+  }
+  needs_frame_ = r.Bool();
+  finished_ = r.Bool();
+  records_.assign(static_cast<std::size_t>(r.Varint()), StoredRecord{});
+  for (StoredRecord& record : records_) {
+    record.id = r.Varint();
+    record.constituents.assign(static_cast<std::size_t>(r.Varint()), 0);
+    for (std::uint32_t& tag : record.constituents) {
+      tag = static_cast<std::uint32_t>(r.Varint());
+    }
+  }
+  next_record_id_ = r.Varint();
+  learned_this_step_.clear();
+  return r.ok && r.AtEnd();
+}
+
 }  // namespace anc::protocols

@@ -93,6 +93,14 @@ class SeededAloha final : public BaselineBase {
     return learned_this_step_;
   }
 
+  // Checkpoint hooks (sim::Protocol): the Irsa frame state plus the
+  // cross-frame record store. run_salt_ is rederived at construction
+  // (drawn before any other use of the stream) and then confirmed by the
+  // restored RNG state.
+  bool SupportsCheckpoint() const override { return true; }
+  void SaveState(std::string* out) const override;
+  bool RestoreState(std::string_view bytes) override;
+
  private:
   struct StoredRecord {
     std::uint64_t id = 0;  // monotonically increasing, for trace events

@@ -225,34 +225,44 @@ bool InventoryService::Drained(std::uint64_t slot) const {
          undetected_present_ == 0;
 }
 
-SloReport InventoryService::Run() {
+SloReport InventoryService::Run(const RunHooks& hooks) {
   report_.churn_supported = protocol_.SupportsChurn();
 
-  // Setup: the universe beyond the initial population starts absent (no
-  // trace events — these tags were never in the field), the initial
-  // population arrives at slot 0.
-  if (report_.churn_supported) {
-    for (std::size_t i = n_initial_; i < universe_.size(); ++i) {
-      protocol_.DepartTag(universe_[i]);
+  if (!resumed_) {
+    // Setup: the universe beyond the initial population starts absent (no
+    // trace events — these tags were never in the field), the initial
+    // population arrives at slot 0. A resumed run skips all of this: the
+    // restored protocol blob already carries the presence flags and the
+    // arrive events are already in the trace.
+    if (report_.churn_supported) {
+      for (std::size_t i = n_initial_; i < universe_.size(); ++i) {
+        protocol_.DepartTag(universe_[i]);
+      }
     }
-  }
-  for (std::size_t i = 0; i < n_initial_; ++i) {
-    TagState& st = states_[i];
-    st.ever_present = true;
-    st.present = true;
-    ++live_;
-    ++undetected_present_;
-    ++report_.arrived;
-    if (trace_) {
-      auto ev = ChurnEvt(trace::EventKind::kArrive, 0, 0);
-      ev.id_digest = universe_[i].Digest();
-      ev.n_c = live_;
-      trace_.Emit(ev);
+    for (std::size_t i = 0; i < n_initial_; ++i) {
+      TagState& st = states_[i];
+      st.ever_present = true;
+      st.present = true;
+      ++live_;
+      ++undetected_present_;
+      ++report_.arrived;
+      if (trace_) {
+        auto ev = ChurnEvt(trace::EventKind::kArrive, 0, 0);
+        ev.id_digest = universe_[i].Digest();
+        ev.n_c = live_;
+        trace_.Emit(ev);
+      }
     }
   }
 
-  std::uint64_t slot = 0;
+  std::uint64_t slot = resumed_ ? resume_slot_ : 0;
   while (slot < config_.max_slots) {
+    if (hooks.abort_before_slot > 0 && slot >= hooks.abort_before_slot) {
+      // Crash emulation: walk away mid-run — no drain, no finalization,
+      // no Shutdown — leaving exactly the state a SIGKILL would.
+      if (hooks.aborted != nullptr) *hooks.aborted = true;
+      return report_;
+    }
     if (report_.churn_supported) ApplyChurnDue(slot);
     if (Drained(slot)) break;
     if (protocol_.Finished()) {
@@ -264,6 +274,11 @@ SloReport InventoryService::Run() {
     ++slot;
     if (config_.epoch_slots > 0 && slot % config_.epoch_slots == 0) {
       Snapshot(slot);
+      if (hooks.on_epoch) hooks.on_epoch(slot);
+      if (hooks.checkpoint_every_epochs > 0 && hooks.on_checkpoint &&
+          report_.epochs % hooks.checkpoint_every_epochs == 0) {
+        hooks.on_checkpoint(slot);
+      }
     }
   }
   if (last_snapshot_slot_ != slot) Snapshot(slot);
@@ -284,6 +299,59 @@ SloReport InventoryService::Run() {
   report_.open_phy_records_end = protocol_.OpenPhyRecords();
   report_.metrics = protocol_.metrics();
   return report_;
+}
+
+void InventoryService::SaveState(std::string* out, std::uint64_t slot) const {
+  ser::PutVarint(*out, slot);
+  ser::PutVarint(*out, states_.size());
+  for (const TagState& st : states_) {
+    ser::PutBool(*out, st.ever_present);
+    ser::PutBool(*out, st.present);
+    ser::PutBool(*out, st.detected);
+    ser::PutBool(*out, st.ghost_detected);
+    ser::PutVarint(*out, st.arrive_slot);
+    ser::PutVarint(*out, st.last_seen);
+  }
+  ser::PutVarint(*out, next_event_);
+  ser::PutVarint(*out, live_);
+  ser::PutVarint(*out, undetected_present_);
+  ser::PutVarint(*out, last_snapshot_slot_);
+  PutP2Quantile(*out, detect_p50_);
+  PutP2Quantile(*out, detect_p99_);
+  PutP2Quantile(*out, staleness_p99_);
+  PutRunningStats(*out, epoch_population_);
+  PutRunningStats(*out, epoch_ghost_rate_);
+  PutSloReport(*out, report_);
+}
+
+bool InventoryService::RestoreState(ser::Reader& r, std::uint64_t* slot) {
+  const std::uint64_t saved_slot = r.Varint();
+  if (static_cast<std::size_t>(r.Varint()) != states_.size()) {
+    return false;  // universe mismatch: wrong run for this checkpoint
+  }
+  for (TagState& st : states_) {
+    st.ever_present = r.Bool();
+    st.present = r.Bool();
+    st.detected = r.Bool();
+    st.ghost_detected = r.Bool();
+    st.arrive_slot = r.Varint();
+    st.last_seen = r.Varint();
+  }
+  next_event_ = static_cast<std::size_t>(r.Varint());
+  live_ = r.Varint();
+  undetected_present_ = r.Varint();
+  last_snapshot_slot_ = r.Varint();
+  if (!ReadP2Quantile(r, detect_p50_)) return false;
+  if (!ReadP2Quantile(r, detect_p99_)) return false;
+  if (!ReadP2Quantile(r, staleness_p99_)) return false;
+  if (!ReadRunningStats(r, epoch_population_)) return false;
+  if (!ReadRunningStats(r, epoch_ghost_rate_)) return false;
+  if (!ReadSloReport(r, report_)) return false;
+  if (!r.ok || next_event_ > events_.size()) return false;
+  resumed_ = true;
+  resume_slot_ = saved_slot;
+  if (slot != nullptr) *slot = saved_slot;
+  return true;
 }
 
 SloReport RunSoakSingle(const sim::ProtocolFactory& factory,
@@ -329,9 +397,28 @@ SloReport RunSoakSingle(const sim::ProtocolFactory& factory,
   return report;
 }
 
-namespace {
+void SoakAggregate::Merge(const SoakAggregate& other) {
+  detect_p50.Merge(other.detect_p50);
+  detect_p99.Merge(other.detect_p99);
+  staleness_p99.Merge(other.staleness_p99);
+  missed_rate.Merge(other.missed_rate);
+  ghost_rate.Merge(other.ghost_rate);
+  mean_population.Merge(other.mean_population);
+  arrived.Merge(other.arrived);
+  departed.Merge(other.departed);
+  detected.Merge(other.detected);
+  slots.Merge(other.slots);
+  rounds.Merge(other.rounds);
+  elapsed_seconds.Merge(other.elapsed_seconds);
+  missed_total += other.missed_total;
+  ghost_detections_total += other.ghost_detections_total;
+  suppressed_arrivals_total += other.suppressed_arrivals_total;
+  conservation_failures += other.conservation_failures;
+  open_records_after_shutdown += other.open_records_after_shutdown;
+  churn_unsupported_runs += other.churn_unsupported_runs;
+}
 
-void Accumulate(SoakAggregate& agg, const SloReport& r) {
+void AccumulateSoak(SoakAggregate& agg, const SloReport& r) {
   agg.detect_p50.Add(r.detect_p50);
   agg.detect_p99.Add(r.detect_p99);
   agg.staleness_p99.Add(r.staleness_p99);
@@ -352,8 +439,6 @@ void Accumulate(SoakAggregate& agg, const SloReport& r) {
   if (!r.churn_supported) ++agg.churn_unsupported_runs;
 }
 
-}  // namespace
-
 SoakAggregate RunSoakExperiment(const sim::ProtocolFactory& factory,
                                 const ServiceConfig& config,
                                 const SoakOptions& options) {
@@ -373,7 +458,7 @@ SoakAggregate RunSoakExperiment(const sim::ProtocolFactory& factory,
       std::min(sim::EffectiveThreadCount(options.n_threads), options.runs);
   if (n_threads <= 1) {
     for (std::size_t run = 0; run < options.runs; ++run) {
-      Accumulate(agg, execute(run));
+      AccumulateSoak(agg, execute(run));
     }
     return agg;
   }
@@ -394,7 +479,7 @@ SoakAggregate RunSoakExperiment(const sim::ProtocolFactory& factory,
   pool.reserve(n_threads);
   for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
-  for (const SloReport& r : results) Accumulate(agg, r);
+  for (const SloReport& r : results) AccumulateSoak(agg, r);
   return agg;
 }
 

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -29,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/serialize.h"
 #include "common/stats.h"
 #include "common/tag_id.h"
 #include "service/churn.h"
@@ -102,6 +104,55 @@ struct SloReport {
   }
 };
 
+// SloReport wire codec (common/serialize.h): used by service checkpoints
+// and by the soak supervisor's per-run result files, so a resumed or
+// re-parented run folds into the aggregate bit-identically.
+inline void PutSloReport(std::string& out, const SloReport& r) {
+  ser::PutVarint(out, r.slots);
+  ser::PutVarint(out, r.rounds);
+  ser::PutVarint(out, r.epochs);
+  ser::PutVarint(out, r.arrived);
+  ser::PutVarint(out, r.departed);
+  ser::PutVarint(out, r.detected);
+  ser::PutVarint(out, r.missed_departed);
+  ser::PutVarint(out, r.undetected_at_end);
+  ser::PutVarint(out, r.ghost_detections);
+  ser::PutVarint(out, r.detections_total);
+  ser::PutVarint(out, r.suppressed_arrivals);
+  ser::PutF64(out, r.detect_p50);
+  ser::PutF64(out, r.detect_p99);
+  ser::PutF64(out, r.staleness_p99);
+  ser::PutF64(out, r.mean_population);
+  ser::PutF64(out, r.missed_rate);
+  ser::PutF64(out, r.ghost_rate);
+  ser::PutVarint(out, r.open_phy_records_end);
+  ser::PutBool(out, r.churn_supported);
+  sim::PutRunMetrics(out, r.metrics);
+}
+
+inline bool ReadSloReport(ser::Reader& r, SloReport& out) {
+  out.slots = r.Varint();
+  out.rounds = r.Varint();
+  out.epochs = r.Varint();
+  out.arrived = r.Varint();
+  out.departed = r.Varint();
+  out.detected = r.Varint();
+  out.missed_departed = r.Varint();
+  out.undetected_at_end = r.Varint();
+  out.ghost_detections = r.Varint();
+  out.detections_total = r.Varint();
+  out.suppressed_arrivals = r.Varint();
+  out.detect_p50 = r.F64();
+  out.detect_p99 = r.F64();
+  out.staleness_p99 = r.F64();
+  out.mean_population = r.F64();
+  out.missed_rate = r.F64();
+  out.ghost_rate = r.F64();
+  out.open_phy_records_end = static_cast<std::size_t>(r.Varint());
+  out.churn_supported = r.Bool();
+  return sim::ReadRunMetrics(r, out.metrics);
+}
+
 // Drives one service run over a pre-built universe and churn schedule.
 // The protocol must have been constructed over `universe` (all indices);
 // Run() marks indices >= n_initial absent before the first Step. Pass a
@@ -117,9 +168,38 @@ class InventoryService {
                    trace::TraceContext trace = {},
                    store::EpochSnapshotLog* snapshot_log = nullptr);
 
+  // Crash-safety hooks for Run(). `on_checkpoint` fires right after
+  // every `checkpoint_every_epochs`-th epoch snapshot, between Step()s —
+  // the only point where the protocol contract allows SaveState. The
+  // abort hook emulates a crash for kill-injection tests: when the slot
+  // clock reaches `abort_before_slot`, Run returns immediately without
+  // draining, finalizing or Shutdown (exactly what SIGKILL leaves
+  // behind), and sets *aborted.
+  struct RunHooks {
+    std::uint64_t checkpoint_every_epochs = 0;  // 0 = never
+    std::function<void(std::uint64_t slot)> on_checkpoint;
+    // Fires after every in-loop epoch snapshot (before any checkpoint) —
+    // the supervisor's heartbeat source: workers read the latest entry
+    // off their snapshot log here and report it upstream.
+    std::function<void(std::uint64_t slot)> on_epoch;
+    std::uint64_t abort_before_slot = 0;  // 0 = never
+    bool* aborted = nullptr;
+  };
+
   // Runs to drain or budget, snapshots, shuts the protocol down, and
-  // returns the report. Call at most once.
-  SloReport Run();
+  // returns the report. Call at most once per service instance.
+  SloReport Run() { return Run(RunHooks{}); }
+  SloReport Run(const RunHooks& hooks);
+
+  // Checkpoint codec (common/serialize.h): all mutable service state
+  // plus the resume slot. The universe, churn schedule and config are
+  // NOT serialized — a resume rebuilds them deterministically from the
+  // run seed and restores onto a freshly constructed service of the
+  // identical shape (RestoreState fails closed on a population
+  // mismatch). The wrapped protocol checkpoints separately through its
+  // own sim::Protocol hooks.
+  void SaveState(std::string* out, std::uint64_t slot) const;
+  bool RestoreState(ser::Reader& r, std::uint64_t* slot);
 
  private:
   struct TagState {
@@ -146,6 +226,8 @@ class InventoryService {
 
   std::vector<TagState> states_;
   std::unordered_map<std::uint64_t, std::uint32_t> digest_to_index_;
+  bool resumed_ = false;          // RestoreState succeeded: skip setup
+  std::uint64_t resume_slot_ = 0; // slot the resumed loop continues from
   std::size_t next_event_ = 0;
   std::uint64_t live_ = 0;
   std::uint64_t undetected_present_ = 0;
@@ -199,7 +281,19 @@ struct SoakAggregate {
   std::uint64_t conservation_failures = 0;   // runs violating the partition
   std::uint64_t open_records_after_shutdown = 0;  // summed; must be 0
   std::uint64_t churn_unsupported_runs = 0;
+
+  // Folds `other` in (RunningStats::Merge per metric, totals summed).
+  // The supervisor merges shard aggregates with this; merge order does
+  // not affect the totals, and the RunningStats merge is the same
+  // pairwise fold RunSoakExperiment's thread pool uses.
+  void Merge(const SoakAggregate& other);
 };
+
+// Folds one run's report into the aggregate — the exact fold
+// RunSoakExperiment applies in run-index order, exposed so external
+// drivers (the soak supervisor) reproduce its aggregate bit-identically
+// from per-run SloReport files.
+void AccumulateSoak(SoakAggregate& agg, const SloReport& report);
 
 SoakAggregate RunSoakExperiment(const sim::ProtocolFactory& factory,
                                 const ServiceConfig& config,

@@ -2,6 +2,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+
+#include "common/serialize.h"
 
 namespace anc::sim {
 
@@ -53,5 +56,47 @@ struct RunMetrics {
                : 0.0;
   }
 };
+
+// Checkpoint codec (common/serialize.h wire format). elapsed_seconds is
+// stored as its exact bit pattern so restored runs keep accumulating
+// bit-identically.
+inline void PutRunMetrics(std::string& out, const RunMetrics& m) {
+  ser::PutVarint(out, m.empty_slots);
+  ser::PutVarint(out, m.singleton_slots);
+  ser::PutVarint(out, m.collision_slots);
+  ser::PutVarint(out, m.frames);
+  ser::PutVarint(out, m.tags_read);
+  ser::PutVarint(out, m.ids_from_singletons);
+  ser::PutVarint(out, m.ids_from_collisions);
+  ser::PutVarint(out, m.duplicate_receptions);
+  ser::PutVarint(out, m.redundant_resolutions);
+  ser::PutVarint(out, m.unresolved_records);
+  ser::PutVarint(out, m.ids_injected);
+  ser::PutVarint(out, m.tag_transmissions);
+  ser::PutVarint(out, m.records_evicted);
+  ser::PutVarint(out, m.records_abandoned);
+  ser::PutVarint(out, m.reader_crashes);
+  ser::PutF64(out, m.elapsed_seconds);
+}
+
+inline bool ReadRunMetrics(ser::Reader& r, RunMetrics& m) {
+  m.empty_slots = r.Varint();
+  m.singleton_slots = r.Varint();
+  m.collision_slots = r.Varint();
+  m.frames = r.Varint();
+  m.tags_read = r.Varint();
+  m.ids_from_singletons = r.Varint();
+  m.ids_from_collisions = r.Varint();
+  m.duplicate_receptions = r.Varint();
+  m.redundant_resolutions = r.Varint();
+  m.unresolved_records = r.Varint();
+  m.ids_injected = r.Varint();
+  m.tag_transmissions = r.Varint();
+  m.records_evicted = r.Varint();
+  m.records_abandoned = r.Varint();
+  m.reader_crashes = r.Varint();
+  m.elapsed_seconds = r.F64();
+  return r.ok;
+}
 
 }  // namespace anc::sim

@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <string_view>
 
 #include "common/rng.h"
@@ -95,6 +96,22 @@ class Protocol {
   // regardless (the deployment keeps its own dead flag). Record-holding
   // protocols override; the default has no state to drop.
   virtual void Shutdown() {}
+
+  // --- Checkpoint hooks (src/service, crash-safe resumable soaks) ---
+  //
+  // A checkpointable protocol serializes its *mutable* state — everything
+  // construction does not rederive — into an opaque blob, and restores it
+  // onto a freshly factory-constructed instance of the identical
+  // configuration. The contract is bit-exactness: a restored protocol's
+  // subsequent Step() stream (RNG draws, metrics, trace events) is
+  // byte-identical to the uninterrupted original's. SaveState must only
+  // be called between Step() calls (the service checkpoints at epoch
+  // boundaries), so per-step scratch is empty by construction and is not
+  // serialized. RestoreState returns false on a malformed or mismatched
+  // blob, leaving the protocol unusable (callers discard it).
+  virtual bool SupportsCheckpoint() const { return false; }
+  virtual void SaveState(std::string* /*out*/) const {}
+  virtual bool RestoreState(std::string_view /*bytes*/) { return false; }
 };
 
 }  // namespace anc::sim

@@ -1,5 +1,7 @@
 #include "store/container.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <cstring>
@@ -15,6 +17,7 @@ using trace::EventKind;
 using trace::FieldSpec;
 using trace::TraceEvent;
 
+constexpr char kRunMarker = 'R';
 constexpr char kBlockMarker = 'B';
 constexpr char kFooterMarker = 'F';
 constexpr std::size_t kTrailerBytes = 8 + 4 + 8;  // offset, crc, end magic
@@ -119,6 +122,39 @@ void PutBlockMeta(std::string& out, const BlockMeta& m) {
   wire::PutVarint(out, m.departs_cum);
   wire::PutVarint(out, m.detects_cum);
   wire::PutVarint(out, m.population_end);
+}
+
+// Footer + trailer serialization, shared by StoreWriter::Finish and the
+// tail-recovery rebuild (so a recovered file is byte-identical to what
+// Finish would have written over the same salvaged prefix).
+std::string BuildFooterBytes(const std::vector<StoredRun>& runs,
+                             const std::vector<BlockMeta>& blocks) {
+  std::string footer;
+  footer.push_back(kFooterMarker);
+  wire::PutVarint(footer, runs.size());
+  for (const StoredRun& run : runs) {
+    wire::PutVarint(footer, run.header.run_index);
+    wire::PutVarint(footer, run.header.base_seed);
+    wire::PutVarint(footer, run.header.n_tags);
+    wire::PutVarint(footer, run.header.max_slots_per_tag);
+    wire::PutVarint(footer, run.header.protocol.size());
+    footer += run.header.protocol;
+    wire::PutVarint(footer, run.n_events);
+    wire::PutVarint(footer, run.first_block);
+    wire::PutVarint(footer, run.n_blocks);
+  }
+  wire::PutVarint(footer, blocks.size());
+  for (const BlockMeta& meta : blocks) PutBlockMeta(footer, meta);
+  return footer;
+}
+
+std::string BuildTrailerBytes(std::uint64_t footer_offset,
+                              const std::string& footer) {
+  std::string tail;
+  PutU64Le(tail, footer_offset);
+  PutU32Le(tail, Crc32(footer));
+  tail += kStoreEndMagic;
+  return tail;
 }
 
 bool GetBlockMeta(wire::Reader& r, BlockMeta* m) {
@@ -284,6 +320,22 @@ std::string StoreWriter::Open(const std::string& path,
 void StoreWriter::BeginRun(const trace::RunHeader& header) {
   if (!error_.empty() || finished_ || file_ == nullptr) return;
   if (run_open_) EndRun();
+  if (!error_.empty()) return;
+  // Inline run marker (v2): recovery re-attributes blocks to runs from
+  // the data region alone when the footer never landed.
+  std::string marker;
+  marker.push_back(kRunMarker);
+  wire::PutVarint(marker, header.run_index);
+  wire::PutVarint(marker, header.base_seed);
+  wire::PutVarint(marker, header.n_tags);
+  wire::PutVarint(marker, header.max_slots_per_tag);
+  wire::PutVarint(marker, header.protocol.size());
+  marker += header.protocol;
+  if (std::fwrite(marker.data(), 1, marker.size(), file_) != marker.size()) {
+    error_ = "short write (run marker)";
+    return;
+  }
+  offset_ += marker.size();
   StoredRun run;
   run.header = header;
   run.first_block = blocks_.size();
@@ -334,6 +386,7 @@ std::string StoreWriter::FlushBlock() {
   head.push_back(kBlockMarker);
   wire::PutVarint(head, meta.raw_len);
   wire::PutVarint(head, meta.comp_len);
+  wire::PutVarint(head, meta.crc32);  // v2: blocks self-validate
   if (std::fwrite(head.data(), 1, head.size(), file_) != head.size()) {
     return "short write (block header)";
   }
@@ -346,6 +399,27 @@ std::string StoreWriter::FlushBlock() {
   offset_ += payload.size();
   blocks_.push_back(meta);
   buffer_.clear();
+  return ApplySyncPolicy();
+}
+
+std::string StoreWriter::ApplySyncPolicy() {
+  if (options_.sync == SyncPolicy::kNone) return "";
+  const std::size_t every = std::max<std::size_t>(options_.flush_every_blocks, 1);
+  if (++blocks_since_sync_ < every) return "";
+  blocks_since_sync_ = 0;
+  if (std::fflush(file_) != 0) return "flush failed (disk full?)";
+  if (options_.sync == SyncPolicy::kFsync && fsync(fileno(file_)) != 0) {
+    return "fsync failed";
+  }
+  return "";
+}
+
+std::string StoreWriter::SyncNow() {
+  if (!error_.empty()) return error_;
+  if (file_ == nullptr) return "writer not open";
+  if (std::fflush(file_) != 0) return error_ = "flush failed (disk full?)";
+  if (fsync(fileno(file_)) != 0) return error_ = "fsync failed";
+  blocks_since_sync_ = 0;
   return "";
 }
 
@@ -363,27 +437,8 @@ std::string StoreWriter::Finish() {
   if (run_open_) EndRun();
   finished_ = true;
   if (error_.empty()) {
-    std::string footer;
-    footer.push_back(kFooterMarker);
-    wire::PutVarint(footer, runs_.size());
-    for (const StoredRun& run : runs_) {
-      wire::PutVarint(footer, run.header.run_index);
-      wire::PutVarint(footer, run.header.base_seed);
-      wire::PutVarint(footer, run.header.n_tags);
-      wire::PutVarint(footer, run.header.max_slots_per_tag);
-      wire::PutVarint(footer, run.header.protocol.size());
-      footer += run.header.protocol;
-      wire::PutVarint(footer, run.n_events);
-      wire::PutVarint(footer, run.first_block);
-      wire::PutVarint(footer, run.n_blocks);
-    }
-    wire::PutVarint(footer, blocks_.size());
-    for (const BlockMeta& meta : blocks_) PutBlockMeta(footer, meta);
-
-    std::string tail;
-    PutU64Le(tail, offset_);  // footer offset
-    PutU32Le(tail, Crc32(footer));
-    tail += kStoreEndMagic;
+    const std::string footer = BuildFooterBytes(runs_, blocks_);
+    const std::string tail = BuildTrailerBytes(offset_, footer);
     if (std::fwrite(footer.data(), 1, footer.size(), file_) != footer.size() ||
         std::fwrite(tail.data(), 1, tail.size(), file_) != tail.size()) {
       error_ = "short write (footer)";
@@ -397,6 +452,141 @@ std::string StoreWriter::Finish() {
   return error_;
 }
 
+void StoreWriter::SaveState(std::string* out) const {
+  // Mid-run writer snapshot: file offset, full index so far, cumulative
+  // counters and the buffered partial block (as a columnar payload).
+  // Everything a resumed writer needs to continue byte-identically.
+  wire::PutVarint(*out, offset_);
+  wire::PutVarint(*out, events_in_run_);
+  wire::PutByte(*out, run_open_ ? 1 : 0);
+  wire::PutVarint(*out, acks_cum_);
+  wire::PutVarint(*out, arrives_cum_);
+  wire::PutVarint(*out, departs_cum_);
+  wire::PutVarint(*out, detects_cum_);
+  wire::PutVarint(*out, population_);
+  wire::PutVarint(*out, runs_.size());
+  for (const StoredRun& run : runs_) {
+    wire::PutVarint(*out, run.header.run_index);
+    wire::PutVarint(*out, run.header.base_seed);
+    wire::PutVarint(*out, run.header.n_tags);
+    wire::PutVarint(*out, run.header.max_slots_per_tag);
+    wire::PutVarint(*out, run.header.protocol.size());
+    *out += run.header.protocol;
+    wire::PutVarint(*out, run.n_events);
+    wire::PutVarint(*out, run.first_block);
+    wire::PutVarint(*out, run.n_blocks);
+  }
+  wire::PutVarint(*out, blocks_.size());
+  for (const BlockMeta& meta : blocks_) PutBlockMeta(*out, meta);
+  const std::string pending = EncodeBlockPayload(buffer_);
+  wire::PutVarint(*out, buffer_.size());
+  wire::PutVarint(*out, pending.size());
+  *out += pending;
+}
+
+std::string StoreWriter::RestoreOpen(const std::string& path,
+                                     std::string_view state,
+                                     const StoreWriterOptions& options) {
+  if (file_ != nullptr) return "writer already open";
+  options_ = options;
+  if (options_.block_events == 0) options_.block_events = 1;
+
+  wire::Reader r{state};
+  const std::uint64_t offset = r.Varint();
+  const std::uint64_t events_in_run = r.Varint();
+  const bool run_open = r.Byte() != 0;
+  const std::uint64_t acks = r.Varint();
+  const std::uint64_t arrives = r.Varint();
+  const std::uint64_t departs = r.Varint();
+  const std::uint64_t detects = r.Varint();
+  const std::uint64_t population = r.Varint();
+  const std::uint64_t n_runs = r.Varint();
+  if (!r.ok || n_runs > state.size()) return "corrupt writer state (runs)";
+  std::vector<StoredRun> runs;
+  runs.reserve(static_cast<std::size_t>(n_runs));
+  for (std::uint64_t i = 0; i < n_runs; ++i) {
+    StoredRun run;
+    run.header.run_index = r.Varint();
+    run.header.base_seed = r.Varint();
+    run.header.n_tags = r.Varint();
+    run.header.max_slots_per_tag = r.Varint();
+    const std::uint64_t name_len = r.Varint();
+    if (!r.ok || name_len > state.size() - r.pos) {
+      return "corrupt writer state (run header)";
+    }
+    run.header.protocol = std::string(state.substr(r.pos, name_len));
+    r.pos += name_len;
+    run.n_events = r.Varint();
+    run.first_block = static_cast<std::size_t>(r.Varint());
+    run.n_blocks = static_cast<std::size_t>(r.Varint());
+    runs.push_back(std::move(run));
+  }
+  const std::uint64_t n_blocks = r.Varint();
+  if (!r.ok || n_blocks > state.size()) return "corrupt writer state (blocks)";
+  std::vector<BlockMeta> blocks;
+  blocks.reserve(static_cast<std::size_t>(n_blocks));
+  for (std::uint64_t i = 0; i < n_blocks; ++i) {
+    BlockMeta meta;
+    if (!GetBlockMeta(r, &meta)) return "corrupt writer state (block meta)";
+    blocks.push_back(meta);
+  }
+  const std::uint64_t n_buffered = r.Varint();
+  const std::uint64_t pending_len = r.Varint();
+  if (!r.ok || pending_len > state.size() - r.pos) {
+    return "corrupt writer state (pending block)";
+  }
+  std::vector<trace::TraceEvent> buffered;
+  const std::string derr = DecodeBlockPayload(state.substr(r.pos, pending_len),
+                                              n_buffered, &buffered);
+  if (!derr.empty()) return "corrupt writer state: " + derr;
+  r.pos += static_cast<std::size_t>(pending_len);
+  if (!r.ok || !r.AtEnd()) return "trailing bytes in writer state";
+
+  file_ = std::fopen(path.c_str(), "rb+");
+  if (file_ == nullptr) return "cannot reopen " + path + " for resume";
+  char magic[8] = {};
+  if (std::fread(magic, 1, sizeof magic, file_) != sizeof magic ||
+      std::string_view(magic, 8) != kStoreMagic) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return path + ": not an ANCSTORE file";
+  }
+  std::fseek(file_, 0, SEEK_END);
+  const long end = std::ftell(file_);
+  if (end < 0 || static_cast<std::uint64_t>(end) < offset) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return path + ": shorter than the checkpointed offset (" +
+           std::to_string(end) + " < " + std::to_string(offset) +
+           " bytes) — durable data lost";
+  }
+  // Drop the torn tail: everything past the checkpoint offset was
+  // written after the checkpoint was cut and will be re-written
+  // identically by the resumed run.
+  if (ftruncate(fileno(file_), static_cast<off_t>(offset)) != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return path + ": cannot truncate to resume offset";
+  }
+  std::fseek(file_, static_cast<long>(offset), SEEK_SET);
+
+  offset_ = offset;
+  events_in_run_ = events_in_run;
+  run_open_ = run_open;
+  acks_cum_ = acks;
+  arrives_cum_ = arrives;
+  departs_cum_ = departs;
+  detects_cum_ = detects;
+  population_ = population;
+  runs_ = std::move(runs);
+  blocks_ = std::move(blocks);
+  buffer_ = std::move(buffered);
+  finished_ = false;
+  blocks_since_sync_ = 0;
+  error_.clear();
+  return "";
+}
+
 // ---- StoreReader -----------------------------------------------------------
 
 StoreReader::~StoreReader() {
@@ -404,25 +594,38 @@ StoreReader::~StoreReader() {
 }
 
 std::string StoreReader::Open(const std::string& path) {
+  open_failure_ = OpenFailure::kNone;
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return "cannot open " + path;
+  if (f == nullptr) {
+    open_failure_ = OpenFailure::kIo;
+    return "cannot open " + path;
+  }
   char magic[8] = {};
   const std::size_t got = std::fread(magic, 1, sizeof magic, f);
   if (got == sizeof magic &&
       std::string_view(magic, 8) == trace::kTraceMagic) {
-    // Legacy v1 uncompressed trace: slurp and index in one pass.
+    // Legacy v1 uncompressed trace: slurp and index in one pass. Any
+    // damage (including truncation) is unrecoverable here — the row
+    // format is not self-delimiting.
     std::string bytes(magic, sizeof magic);
     char buf[1 << 16];
     std::size_t n;
     while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
     std::fclose(f);
-    return OpenLegacy(std::move(bytes), path);
+    const std::string err = OpenLegacy(std::move(bytes), path);
+    if (!err.empty()) open_failure_ = OpenFailure::kCorrupt;
+    return err;
   }
   std::fclose(f);
   if (got != sizeof magic || std::string_view(magic, 8) != kStoreMagic) {
+    open_failure_ = OpenFailure::kNotAStore;
     return path + ": not an ANCSTORE or ANCTRACE file";
   }
-  return OpenStore(path);
+  const std::string err = OpenStore(path);
+  if (!err.empty() && open_failure_ == OpenFailure::kNone) {
+    open_failure_ = OpenFailure::kCorrupt;
+  }
+  return err;
 }
 
 std::string StoreReader::OpenLegacy(std::string bytes,
@@ -518,44 +721,67 @@ std::string StoreReader::OpenLegacy(std::string bytes,
 
 std::string StoreReader::OpenStore(const std::string& path) {
   file_ = std::fopen(path.c_str(), "rb");
-  if (file_ == nullptr) return "cannot open " + path;
+  if (file_ == nullptr) {
+    open_failure_ = OpenFailure::kIo;
+    return "cannot open " + path;
+  }
   std::fseek(file_, 0, SEEK_END);
   const long end = std::ftell(file_);
-  if (end < 0) return path + ": cannot stat";
+  if (end < 0) {
+    open_failure_ = OpenFailure::kIo;
+    return path + ": cannot stat";
+  }
   file_bytes_ = static_cast<std::uint64_t>(end);
 
-  // Fixed-size trailer first: it locates (and checksums) the footer, so a
-  // truncated file fails here instead of misparsing.
-  std::string header(kStoreMagic);
-  wire::PutVarint(header, kStoreVersion);
-  wire::PutVarint(header, trace::kTraceVersion);
-  if (file_bytes_ < header.size() + kTrailerBytes) {
-    return path + ": truncated store (no room for trailer)";
+  // Parse the versioned header: magic + store_version + trace_version.
+  // Versions 1 (no inline markers, no per-block CRC head) and 2 are
+  // readable; the footer path below is identical for both.
+  char head_buf[32];
+  std::fseek(file_, 0, SEEK_SET);
+  const std::size_t n_head =
+      std::fread(head_buf, 1, sizeof head_buf, file_);
+  wire::Reader hr{std::string_view(head_buf, n_head), kStoreMagic.size()};
+  const std::uint64_t store_version = hr.Varint();
+  const std::uint64_t trace_version = hr.Varint();
+  if (!hr.ok) return path + ": truncated store header";
+  if (store_version < kStoreVersionMin || store_version > kStoreVersion) {
+    return path + ": unsupported store version " +
+           std::to_string(store_version);
+  }
+  if (trace_version != trace::kTraceVersion) {
+    return path + ": unsupported trace version " +
+           std::to_string(trace_version);
+  }
+  store_version_ = store_version;
+  const std::uint64_t header_len = hr.pos;
+
+  // Fixed-size trailer next: it locates (and checksums) the footer. Its
+  // absence is the torn-tail signature — a SIGKILLed writer never wrote
+  // a footer — which RecoverStoreFile can salvage; every later failure
+  // is corruption and stays fail-closed.
+  if (file_bytes_ < header_len + kTrailerBytes) {
+    open_failure_ = OpenFailure::kTornTail;
+    return path + ": no room for a trailer (torn store; " +
+           "`trace_inspect recover` may salvage it)";
   }
   unsigned char tail[kTrailerBytes];
   std::fseek(file_, end - static_cast<long>(kTrailerBytes), SEEK_SET);
   if (std::fread(tail, 1, kTrailerBytes, file_) != kTrailerBytes) {
+    open_failure_ = OpenFailure::kIo;
     return path + ": short read (trailer)";
   }
   if (std::string_view(reinterpret_cast<const char*>(tail) + 12, 8) !=
       kStoreEndMagic) {
-    return path + ": missing end magic (truncated or not finalized)";
+    open_failure_ = OpenFailure::kTornTail;
+    return path + ": missing end magic (torn or unfinalized store; " +
+           "`trace_inspect recover` may salvage it)";
   }
   const std::uint64_t footer_offset = GetU64Le(tail);
   const std::uint32_t footer_crc = GetU32Le(tail + 8);
-  if (footer_offset < header.size() ||
+  if (footer_offset < header_len ||
       footer_offset > file_bytes_ - kTrailerBytes) {
     return path + ": footer offset " + std::to_string(footer_offset) +
            " outside file";
-  }
-
-  // Verify the versioned header bytes match this build's format exactly.
-  char head_buf[16];
-  std::fseek(file_, 0, SEEK_SET);
-  if (header.size() > sizeof head_buf ||
-      std::fread(head_buf, 1, header.size(), file_) != header.size() ||
-      std::string_view(head_buf, header.size()) != header) {
-    return path + ": unsupported store header (version mismatch?)";
   }
 
   std::string footer(
@@ -606,7 +832,7 @@ std::string StoreReader::OpenStore(const std::string& path) {
              std::to_string(meta.run_ordinal) + " of " +
              std::to_string(runs_.size());
     }
-    if (meta.offset < header.size() || meta.comp_len > footer_offset ||
+    if (meta.offset < header_len || meta.comp_len > footer_offset ||
         meta.offset > footer_offset - meta.comp_len) {
       return path + ": block " + std::to_string(i) +
              " points outside the data region";
@@ -717,6 +943,191 @@ std::string StoreReader::ReadAll(trace::TraceFile* out) {
     }
     out->runs.push_back(std::move(run));
   }
+  return "";
+}
+
+// ---- Tail recovery ---------------------------------------------------------
+
+std::string RecoverStoreFile(const std::string& in_path,
+                             const std::string& out_path, RecoverInfo* info) {
+  RecoverInfo local;
+  RecoverInfo& ri = info != nullptr ? *info : local;
+  ri = RecoverInfo{};
+
+  std::FILE* f = std::fopen(in_path.c_str(), "rb");
+  if (f == nullptr) return "cannot open " + in_path;
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+
+  if (bytes.size() < kStoreMagic.size() ||
+      std::string_view(bytes).substr(0, kStoreMagic.size()) != kStoreMagic) {
+    return in_path + ": not an ANCSTORE file";
+  }
+  wire::Reader r{bytes, kStoreMagic.size()};
+  const std::uint64_t store_version = r.Varint();
+  const std::uint64_t trace_version = r.Varint();
+  if (!r.ok) return in_path + ": truncated store header (nothing to salvage)";
+  if (store_version != kStoreVersion) {
+    return in_path + ": recovery requires a version-" +
+           std::to_string(kStoreVersion) + " store (found version " +
+           std::to_string(store_version) + ")";
+  }
+  if (trace_version != trace::kTraceVersion) {
+    return in_path + ": unsupported trace version " +
+           std::to_string(trace_version);
+  }
+  ri.store_version = store_version;
+  const std::size_t header_len = r.pos;
+
+  // Forward scan over the self-delimiting segment chain. Truncation can
+  // only manifest as a read running off the end of the file (varint
+  // prefixes keep their continuation bit, so a torn head never decodes
+  // as a complete smaller head); anything else — unknown marker, CRC or
+  // decode failure on a complete payload — is corruption, not a tear.
+  std::vector<StoredRun> runs;
+  std::vector<BlockMeta> blocks;
+  RunCounters counters;
+  std::vector<TraceEvent> events;
+  std::size_t salvage_end = header_len;
+  bool torn = false;
+
+  const auto close_run = [&]() {
+    if (!runs.empty()) {
+      runs.back().n_blocks = blocks.size() - runs.back().first_block;
+    }
+  };
+  const auto at = [&](std::size_t pos) {
+    return " at offset " + std::to_string(pos);
+  };
+
+  while (r.pos < bytes.size()) {
+    const std::size_t segment_start = r.pos;
+    const char marker = bytes[r.pos];
+    if (marker == kFooterMarker) {
+      // Data region ends here. Whether the footer behind it is complete
+      // or torn, the rebuild below replaces it from the scan.
+      ri.had_footer = true;
+      break;
+    }
+    if (marker == kRunMarker) {
+      ++r.pos;
+      trace::RunHeader h;
+      h.run_index = r.Varint();
+      h.base_seed = r.Varint();
+      h.n_tags = r.Varint();
+      h.max_slots_per_tag = r.Varint();
+      const std::uint64_t name_len = r.Varint();
+      if (!r.ok || name_len > bytes.size() - r.pos) {
+        torn = true;
+        r.pos = segment_start;
+        break;
+      }
+      h.protocol = bytes.substr(r.pos, static_cast<std::size_t>(name_len));
+      r.pos += static_cast<std::size_t>(name_len);
+      close_run();
+      StoredRun run;
+      run.header = std::move(h);
+      run.first_block = blocks.size();
+      runs.push_back(std::move(run));
+      counters = RunCounters{};
+      salvage_end = r.pos;
+      continue;
+    }
+    if (marker != kBlockMarker) {
+      return in_path + ": unrecognized segment marker" + at(segment_start) +
+             " (corrupt, refusing to salvage)";
+    }
+    ++r.pos;
+    BlockMeta meta;
+    meta.raw_len = r.Varint();
+    meta.comp_len = r.Varint();
+    meta.crc32 = static_cast<std::uint32_t>(r.Varint());
+    if (!r.ok) {
+      torn = true;
+      r.pos = segment_start;
+      break;
+    }
+    if (runs.empty()) {
+      return in_path + ": block before any run marker" + at(segment_start) +
+             " (corrupt)";
+    }
+    if (meta.raw_len == 0 || meta.raw_len > kMaxBlockRawLen ||
+        meta.comp_len == 0 || meta.comp_len > meta.raw_len) {
+      return in_path + ": block with implausible sizes" + at(segment_start) +
+             " (corrupt)";
+    }
+    if (meta.comp_len > bytes.size() - r.pos) {
+      torn = true;
+      r.pos = segment_start;
+      break;
+    }
+    meta.offset = r.pos;
+    const std::string_view payload =
+        std::string_view(bytes).substr(r.pos,
+                                       static_cast<std::size_t>(meta.comp_len));
+    r.pos += static_cast<std::size_t>(meta.comp_len);
+    if (Crc32(payload) != meta.crc32) {
+      return in_path + ": complete block fails its CRC" + at(segment_start) +
+             " (corrupt, refusing to salvage)";
+    }
+    std::string raw_storage;
+    std::string_view raw = payload;
+    if (meta.comp_len != meta.raw_len) {
+      const std::string err = LzDecompress(
+          payload, static_cast<std::size_t>(meta.raw_len), &raw_storage);
+      if (!err.empty()) {
+        return in_path + ": block" + at(segment_start) + ": " + err;
+      }
+      raw = raw_storage;
+    }
+    wire::Reader pr{raw};
+    const std::uint64_t n_events = pr.Varint();
+    if (!pr.ok || n_events == 0) {
+      return in_path + ": block" + at(segment_start) +
+             " declares no events (corrupt)";
+    }
+    const std::string derr = DecodeBlockPayload(raw, n_events, &events);
+    if (!derr.empty()) {
+      return in_path + ": block" + at(segment_start) + ": " + derr;
+    }
+    meta.run_ordinal = runs.size() - 1;
+    meta.first_event = runs.back().n_events;
+    FillBlockCoverage(events, &meta);
+    for (const TraceEvent& e : events) counters.Update(e);
+    meta.acks_cum = counters.acks;
+    meta.arrives_cum = counters.arrives;
+    meta.departs_cum = counters.departs;
+    meta.detects_cum = counters.detects;
+    meta.population_end = counters.population;
+    runs.back().n_events += n_events;
+    ri.salvaged_events += n_events;
+    blocks.push_back(meta);
+    salvage_end = r.pos;
+  }
+  close_run();
+
+  ri.tail_torn = torn;
+  ri.salvaged_runs = runs.size();
+  ri.salvaged_blocks = blocks.size();
+  ri.salvaged_bytes = salvage_end;
+  ri.discarded_bytes = bytes.size() - salvage_end;
+  if (runs.empty()) {
+    return in_path + ": nothing salvageable (no complete run marker)";
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "wb");
+  if (out == nullptr) return "cannot open " + out_path + " for write";
+  const std::string footer = BuildFooterBytes(runs, blocks);
+  const std::string tail = BuildTrailerBytes(salvage_end, footer);
+  bool ok =
+      std::fwrite(bytes.data(), 1, salvage_end, out) == salvage_end &&
+      std::fwrite(footer.data(), 1, footer.size(), out) == footer.size() &&
+      std::fwrite(tail.data(), 1, tail.size(), out) == tail.size();
+  if (std::fclose(out) != 0) ok = false;
+  if (!ok) return "short write to " + out_path;
   return "";
 }
 

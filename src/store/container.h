@@ -2,12 +2,26 @@
 // that makes 100k-slot soak traces recordable, seekable and queryable
 // without ever holding a whole file (or a whole run) in memory.
 //
-// On-disk layout:
+// On-disk layout (store_version 2):
 //   file    := magic[8]="ANCSTORE" varint(store_version)
-//              varint(trace_version) block* footer trailer
-//   block   := 'B' varint(raw_len) varint(comp_len) payload[comp_len]
+//              varint(trace_version) segment* footer trailer
+//   segment := run | block
+//   run     := 'R' varint(run_index) varint(base_seed) varint(n_tags)
+//              varint(max_slots_per_tag) varint(name_len) name
+//   block   := 'B' varint(raw_len) varint(comp_len) varint(crc32)
+//              payload[comp_len]
 //   footer  := 'F' varint(n_runs) runmeta* varint(n_blocks) blockmeta*
 //   trailer := u64le(footer_offset) u32le(crc32(footer)) magic[8]="ANCSEND1"
+//
+// Version 2 made the data region self-delimiting: every segment opens
+// with a marker byte, blocks carry their own length + CRC, and run
+// boundaries are written inline (v1 kept run identity only in the
+// footer). A SIGKILL-truncated file — no footer, possibly a torn final
+// segment — is therefore recoverable: RecoverStoreFile() scans the
+// segment chain, CRC-validates and decodes every complete block,
+// discards the torn tail and rebuilds the footer index. StoreReader
+// still opens v1 store files (and legacy "ANCTRACE" traces); only v2
+// files are recoverable.
 //
 // Block payloads wrap the versioned varint event codec (trace/binary.h)
 // in a column-major transform: one column of kind bytes, then the
@@ -46,8 +60,16 @@ namespace anc::store {
 
 inline constexpr std::string_view kStoreMagic = "ANCSTORE";
 inline constexpr std::string_view kStoreEndMagic = "ANCSEND1";
-inline constexpr std::uint64_t kStoreVersion = 1;
+inline constexpr std::uint64_t kStoreVersion = 2;
+inline constexpr std::uint64_t kStoreVersionMin = 1;  // oldest readable
 inline constexpr std::size_t kNoBlock = static_cast<std::size_t>(-1);
+
+// Durability policy for completed blocks (crash-safety knob). kNone
+// leaves stdio buffering alone — fastest, loses up to one stdio buffer
+// on SIGKILL. kFlush fflushes every `flush_every_blocks` blocks so
+// completed blocks reach the kernel (survive process death). kFsync
+// additionally fsyncs the fd (survive power loss).
+enum class SyncPolicy : std::uint8_t { kNone, kFlush, kFsync };
 
 struct StoreWriterOptions {
   // Events buffered per block before a flush; the writer's working
@@ -56,6 +78,9 @@ struct StoreWriterOptions {
   // Off stores every block raw (comp_len == raw_len) — the debug and
   // ratio-baseline path.
   bool compress = true;
+  // Crash durability of completed blocks; see SyncPolicy.
+  SyncPolicy sync = SyncPolicy::kNone;
+  std::size_t flush_every_blocks = 1;
 };
 
 // Footer index entry for one block.
@@ -103,12 +128,31 @@ class StoreWriter {
   // Flushes, writes footer + trailer, closes. Returns "" on success.
   std::string Finish();
 
+  // Pushes everything written so far to disk: flushes completed blocks
+  // (never the in-memory partial block) and fsyncs the fd. Called by the
+  // checkpoint layer right before a service checkpoint is cut, so the
+  // checkpoint's saved offset is always backed by durable bytes.
+  std::string SyncNow();
+
+  // Serializes the writer's full mid-run state — file offset, index so
+  // far, cumulative counters and the buffered partial block — into a
+  // checkpoint section. Requires an open, unfinished writer.
+  void SaveState(std::string* out) const;
+
+  // Reopens `path` (a possibly-torn store file from a killed process)
+  // and restores a SaveState() snapshot into this writer: the file is
+  // truncated back to the saved offset and writing continues exactly
+  // where the checkpoint was cut. Returns "" on success.
+  std::string RestoreOpen(const std::string& path, std::string_view state,
+                          const StoreWriterOptions& options = {});
+
   const std::vector<StoredRun>& runs() const { return runs_; }
   const std::vector<BlockMeta>& blocks() const { return blocks_; }
   std::uint64_t bytes_written() const { return offset_; }
 
  private:
   std::string FlushBlock();
+  std::string ApplySyncPolicy();
 
   std::FILE* file_ = nullptr;
   StoreWriterOptions options_;
@@ -119,6 +163,7 @@ class StoreWriter {
   bool finished_ = false;
   std::uint64_t offset_ = 0;
   std::uint64_t events_in_run_ = 0;
+  std::size_t blocks_since_sync_ = 0;
   // Cumulative per-run counters (see BlockMeta).
   std::uint64_t acks_cum_ = 0, arrives_cum_ = 0, departs_cum_ = 0,
                 detects_cum_ = 0, population_ = 0;
@@ -135,6 +180,13 @@ class StoreFileSink final : public trace::TraceSink {
     error_ = writer_.Open(path, options);
   }
 
+  // Resume constructor: reopens a torn store file and restores a
+  // StoreWriter::SaveState() snapshot (service checkpoint restore).
+  StoreFileSink(const std::string& path, std::string_view writer_state,
+                const StoreWriterOptions& options) {
+    error_ = writer_.RestoreOpen(path, writer_state, options);
+  }
+
   void BeginRun(const trace::RunHeader& header) override {
     writer_.BeginRun(header);
   }
@@ -149,6 +201,10 @@ class StoreFileSink final : public trace::TraceSink {
 
   const std::string& error() const { return error_; }
 
+  // Checkpoint access: SaveState/SyncNow on the underlying writer.
+  StoreWriter& writer() { return writer_; }
+  const StoreWriter& writer() const { return writer_; }
+
  private:
   void Latch(const std::string& err) {
     if (error_.empty() && !err.empty()) error_ = err;
@@ -156,6 +212,20 @@ class StoreFileSink final : public trace::TraceSink {
 
   StoreWriter writer_;
   std::string error_;
+};
+
+// Why StoreReader::Open() failed, for callers that must tell a
+// salvageable truncation apart from tampering (satellite of the
+// crash-safety work): kTornTail means the file is a clean prefix of a
+// store whose footer never landed (SIGKILL mid-soak) and
+// RecoverStoreFile() can rebuild it; kCorrupt means a present trailer,
+// footer or block failed validation — fail closed, do not salvage.
+enum class OpenFailure : std::uint8_t {
+  kNone,      // Open() succeeded
+  kIo,        // cannot open/stat/read the file
+  kNotAStore, // wrong magic: not an ANCSTORE/ANCTRACE file
+  kTornTail,  // no valid trailer: truncated mid-write, recoverable
+  kCorrupt,   // integrity check failed: reject
 };
 
 // Indexed reader over a store file — or, backward-compatibly, over a v1
@@ -172,7 +242,15 @@ class StoreReader {
 
   std::string Open(const std::string& path);
 
+  // Failure classification for the most recent Open() (kNone after
+  // success): lets tools suggest `trace_inspect recover` for torn tails
+  // while staying fail-closed on corruption.
+  OpenFailure open_failure() const { return open_failure_; }
+
   bool legacy() const { return legacy_; }
+  // Parsed store_version (2 for current files, 1 for old stores, 0 in
+  // legacy/trace mode).
+  std::uint64_t store_version() const { return store_version_; }
   std::uint64_t file_bytes() const { return file_bytes_; }
   const std::vector<StoredRun>& runs() const { return runs_; }
   const std::vector<BlockMeta>& blocks() const { return blocks_; }
@@ -202,7 +280,35 @@ class StoreReader {
   // Per run: running max frame per block, the seek search structure.
   std::vector<std::vector<std::uint64_t>> cummax_frame_;
   std::uint64_t file_bytes_ = 0;
+  std::uint64_t store_version_ = 0;
+  OpenFailure open_failure_ = OpenFailure::kNone;
 };
+
+// ---- Tail recovery ---------------------------------------------------------
+
+// What RecoverStoreFile salvaged (and dropped) from a torn store.
+struct RecoverInfo {
+  std::uint64_t store_version = 0;
+  std::uint64_t salvaged_runs = 0;
+  std::uint64_t salvaged_blocks = 0;
+  std::uint64_t salvaged_events = 0;
+  std::uint64_t salvaged_bytes = 0;   // header + intact data-region bytes
+  std::uint64_t discarded_bytes = 0;  // torn tail / stale footer dropped
+  bool tail_torn = false;   // file ended mid-segment (vs. at a boundary)
+  bool had_footer = false;  // a footer marker was present in the input
+};
+
+// Scans a version-2 store file without using its footer: walks the
+// self-delimiting segment chain from the header, CRC-validates and
+// decodes every complete block, and rewrites `out_path` as a finalized
+// store (salvaged data region verbatim + rebuilt footer index). The
+// torn final segment, if any, is discarded. Fails closed — returns a
+// non-empty error and writes nothing — on anything that is not
+// explainable as truncation: an unknown segment marker, a block whose
+// payload is fully present but fails its CRC or does not decode. A
+// file that already has a valid footer round-trips unchanged.
+std::string RecoverStoreFile(const std::string& in_path,
+                             const std::string& out_path, RecoverInfo* info);
 
 // Columnar block payload codec (exposed for tests). Decode validates
 // that exactly `expect_events` events are present and the payload is

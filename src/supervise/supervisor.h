@@ -1,0 +1,132 @@
+// Sharded soak supervisor: crash-safe fleet execution of a multi-run
+// soak. Each run (shard) executes in its own forked worker process,
+// writing its trace, checkpoints and final report to per-run files; the
+// supervisor watches heartbeat pipes, SIGKILLs workers whose heartbeat
+// deadline lapses (hang detection), restarts crashed or killed workers
+// from their last checkpoint with exponential backoff under a crash
+// budget, and merges the per-run reports in run-index order — so the
+// merged aggregate is bit-identical to a single-process
+// RunSoakExperiment over the same options, no matter how many times
+// workers died along the way.
+//
+// Process isolation is the point: a worker taking SIGKILL mid-block
+// cannot corrupt its siblings or the supervisor, and the recovery path
+// exercised here is exactly the one a power loss exercises (torn store
+// tail + last durable checkpoint). The built-in chaos harness makes
+// that a test: kill injection terminates a worker with a real SIGKILL
+// at a chosen slot, hang injection stops its heartbeat, and the
+// supervisor must recover both to a byte-identical result.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/checkpoint.h"
+#include "service/service.h"
+#include "sim/runner.h"
+#include "store/container.h"
+#include "store/snapshot.h"
+
+namespace anc::supervise {
+
+// Chaos injection, applied to the FIRST attempt of each selected run:
+// restarts always run clean, so every injected fault tests exactly one
+// recovery.
+enum class ChaosKind : std::uint8_t {
+  kNone,
+  kKill,  // worker dies by real SIGKILL when the slot clock hits the mark
+  kHang,  // worker stops heartbeating (and advancing) at the mark
+};
+
+struct SupervisorConfig {
+  std::string dir;         // output directory (must exist); per-run files
+  std::size_t workers = 2; // concurrent shard processes
+  bool trace = true;       // write run_<i>.ancs store traces
+  store::StoreWriterOptions store_options{};
+  std::uint64_t checkpoint_every_epochs = 2;
+  double heartbeat_timeout_s = 30.0;  // lapse => hung => SIGKILL + restart
+  int max_restarts_per_run = 3;       // crash budget per shard
+  double backoff_initial_s = 0.05;    // doubles per consecutive restart
+  ChaosKind chaos = ChaosKind::kNone;
+  std::uint64_t chaos_at_slot = 0;
+  std::vector<std::size_t> chaos_runs;
+  std::size_t snapshot_ring = 64;  // per-shard supervisor-side ring size
+};
+
+struct ShardOutcome {
+  std::size_t run = 0;
+  int attempts = 0;     // processes spawned for this shard
+  int crashes = 0;      // abnormal exits (chaos kills included)
+  int hang_kills = 0;   // supervisor-initiated SIGKILLs
+  bool resumed = false; // some attempt restored a checkpoint
+  bool ok = false;      // report file landed
+};
+
+// Aggregated live view across every shard's latest epoch snapshot — the
+// fleet-level analogue of one service's EpochSnapshotLog entry.
+struct FleetView {
+  std::size_t shards_reporting = 0;
+  std::uint64_t population = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t ghosts = 0;
+  std::uint64_t epochs_published = 0;  // total across shards
+};
+
+struct SupervisorResult {
+  bool ok = false;
+  std::string error;  // first fatal/budget failure, empty when ok
+  service::SoakAggregate aggregate;        // merged in run-index order
+  std::vector<service::SloReport> reports; // per run
+  std::vector<ShardOutcome> shards;        // per run
+  std::uint64_t restarts = 0;
+  std::uint64_t hangs_detected = 0;
+  std::uint64_t chaos_injected = 0;
+  FleetView fleet;  // final view
+};
+
+class SoakSupervisor {
+ public:
+  SoakSupervisor(sim::ProtocolFactory factory, service::ServiceConfig config,
+                 service::SoakOptions options, SupervisorConfig sup);
+  ~SoakSupervisor();
+
+  SoakSupervisor(const SoakSupervisor&) = delete;
+  SoakSupervisor& operator=(const SoakSupervisor&) = delete;
+
+  // Runs every shard to completion (or budget exhaustion) and merges.
+  // Call at most once.
+  SupervisorResult Run();
+
+  // Live monitoring (valid during Run() from another thread, seqlock
+  // semantics): per-shard epoch ring and the aggregated fleet view.
+  // shard_log returns null before Run() sizes the fleet.
+  const store::EpochSnapshotLog* shard_log(std::size_t run) const;
+  FleetView Fleet() const;
+
+  // Per-run artifact paths inside `dir`.
+  static std::string TracePath(const std::string& dir, std::size_t run);
+  static std::string CheckpointPath(const std::string& dir, std::size_t run);
+  static std::string ReportPath(const std::string& dir, std::size_t run);
+
+ private:
+  struct Worker;
+
+  bool Spawn(std::size_t run, int attempt);
+  [[noreturn]] void ChildMain(int heartbeat_fd, std::size_t run, int attempt);
+  void HandleLine(Worker& w, const std::string& line);
+  void Reap(Worker& w, SupervisorResult& result);
+
+  sim::ProtocolFactory factory_;
+  service::ServiceConfig config_;
+  service::SoakOptions options_;
+  SupervisorConfig sup_;
+
+  std::vector<std::unique_ptr<store::EpochSnapshotLog>> shard_logs_;
+  std::vector<std::unique_ptr<Worker>> live_;
+  std::vector<ShardOutcome> outcomes_;
+  bool ran_ = false;
+};
+
+}  // namespace anc::supervise

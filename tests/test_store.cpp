@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <unistd.h>
 #include <string>
 #include <thread>
 #include <vector>
@@ -223,7 +224,12 @@ TEST(StoreContainer, SeekFindsEveryFrame) {
 
 struct CorruptionCase {
   const trace::TraceFile file = RecordSoak(1);
-  std::string path = TempPath("anc_store_adversarial.ancstore");
+  // Process-unique path: gtest_discover_tests runs each adversarial
+  // test as its own ctest entry, and a parallel ctest would otherwise
+  // have them corrupting one shared file mid-test.
+  std::string path = TempPath(("anc_store_adversarial_" +
+                               std::to_string(::getpid()) + ".ancstore")
+                                  .c_str());
   std::string bytes;
 
   CorruptionCase() {

@@ -11,6 +11,7 @@
 //   trace_inspect serve <file>                  query REPL over stdin
 //   trace_inspect compress <in> <out> [--block-events=] [--raw]
 //   trace_inspect decompress <in> <out>
+//   trace_inspect recover <in> <out>            salvage a torn store tail
 //   trace_inspect record --out=<file>
 //                  [--protocol=fcat|scat|dfsa|crdsa|irsa|seeded|mpr|perfect]
 //                  [--lambda=] [--capacity=] [--n=] [--runs=] [--seed=]
@@ -73,6 +74,8 @@ int Usage() {
       "  compress <in> <out> [--block-events=N] [--raw]\n"
       "                                       trace -> ANCSTORE container\n"
       "  decompress <in> <out>                ANCSTORE -> v1 trace\n"
+      "  recover <in> <out>                   salvage a torn (killed\n"
+      "                                       mid-write) store tail\n"
       "  record --out=<file> [--protocol=fcat|fcat-signal|scat|dfsa|\n"
       "                        crdsa|irsa|seeded|mpr|perfect]\n"
       "         [--lambda=L] [--capacity=M] [--n=TAGS] [--runs=R] "
@@ -671,6 +674,35 @@ int Decompress(const CliArgs& args) {
   return 0;
 }
 
+int Recover(const CliArgs& args) {
+  DieOnUnknownFlags(args, "trace_inspect recover", std::vector<FlagSpec>{});
+  if (args.positional().size() != 3) return Usage();
+  const std::string& in = args.positional()[1];
+  const std::string& out = args.positional()[2];
+  store::RecoverInfo info;
+  const std::string err = store::RecoverStoreFile(in, out, &info);
+  if (!err.empty()) {
+    std::fprintf(stderr, "trace_inspect: %s\n", err.c_str());
+    return 2;
+  }
+  std::printf("%s: %s%s\n", in.c_str(),
+              info.tail_torn ? "torn tail" : "clean boundary",
+              info.had_footer ? ", footer present" : ", no footer");
+  std::printf(
+      "salvaged %llu run%s, %llu block%s, %llu event%s (%llu bytes); "
+      "discarded %llu byte%s -> %s\n",
+      static_cast<unsigned long long>(info.salvaged_runs),
+      info.salvaged_runs == 1 ? "" : "s",
+      static_cast<unsigned long long>(info.salvaged_blocks),
+      info.salvaged_blocks == 1 ? "" : "s",
+      static_cast<unsigned long long>(info.salvaged_events),
+      info.salvaged_events == 1 ? "" : "s",
+      static_cast<unsigned long long>(info.salvaged_bytes),
+      static_cast<unsigned long long>(info.discarded_bytes),
+      info.discarded_bytes == 1 ? "" : "s", out.c_str());
+  return 0;
+}
+
 int Record(const CliArgs& args) {
   DieOnUnknownFlags(args, "trace_inspect record",
                     std::vector<FlagSpec>{
@@ -816,6 +848,7 @@ int main(int argc, char** argv) {
   if (command == "serve") return Serve(args);
   if (command == "compress") return Compress(args);
   if (command == "decompress") return Decompress(args);
+  if (command == "recover") return Recover(args);
   if (command == "record") return Record(args);
   std::fprintf(stderr, "trace_inspect: unknown command '%s'\n",
                command.c_str());
